@@ -1,0 +1,42 @@
+// Ablation (paper Sections IV-C1/IV-C2): the number of random Valiant
+// candidates UGAL draws per packet. The paper compared 2-10 and found 4
+// empirically best for average latency; this bench regenerates the sweep
+// on uniform and worst-case traffic.
+
+#include "bench_common.hpp"
+
+#include "sim/routing/ugal.hpp"
+
+namespace slimfly::bench {
+namespace {
+
+void run() {
+  sf::SlimFlyMMS topo(paper_scale() ? 19 : 7);
+  sim::SimConfig cfg = make_sim_config();
+  auto dist = std::make_shared<sim::DistanceTable>(topo.graph());
+  Table table = latency_table();
+
+  for (int candidates : {1, 2, 4, 8}) {
+    for (auto mode : {sim::UgalMode::Local, sim::UgalMode::Global}) {
+      sim::UgalRouting routing(topo, *dist, mode, candidates);
+      std::string tag = routing.name() + "-c" + std::to_string(candidates);
+      std::vector<double> loads = {0.1, 0.3, 0.5, 0.7, 0.9};
+      sweep_into_table(table, tag + "-rand", topo, routing,
+                       [&] { return sim::make_uniform(topo.num_endpoints()); },
+                       cfg, loads);
+      sweep_into_table(table, tag + "-worst", topo, routing,
+                       [&] { return sim::make_worst_case_sf(topo); }, cfg,
+                       loads);
+      std::cout << "  [abl_ugal] " << tag << " done\n" << std::flush;
+    }
+  }
+  print_table("abl_ugal", "UGAL candidate-count ablation (Section IV-C)", table);
+}
+
+}  // namespace
+}  // namespace slimfly::bench
+
+int main() {
+  slimfly::bench::run();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Ablation (paper Section IV-B): constraining Valiant paths to at most 3
+// hops. The paper reports the constraint *increases* average latency by
+// limiting path diversity; this bench regenerates the comparison.
+
+#include "bench_common.hpp"
+
+#include "sim/routing/valiant.hpp"
+
+namespace slimfly::bench {
+namespace {
+
+void run() {
+  sf::SlimFlyMMS topo(paper_scale() ? 19 : 7);
+  sim::SimConfig cfg = make_sim_config();
+  auto dist = std::make_shared<sim::DistanceTable>(topo.graph());
+  Table table = latency_table();
+
+  sim::ValiantRouting val(topo, *dist);
+  sim::ValiantRouting val3(topo, *dist, 3);
+  for (auto* routing : {&val, &val3}) {
+    sweep_into_table(table, routing->name() + "-rand", topo, *routing,
+                     [&] { return sim::make_uniform(topo.num_endpoints()); }, cfg);
+    sweep_into_table(table, routing->name() + "-worst", topo, *routing,
+                     [&] { return sim::make_worst_case_sf(topo); }, cfg);
+    std::cout << "  [abl_val] " << routing->name() << " done\n" << std::flush;
+  }
+  print_table("abl_val", "Valiant hop-limit ablation (Section IV-B)", table);
+}
+
+}  // namespace
+}  // namespace slimfly::bench
+
+int main() {
+  slimfly::bench::run();
+  return 0;
+}

@@ -1,0 +1,133 @@
+#pragma once
+// Shared scaffolding for the per-figure/table bench binaries.
+//
+// Scale: SF_BENCH_SCALE=small (default) runs ~2K-endpoint networks so the
+// whole suite finishes on a laptop; SF_BENCH_SCALE=paper uses the paper's
+// ~10K-endpoint configurations (q=19 Slim Fly, k=27 Dragonfly, k=44 fat
+// tree). The paper reports that 1K-10K networks agree within 10%
+// (Section V), so the small scale preserves every qualitative conclusion.
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sf/mms.hpp"
+#include "sim/simulation.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/fattree.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace slimfly::bench {
+
+inline bool paper_scale() {
+  const char* env = std::getenv("SF_BENCH_SCALE");
+  return env && std::string(env) == "paper";
+}
+
+/// The Section V evaluation trio (Slim Fly / Dragonfly / fat tree) in
+/// balanced full-bandwidth configurations of comparable size.
+struct EvalTrio {
+  std::unique_ptr<sf::SlimFlyMMS> sf;
+  std::unique_ptr<Dragonfly> df;
+  std::unique_ptr<FatTree3> ft;
+};
+
+inline EvalTrio make_eval_trio() {
+  EvalTrio trio;
+  if (paper_scale()) {
+    trio.sf = std::make_unique<sf::SlimFlyMMS>(19);     // N=10830, k=44
+    trio.df = std::make_unique<Dragonfly>(7, 14, 7, 99);// N=9702,  k=27
+    trio.ft = std::make_unique<FatTree3>(22);           // N=10648, k=44
+  } else {
+    trio.sf = std::make_unique<sf::SlimFlyMMS>(7);      // N=588, k=17
+    trio.df = std::make_unique<Dragonfly>(4, 8, 4, 33); // N=1056, k=15
+    trio.ft = std::make_unique<FatTree3>(8);            // N=512, k=16
+  }
+  return trio;
+}
+
+inline sim::SimConfig make_sim_config() {
+  sim::SimConfig cfg;
+  if (paper_scale()) {
+    cfg.warmup_cycles = 3000;
+    cfg.measure_cycles = 3000;
+    cfg.drain_cycles = 40000;
+  } else {
+    cfg.warmup_cycles = 800;
+    cfg.measure_cycles = 1000;
+    cfg.drain_cycles = 8000;
+  }
+  return cfg;
+}
+
+/// Offered-load grid used by the Figure 6/8 sweeps.
+inline std::vector<double> bench_loads() {
+  return {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+}
+
+inline void print_table(const std::string& tag, const std::string& title,
+                        const Table& table) {
+  std::cout << "\n== " << tag << ": " << title << " ==\n";
+  table.print(std::cout);
+  table.print_csv(std::cout, tag);
+  std::cout.flush();
+}
+
+/// Runs one routing curve of a latency-vs-load figure and appends rows.
+inline void sweep_into_table(
+    Table& table, const std::string& series, const Topology& topo,
+    sim::RoutingAlgorithm& routing,
+    const std::function<std::unique_ptr<sim::TrafficPattern>()>& traffic,
+    const sim::SimConfig& cfg, const std::vector<double>& loads = {}) {
+  auto points = sim::load_sweep(topo, routing, traffic, cfg,
+                                loads.empty() ? bench_loads() : loads, true);
+  for (const auto& pt : points) {
+    table.add_row({series, Table::num(pt.load, 2),
+                   Table::num(pt.result.avg_latency, 1),
+                   Table::num(pt.result.avg_network_latency, 1),
+                   Table::num(pt.result.accepted_load, 3),
+                   pt.result.saturated ? "yes" : "no"});
+  }
+}
+
+inline Table latency_table() {
+  return Table({"series", "offered", "latency", "net_latency", "accepted", "saturated"});
+}
+
+/// The Figure 6 comparison: SF under MIN/VAL/UGAL-L/UGAL-G, DF under
+/// DF-UGAL-L, FT under ANCA — each with its own traffic instance (the
+/// worst-case figure uses per-topology adversarial patterns).
+inline void run_fig6(
+    const std::string& tag, const std::string& title,
+    const std::function<std::unique_ptr<sim::TrafficPattern>(const Topology&)>&
+        traffic_for) {
+  EvalTrio trio = make_eval_trio();
+  sim::SimConfig cfg = make_sim_config();
+  Table table = latency_table();
+
+  auto sweep = [&](const std::string& series, const Topology& topo,
+                   sim::RoutingKind kind,
+                   std::shared_ptr<sim::DistanceTable> dist = nullptr)
+      -> std::shared_ptr<sim::DistanceTable> {
+    auto bundle = sim::make_routing(kind, topo, std::move(dist));
+    sweep_into_table(table, series, topo, *bundle.algorithm,
+                     [&] { return traffic_for(topo); }, cfg);
+    std::cout << "  [" << tag << "] " << series << " done\n" << std::flush;
+    return bundle.distances;
+  };
+
+  auto sf_dist = sweep("SF-MIN", *trio.sf, sim::RoutingKind::Minimal);
+  sweep("SF-VAL", *trio.sf, sim::RoutingKind::Valiant, sf_dist);
+  sweep("SF-UGAL-L", *trio.sf, sim::RoutingKind::UgalL, sf_dist);
+  sweep("SF-UGAL-G", *trio.sf, sim::RoutingKind::UgalG, sf_dist);
+  sweep("DF-UGAL-L", *trio.df, sim::RoutingKind::DragonflyUgalL);
+  sweep("FT-ANCA", *trio.ft, sim::RoutingKind::FatTreeAnca);
+
+  print_table(tag, title, table);
+}
+
+}  // namespace slimfly::bench

@@ -1,0 +1,64 @@
+// Figure 1: average number of network hops under uniform traffic with
+// minimal routing, for all nine topologies across network sizes.
+// Expected shape: SF lowest (<2) at every size; DF/FBF below FT; tori and
+// hypercubes grow with N.
+
+#include "bench_common.hpp"
+
+#include "analysis/metrics.hpp"
+#include "sf/enumerate.hpp"
+#include "topo/dln.hpp"
+#include "topo/flatbutterfly.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/longhop.hpp"
+#include "topo/torus.hpp"
+
+namespace slimfly::bench {
+namespace {
+
+void add(Table& table, const Topology& topo) {
+  table.add_row({topo.symbol(), Table::num(static_cast<std::int64_t>(topo.num_endpoints())),
+                 Table::num(static_cast<std::int64_t>(topo.num_routers())),
+                 Table::num(static_cast<std::int64_t>(topo.router_radix())),
+                 Table::num(analysis::average_endpoint_distance(topo), 3)});
+}
+
+void run() {
+  Table table({"topology", "endpoints", "routers", "radix", "avg_hops"});
+  int cap = paper_scale() ? 5000 : 2500;
+
+  // Slim Fly across its balanced family.
+  for (const auto& c : sf::enumerate_slimfly(cap)) {
+    if (c.num_endpoints < 150) continue;
+    add(table, sf::SlimFlyMMS(c.q));
+  }
+  // Dragonfly balanced family.
+  for (int p = 2; ; ++p) {
+    auto df = Dragonfly::balanced(p);
+    if (df->num_endpoints() > cap) break;
+    add(table, *df);
+  }
+  // Fat tree (paper-slim), FBF-3.
+  for (int p = 6; p * p * p <= cap; p += 3) add(table, FatTree3(p));
+  for (int c = 4; c * c * c * c <= cap; ++c) add(table, FlattenedButterfly(3, c));
+  // Low-radix families (p = 1).
+  for (int n = 8; (1 << n) <= cap; ++n) add(table, Hypercube(n));
+  for (int n = 8; (1 << n) <= cap; ++n) add(table, LongHop(n, 6));
+  for (int e = 6; e * e * e <= cap; e += 2) add(table, Torus({e, e, e}));
+  for (int e = 3; e * e * e * e * e <= cap; ++e) add(table, Torus({e, e, e, e, e}));
+  // DLN random topologies (p = 3 small-scale analogue of floor(sqrt(k))).
+  for (int nr : {128, 256, 512}) {
+    if (nr * 3 > cap) break;
+    add(table, Dln(nr, 14, 3));
+  }
+
+  print_table("fig01", "Average hops, uniform traffic, minimal routing", table);
+}
+
+}  // namespace
+}  // namespace slimfly::bench
+
+int main() {
+  slimfly::bench::run();
+  return 0;
+}

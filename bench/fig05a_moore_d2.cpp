@@ -1,0 +1,53 @@
+// Figure 5a: router counts vs the diameter-2 Moore bound.
+// Series: Moore bound, Slim Fly MMS, 2-level flattened butterfly,
+// 2-level fat tree, Long Hop. Expected: SF ~88% of the bound at k'=96,
+// FBF ~20-26%, FT ~1.6%, LH ~1%.
+
+#include "bench_common.hpp"
+
+#include "analysis/moore.hpp"
+#include "sf/generators.hpp"
+
+namespace slimfly::bench {
+namespace {
+
+void run() {
+  Table table({"series", "k_net", "routers", "fraction_of_MB"});
+  auto row = [&](const std::string& series, int k, long long nr) {
+    table.add_row({series, Table::num(static_cast<std::int64_t>(k)),
+                   Table::num(static_cast<std::int64_t>(nr)),
+                   Table::num(analysis::moore_fraction(nr, k, 2), 4)});
+  };
+
+  // Slim Fly MMS family: q prime power, k' = (3q - delta)/2, Nr = 2q^2.
+  for (int q = 4; q <= 67; ++q) {
+    if (!sf::is_valid_mms_q(q)) continue;
+    int delta = sf::delta_of_q(q);
+    int k = (3 * q - delta) / 2;
+    row("SlimFly-MMS", k, 2LL * q * q);
+  }
+  // Moore bound itself at the same radices.
+  for (int k = 5; k <= 100; k += 5) {
+    row("MooreBound2", k, analysis::moore_bound(k, 2));
+  }
+  // 2-level flattened butterfly: c x c array, k' = 2(c-1), Nr = c^2.
+  for (int c = 4; c <= 51; c += 4) row("FlatButterfly2", 2 * (c - 1), 1LL * c * c);
+  // 2-level fat tree from radix-k' switches: k' leaves + k'/2 spines.
+  for (int k = 8; k <= 100; k += 8) row("FatTree2", k, k + k / 2);
+  // Long Hop (Cayley over Z_2^n, n + L generators; Nr = 2^n). Tomic's
+  // diameter-2 constructions need k' ~ Nr/2: use L = 2^(n-1) - n.
+  for (int n = 4; n <= 10; ++n) {
+    int nr = 1 << n;
+    row("LongHop", nr / 2, nr);
+  }
+
+  print_table("fig05a", "Moore bound comparison, diameter 2", table);
+}
+
+}  // namespace
+}  // namespace slimfly::bench
+
+int main() {
+  slimfly::bench::run();
+  return 0;
+}

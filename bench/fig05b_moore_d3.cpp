@@ -1,0 +1,53 @@
+// Figure 5b: router counts vs the diameter-3 Moore bound.
+// Series: Moore bound, Delorme graphs (~68%), BDF graphs (~30%),
+// Dragonfly (~14%), 3-level flattened butterfly (~5%).
+
+#include "bench_common.hpp"
+
+#include "analysis/moore.hpp"
+#include "sf/bdf.hpp"
+#include "sf/delorme.hpp"
+#include "util/numtheory.hpp"
+
+namespace slimfly::bench {
+namespace {
+
+void run() {
+  Table table({"series", "k_net", "routers", "fraction_of_MB"});
+  auto row = [&](const std::string& series, long long k, long long nr) {
+    table.add_row({series, Table::num(k), Table::num(nr),
+                   Table::num(analysis::moore_fraction(nr, static_cast<int>(k), 3), 4)});
+  };
+
+  for (int k = 5; k <= 100; k += 5) {
+    row("MooreBound3", k, analysis::moore_bound(k, 3));
+  }
+  // BDF: odd prime powers u, k' = 3(u+1)/2.
+  for (int u = 3; u <= 67; u += 2) {
+    if (!as_prime_power(u)) continue;
+    auto m = sf::bdf_model(u);
+    row("SlimFly-BDF", m.k_net, m.num_routers);
+  }
+  // Delorme: prime powers v, k' = (v+1)^2.
+  for (const auto& m : sf::delorme_family(100)) {
+    row("SlimFly-DEL", m.k_net, m.num_routers);
+  }
+  // Balanced Dragonfly: k' = a-1+h = 3p-1, Nr = 2p(2p^2+1).
+  for (int p = 2; 3 * p - 1 <= 100; ++p) {
+    row("Dragonfly", 3 * p - 1, 2LL * p * (2LL * p * p + 1));
+  }
+  // FBF-3: k' = 3(c-1), Nr = c^3.
+  for (int c = 3; 3 * (c - 1) <= 100; ++c) {
+    row("FlatButterfly3", 3 * (c - 1), 1LL * c * c * c);
+  }
+
+  print_table("fig05b", "Moore bound comparison, diameter 3", table);
+}
+
+}  // namespace
+}  // namespace slimfly::bench
+
+int main() {
+  slimfly::bench::run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 5c: bisection bandwidth (10 Gb/s links) vs network size.
+// SF and DLN are measured with the FM partitioner (the paper used METIS);
+// the closed-form families (HC, FT at N/2; tori; DF/FBF near N/4; LH at
+// 3N/2) are measured too, cross-checking the formulas.
+// Expected ordering: LH > FT/HC > SF > DF/FBF > tori.
+
+#include "bench_common.hpp"
+
+#include "analysis/partition.hpp"
+#include "sf/enumerate.hpp"
+#include "topo/dln.hpp"
+#include "topo/flatbutterfly.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/longhop.hpp"
+#include "topo/torus.hpp"
+
+namespace slimfly::bench {
+namespace {
+
+void add(Table& table, const Topology& topo, int starts = 6) {
+  double bb = analysis::bisection_bandwidth_gbps(topo, 10.0, starts);
+  table.add_row({topo.symbol(), Table::num(static_cast<std::int64_t>(topo.num_endpoints())),
+                 Table::num(bb, 0),
+                 Table::num(bb / (10.0 * topo.num_endpoints() / 2.0), 3)});
+}
+
+void run() {
+  Table table({"topology", "endpoints", "bisection_gbps", "fraction_of_full"});
+  int cap = paper_scale() ? 8000 : 2500;
+
+  for (const auto& c : sf::enumerate_slimfly(cap)) {
+    if (c.num_endpoints < 150) continue;
+    add(table, sf::SlimFlyMMS(c.q));
+  }
+  for (int p = 2;; ++p) {
+    auto df = Dragonfly::balanced(p);
+    if (df->num_endpoints() > cap) break;
+    add(table, *df);
+  }
+  for (int p = 6; p * p * p <= cap; p += 3) add(table, FatTree3(p));
+  for (int c = 4; c * c * c * c <= cap; ++c) add(table, FlattenedButterfly(3, c));
+  for (int n = 8; (1 << n) <= cap; ++n) add(table, Hypercube(n));
+  for (int n = 8; (1 << n) <= cap; ++n) add(table, LongHop(n, 6));
+  for (int e = 6; e * e * e <= cap; e += 2) add(table, Torus({e, e, e}));
+  for (int e = 3; e * e * e * e * e <= cap; ++e) add(table, Torus({e, e, e, e, e}));
+  for (int nr : {128, 256, 512}) {
+    if (nr * 3 > cap) break;
+    add(table, Dln(nr, 14, 3));
+  }
+
+  print_table("fig05c", "Bisection bandwidth (10 Gb/s links)", table);
+}
+
+}  // namespace
+}  // namespace slimfly::bench
+
+int main() {
+  slimfly::bench::run();
+  return 0;
+}

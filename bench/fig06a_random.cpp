@@ -1,0 +1,15 @@
+// Figure 6a: latency vs offered load under uniform random traffic.
+// Expected shape: SF-MIN and SF-UGAL-G best; SF-VAL saturates below 50%;
+// SF-UGAL-L ~80%; SF has the lowest zero-load latency of the three
+// topologies (diameter 2).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace slimfly;
+  bench::run_fig6("fig06a", "Uniform random traffic (Figure 6a)",
+                  [](const Topology& topo) {
+                    return sim::make_uniform(topo.num_endpoints());
+                  });
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 6b: latency vs offered load under bit-reversal permutation
+// traffic (active endpoints = largest power of two, paper Section V-B).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace slimfly;
+  bench::run_fig6("fig06b", "Bit reversal traffic (Figure 6b)",
+                  [](const Topology& topo) {
+                    return sim::make_bit_reversal(topo.num_endpoints());
+                  });
+  return 0;
+}

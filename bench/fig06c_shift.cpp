@@ -1,0 +1,13 @@
+// Figure 6c: latency vs offered load under the shift pattern
+// (d = (s mod N/2) + N/2 or (s mod N/2), probability 1/2 each).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace slimfly;
+  bench::run_fig6("fig06c", "Shift traffic (Figure 6c)",
+                  [](const Topology& topo) {
+                    return sim::make_shift(topo.num_endpoints());
+                  });
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 8a: influence of input buffer size (8..256 flits/port) on Slim Fly
+// latency under worst-case traffic with Valiant routing.
+// Expected shape: smaller buffers -> lower in-network latency (stiff
+// backpressure), larger buffers -> higher sustainable bandwidth.
+
+#include "bench_common.hpp"
+
+namespace slimfly::bench {
+namespace {
+
+void run() {
+  EvalTrio trio = make_eval_trio();
+  sim::SimConfig base_cfg = make_sim_config();
+  Table table = latency_table();
+
+  auto dist = std::make_shared<sim::DistanceTable>(trio.sf->graph());
+  for (int buffers : {8, 16, 32, 64, 128, 256}) {
+    sim::SimConfig cfg = base_cfg;
+    cfg.buffer_per_port = buffers;
+    auto bundle = sim::make_routing(sim::RoutingKind::Valiant, *trio.sf, dist);
+    sweep_into_table(table, "buf" + std::to_string(buffers), *trio.sf,
+                     *bundle.algorithm,
+                     [&] { return sim::make_worst_case_sf(*trio.sf); }, cfg);
+    std::cout << "  [fig08a] buffers=" << buffers << " done\n" << std::flush;
+  }
+
+  print_table("fig08a", "Buffer size study, worst-case traffic (Figure 8a)", table);
+}
+
+}  // namespace
+}  // namespace slimfly::bench
+
+int main() {
+  slimfly::bench::run();
+  return 0;
+}

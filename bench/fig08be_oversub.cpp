@@ -1,0 +1,45 @@
+// Figures 8b-8e: oversubscribed Slim Fly — the balanced network plus
+// concentrations p+1 and p+3 (the paper's p=16 and p=18 on q=19), each
+// under uniform random and worst-case traffic with all four SF routings.
+// Expected: accepted bandwidth decreases gently with oversubscription
+// (87.5% -> 80% -> 75% at paper scale), latency barely changes.
+
+#include "bench_common.hpp"
+
+namespace slimfly::bench {
+namespace {
+
+void run() {
+  int q = paper_scale() ? 19 : 7;
+  int balanced_p = sf::SlimFlyMMS::balanced_concentration(q);
+  sim::SimConfig cfg = make_sim_config();
+  Table table = latency_table();
+
+  for (int p : {balanced_p, balanced_p + 1, balanced_p + 3}) {
+    sf::SlimFlyMMS topo(q, p);
+    auto dist = std::make_shared<sim::DistanceTable>(topo.graph());
+    for (auto kind : {sim::RoutingKind::Minimal, sim::RoutingKind::Valiant,
+                      sim::RoutingKind::UgalL, sim::RoutingKind::UgalG}) {
+      auto bundle = sim::make_routing(kind, topo, dist);
+      std::string tag = "p" + std::to_string(p) + "-" + sim::to_string(kind);
+      std::vector<double> loads = {0.1, 0.3, 0.5, 0.7, 0.8, 0.9};
+      sweep_into_table(table, tag + "-rand", topo, *bundle.algorithm,
+                       [&] { return sim::make_uniform(topo.num_endpoints()); },
+                       cfg, loads);
+      sweep_into_table(table, tag + "-worst", topo, *bundle.algorithm,
+                       [&] { return sim::make_worst_case_sf(topo); }, cfg,
+                       loads);
+      std::cout << "  [fig08be] " << tag << " done\n" << std::flush;
+    }
+  }
+
+  print_table("fig08be", "Oversubscribed Slim Fly (Figures 8b-8e)", table);
+}
+
+}  // namespace
+}  // namespace slimfly::bench
+
+int main() {
+  slimfly::bench::run();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figures 11a / 12a / 13a: cable cost models — $/Gb/s vs length for
+// electric and optical cables across the three cable families.
+
+#include "bench_common.hpp"
+
+#include "cost/cables.hpp"
+
+namespace slimfly::bench {
+namespace {
+
+void run() {
+  Table table({"cable_family", "type", "length_m", "$_per_gbps", "$_per_cable"});
+  for (const auto& model :
+       {cost::cable_fdr10(), cost::cable_qdr56(), cost::cable_elpeus10()}) {
+    for (int len : {1, 2, 5, 10, 15, 20, 30}) {
+      table.add_row({model.name, "electric", Table::num(static_cast<std::int64_t>(len)),
+                     Table::num(model.electric_cost(len) / model.rate_gbps, 2),
+                     Table::num(model.electric_cost(len), 2)});
+      table.add_row({model.name, "optical", Table::num(static_cast<std::int64_t>(len)),
+                     Table::num(model.optical_cost(len) / model.rate_gbps, 2),
+                     Table::num(model.optical_cost(len), 2)});
+    }
+    table.add_row({model.name, "crossover", Table::num(model.crossover_meters(), 1),
+                   "-", "-"});
+  }
+  print_table("fig11a", "Cable cost models (Figures 11a/12a/13a)", table);
+}
+
+}  // namespace
+}  // namespace slimfly::bench
+
+int main() {
+  slimfly::bench::run();
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 11b: router cost model — $ vs radix (linear fit to Mellanox IB
+// FDR10, f(k) = 350.4 k - 892.3).
+
+#include "bench_common.hpp"
+
+#include "cost/routers.hpp"
+
+namespace slimfly::bench {
+namespace {
+
+void run() {
+  cost::RouterCostModel model;
+  Table table({"radix", "cost_$"});
+  for (int k : {8, 16, 24, 36, 43, 48, 64, 80, 96, 108}) {
+    table.add_row({Table::num(static_cast<std::int64_t>(k)),
+                   Table::num(model.cost(k), 0)});
+  }
+  print_table("fig11b", "Router cost model (Figure 11b)", table);
+}
+
+}  // namespace
+}  // namespace slimfly::bench
+
+int main() {
+  slimfly::bench::run();
+  return 0;
+}

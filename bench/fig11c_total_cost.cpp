@@ -1,0 +1,68 @@
+// Figures 11c / 12c / 13c: total network cost vs size for all nine
+// topologies, under each of the three cable families.
+// Expected: SF cheapest among full-bandwidth networks at every size, ~25%
+// below DF; low-radix topologies (tori, HC, LH) far more expensive per
+// endpoint; cable family shifts relative costs by only ~1-2%.
+
+#include "bench_common.hpp"
+
+#include "cost/costmodel.hpp"
+#include "sf/enumerate.hpp"
+#include "topo/dln.hpp"
+#include "topo/flatbutterfly.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/longhop.hpp"
+#include "topo/torus.hpp"
+
+namespace slimfly::bench {
+namespace {
+
+void add(Table& table, const Topology& topo, const cost::CableModel& cables) {
+  auto c = cost::evaluate_cost(topo, cables);
+  table.add_row({cables.name, c.topology,
+                 Table::num(static_cast<std::int64_t>(c.num_endpoints)),
+                 Table::num(static_cast<std::int64_t>(c.num_routers)),
+                 Table::num(c.total_cost, 0), Table::num(c.cost_per_endpoint, 0)});
+}
+
+void run() {
+  Table table({"cables", "topology", "endpoints", "routers", "total_$", "$_per_endpoint"});
+  int cap = paper_scale() ? 12000 : 3000;
+
+  for (const auto& cables :
+       {cost::cable_fdr10(), cost::cable_qdr56(), cost::cable_elpeus10()}) {
+    for (const auto& c : sf::enumerate_slimfly(cap)) {
+      if (c.num_endpoints < 150) continue;
+      add(table, sf::SlimFlyMMS(c.q), cables);
+    }
+    for (int p = 2;; ++p) {
+      auto df = Dragonfly::balanced(p);
+      if (df->num_endpoints() > cap) break;
+      add(table, *df, cables);
+    }
+    for (int p = 6; p * p * p <= cap; p += 3) add(table, FatTree3(p), cables);
+    for (int c2 = 4; c2 * c2 * c2 * c2 <= cap; ++c2) {
+      add(table, FlattenedButterfly(3, c2), cables);
+    }
+    for (int n = 8; (1 << n) <= cap; ++n) add(table, Hypercube(n), cables);
+    for (int n = 8; (1 << n) <= cap; ++n) add(table, LongHop(n, 6), cables);
+    for (int e = 6; e * e * e <= cap; e += 2) add(table, Torus({e, e, e}), cables);
+    for (int e = 3; e * e * e * e * e <= cap; ++e) {
+      add(table, Torus({e, e, e, e, e}), cables);
+    }
+    for (int nr : {256, 512}) {
+      if (nr * 3 > cap) break;
+      add(table, Dln(nr, 14, 3), cables);
+    }
+  }
+
+  print_table("fig11c", "Total network cost (Figures 11c/12c/13c)", table);
+}
+
+}  // namespace
+}  // namespace slimfly::bench
+
+int main() {
+  slimfly::bench::run();
+  return 0;
+}

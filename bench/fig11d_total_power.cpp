@@ -1,0 +1,59 @@
+// Figures 11d / 12d / 13d: total power consumption vs network size.
+// Expected: SF > 25% more energy-efficient than DF / FBF-3 / DLN; tori and
+// hypercubes burn several times more per endpoint (one router each).
+
+#include "bench_common.hpp"
+
+#include "cost/power.hpp"
+#include "sf/enumerate.hpp"
+#include "topo/dln.hpp"
+#include "topo/flatbutterfly.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/longhop.hpp"
+#include "topo/torus.hpp"
+
+namespace slimfly::bench {
+namespace {
+
+void add(Table& table, const Topology& topo) {
+  cost::PowerModel power;
+  table.add_row({topo.symbol(),
+                 Table::num(static_cast<std::int64_t>(topo.num_endpoints())),
+                 Table::num(power.network_watts(topo), 0),
+                 Table::num(power.watts_per_endpoint(topo), 2)});
+}
+
+void run() {
+  Table table({"topology", "endpoints", "total_W", "W_per_endpoint"});
+  int cap = paper_scale() ? 12000 : 3000;
+
+  for (const auto& c : sf::enumerate_slimfly(cap)) {
+    if (c.num_endpoints < 150) continue;
+    add(table, sf::SlimFlyMMS(c.q));
+  }
+  for (int p = 2;; ++p) {
+    auto df = Dragonfly::balanced(p);
+    if (df->num_endpoints() > cap) break;
+    add(table, *df);
+  }
+  for (int p = 6; p * p * p <= cap; p += 3) add(table, FatTree3(p));
+  for (int c2 = 4; c2 * c2 * c2 * c2 <= cap; ++c2) add(table, FlattenedButterfly(3, c2));
+  for (int n = 8; (1 << n) <= cap; ++n) add(table, Hypercube(n));
+  for (int n = 8; (1 << n) <= cap; ++n) add(table, LongHop(n, 6));
+  for (int e = 6; e * e * e <= cap; e += 2) add(table, Torus({e, e, e}));
+  for (int e = 3; e * e * e * e * e <= cap; ++e) add(table, Torus({e, e, e, e, e}));
+  for (int nr : {256, 512}) {
+    if (nr * 3 > cap) break;
+    add(table, Dln(nr, 14, 3));
+  }
+
+  print_table("fig11d", "Total network power (Figures 11d/12d/13d)", table);
+}
+
+}  // namespace
+}  // namespace slimfly::bench
+
+int main() {
+  slimfly::bench::run();
+  return 0;
+}

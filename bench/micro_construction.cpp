@@ -1,0 +1,67 @@
+// Microbenchmarks (google-benchmark): construction speed of the MMS
+// machinery, distance tables, the partitioner, and simulator cycle rate.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/partition.hpp"
+#include "gf/gf.hpp"
+#include "sf/mms.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace slimfly;
+
+void BM_FieldConstruction(benchmark::State& state) {
+  int q = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    gf::Field f(q);
+    benchmark::DoNotOptimize(f.primitive_element());
+  }
+}
+BENCHMARK(BM_FieldConstruction)->Arg(19)->Arg(49)->Arg(64);
+
+void BM_SlimFlyConstruction(benchmark::State& state) {
+  int q = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sf::SlimFlyMMS topo(q);
+    benchmark::DoNotOptimize(topo.num_routers());
+  }
+}
+BENCHMARK(BM_SlimFlyConstruction)->Arg(5)->Arg(11)->Arg(19);
+
+void BM_DistanceTable(benchmark::State& state) {
+  sf::SlimFlyMMS topo(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    sim::DistanceTable dt(topo.graph());
+    benchmark::DoNotOptimize(dt.diameter());
+  }
+}
+BENCHMARK(BM_DistanceTable)->Arg(7)->Arg(11);
+
+void BM_Bisection(benchmark::State& state) {
+  sf::SlimFlyMMS topo(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = analysis::bisect(topo.graph(), 2);
+    benchmark::DoNotOptimize(r.cut_edges);
+  }
+}
+BENCHMARK(BM_Bisection)->Arg(7)->Arg(11);
+
+void BM_SimulatorCycles(benchmark::State& state) {
+  // Cycles/second of the flit-level engine on the q=7 Slim Fly at 30% load.
+  sf::SlimFlyMMS topo(7);
+  auto routing = sim::make_routing(sim::RoutingKind::Minimal, topo);
+  auto traffic = sim::make_uniform(topo.num_endpoints());
+  sim::SimConfig cfg;
+  sim::Network net(topo, *routing.algorithm, *traffic, cfg, 0.3);
+  for (auto _ : state) {
+    net.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorCycles);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Section III-D3: resiliency measured as the largest removable link
+// fraction keeping the average path length within +1 hop.
+// Expected: DLN ~60%, SF ~55%, tori ~55%, DF ~45% at paper scale.
+
+#include "bench_common.hpp"
+
+#include "analysis/resilience.hpp"
+#include "topo/dln.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/torus.hpp"
+
+namespace slimfly::bench {
+namespace {
+
+void run() {
+  analysis::ResilienceOptions opts;
+  opts.trials = paper_scale() ? 16 : 8;
+
+  Table table({"topology", "endpoints", "max_removable_%_avg+1"});
+  auto row = [&](const Topology& topo) {
+    table.add_row({topo.symbol(),
+                   Table::num(static_cast<std::int64_t>(topo.num_endpoints())),
+                   Table::num(static_cast<std::int64_t>(
+                       analysis::max_failures_avg_distance(topo.graph(), 1.0, opts)))});
+  };
+
+  row(sf::SlimFlyMMS(5));
+  row(sf::SlimFlyMMS(7));
+  row(*Dragonfly::balanced(2));
+  row(Dln(256, 14, 1));
+  row(Torus({6, 6, 6}));
+  row(Hypercube(8));
+  if (paper_scale()) {
+    row(sf::SlimFlyMMS(11));
+    row(*Dragonfly::balanced(3));
+    row(Dln(1024, 14, 1));
+  }
+
+  print_table("sec3d3", "Average-path-increase resiliency (Section III-D3)", table);
+}
+
+}  // namespace
+}  // namespace slimfly::bench
+
+int main() {
+  slimfly::bench::run();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Section IV-D: virtual channels needed for deadlock freedom.
+//  * Hop-indexed VCs: 2 for SF minimal, 4 for SF adaptive (analytic).
+//  * DFSSSP-style channel-dependency layering for generic deployments:
+//    few VCs for SF, notably more for sparse DLN random topologies.
+
+#include "bench_common.hpp"
+
+#include "sim/routing/dfsssp.hpp"
+#include "topo/dln.hpp"
+#include "topo/hypercube.hpp"
+
+namespace slimfly::bench {
+namespace {
+
+void run() {
+  Table table({"network", "routers", "scheme", "VCs"});
+  auto row = [&](const std::string& name, int nr, const std::string& scheme, int vcs) {
+    table.add_row({name, Table::num(static_cast<std::int64_t>(nr)), scheme,
+                   Table::num(static_cast<std::int64_t>(vcs))});
+  };
+
+  // Analytic hop-index scheme (Gopal): #VCs = max hops.
+  row("SF (any q)", 0, "hop-index, minimal (D=2)", 2);
+  row("SF (any q)", 0, "hop-index, UGAL/VAL (<=4 hops)", 4);
+
+  for (int q : {5, 7, 9, 11}) {
+    sf::SlimFlyMMS topo(q);
+    auto r = sim::dfsssp_vc_count(topo.graph());
+    row("SF q=" + std::to_string(q), topo.num_routers(), "DFSSSP layering",
+        r.vcs_used);
+  }
+  // DLN analogues of the paper's 338/1682-endpoint random networks.
+  for (auto [nr, k] : std::vector<std::pair<int, int>>{
+           {113, 5}, {338, 5}, {338, 8}, {561, 5}}) {
+    Dln dln(nr, k, 3);
+    auto r = sim::dfsssp_vc_count(dln.graph());
+    row("DLN Nr=" + std::to_string(nr) + " k'=" + std::to_string(k), nr,
+        "DFSSSP layering", r.vcs_used);
+  }
+  Hypercube hc(8);
+  row("HC n=8", 256, "DFSSSP layering", sim::dfsssp_vc_count(hc.graph()).vcs_used);
+
+  print_table("sec4d", "Deadlock-freedom VC requirements (Section IV-D)", table);
+}
+
+}  // namespace
+}  // namespace slimfly::bench
+
+int main() {
+  slimfly::bench::run();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Section VII-A: the design space of balanced full-bandwidth networks up
+// to 20,000 endpoints — 11 Slim Fly variants vs 8 Dragonflies.
+
+#include "bench_common.hpp"
+
+#include "sf/enumerate.hpp"
+
+namespace slimfly::bench {
+namespace {
+
+void run() {
+  Table table({"family", "q_or_p", "k'", "p", "k", "routers", "endpoints"});
+  auto sfs = sf::enumerate_slimfly(20000);
+  for (const auto& c : sfs) {
+    table.add_row({"SF", Table::num(static_cast<std::int64_t>(c.q)),
+                   Table::num(static_cast<std::int64_t>(c.k_net)),
+                   Table::num(static_cast<std::int64_t>(c.concentration)),
+                   Table::num(static_cast<std::int64_t>(c.router_radix)),
+                   Table::num(static_cast<std::int64_t>(c.num_routers)),
+                   Table::num(static_cast<std::int64_t>(c.num_endpoints))});
+  }
+  auto dfs = sf::enumerate_dragonfly(20000);
+  for (const auto& c : dfs) {
+    table.add_row({"DF", Table::num(static_cast<std::int64_t>(c.p)),
+                   Table::num(static_cast<std::int64_t>(c.a - 1 + c.h)),
+                   Table::num(static_cast<std::int64_t>(c.p)),
+                   Table::num(static_cast<std::int64_t>(c.router_radix)),
+                   Table::num(static_cast<std::int64_t>(c.num_routers)),
+                   Table::num(static_cast<std::int64_t>(c.num_endpoints))});
+  }
+  print_table("sec7a", "Balanced designs <= 20k endpoints (Section VII-A)", table);
+  std::cout << "SF designs: " << sfs.size() << " (paper: 11), DF designs: "
+            << dfs.size() << " (paper: 8)\n";
+}
+
+}  // namespace
+}  // namespace slimfly::bench
+
+int main() {
+  slimfly::bench::run();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Section VII-A extension (paper: "left for future research"): fill spare
+// router ports with random channels. Starting from the balanced Slim Fly,
+// add 1-5 random cables per router (as if deploying on 48-port routers)
+// and measure the structural gains: average distance, bisection bandwidth,
+// and resiliency — plus the copper-only intra-rack variant.
+
+#include "bench_common.hpp"
+
+#include "analysis/metrics.hpp"
+#include "analysis/partition.hpp"
+#include "analysis/resilience.hpp"
+#include "topo/augmented.hpp"
+
+namespace slimfly::bench {
+namespace {
+
+void add(Table& table, const std::string& label, const Topology& topo) {
+  analysis::ResilienceOptions opts;
+  opts.trials = 6;
+  table.add_row({label,
+                 Table::num(static_cast<std::int64_t>(topo.graph().num_edges())),
+                 Table::num(analysis::average_endpoint_distance(topo), 3),
+                 Table::num(analysis::bisection_bandwidth_gbps(topo, 10.0, 4), 0),
+                 Table::num(static_cast<std::int64_t>(
+                     analysis::max_failures_connected(topo.graph(), opts)))});
+}
+
+void run() {
+  sf::SlimFlyMMS base(paper_scale() ? 19 : 11);
+  Table table({"network", "cables", "avg_hops", "bisection_gbps", "resil_%"});
+  add(table, "SF baseline", base);
+  for (int extra : {1, 2, 5}) {
+    AugmentedTopology global(base, extra, /*intra_rack_only=*/false);
+    add(table, "SF +" + std::to_string(extra) + " random", global);
+  }
+  AugmentedTopology copper(base, 2, /*intra_rack_only=*/true);
+  add(table, "SF +2 intra-rack only", copper);
+
+  print_table("sec7a_rnd", "Random spare-port channels (Section VII-A extension)",
+              table);
+}
+
+}  // namespace
+}  // namespace slimfly::bench
+
+int main() {
+  slimfly::bench::run();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table II: network diameters — formula vs measured for every topology.
+
+#include "bench_common.hpp"
+
+#include "analysis/metrics.hpp"
+#include "topo/dln.hpp"
+#include "topo/flatbutterfly.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/longhop.hpp"
+#include "topo/torus.hpp"
+
+namespace slimfly::bench {
+namespace {
+
+void run() {
+  Table table({"topology", "routers", "formula_D", "measured_D"});
+  auto row = [&](const Topology& topo, const std::string& formula) {
+    table.add_row({topo.symbol(),
+                   Table::num(static_cast<std::int64_t>(topo.num_routers())), formula,
+                   Table::num(static_cast<std::int64_t>(analysis::diameter(topo.graph())))});
+  };
+
+  Torus t3({8, 8, 8});
+  row(t3, Table::num(static_cast<std::int64_t>(t3.diameter())));
+  Torus t5({3, 3, 3, 3, 3});
+  row(t5, Table::num(static_cast<std::int64_t>(t5.diameter())));
+  Hypercube hc(9);
+  row(hc, "9");
+  LongHop lh(9, 6);
+  row(lh, "4-6");
+  FatTree3 ft(8);
+  row(ft, "4");
+  FlattenedButterfly fbf(3, 5);
+  row(fbf, "3");
+  auto df = Dragonfly::balanced(3);
+  row(*df, "3");
+  Dln dln(338, 14, 3);
+  row(dln, "3-10");
+  sf::SlimFlyMMS sf_small(7);
+  row(sf_small, "2");
+  sf::SlimFlyMMS sf_big(paper_scale() ? 19 : 11);
+  row(sf_big, "2");
+
+  print_table("table02", "Topology diameters (Table II)", table);
+}
+
+}  // namespace
+}  // namespace slimfly::bench
+
+int main() {
+  slimfly::bench::run();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Table III: disconnection resiliency — the largest fraction of randomly
+// removed cables (5% steps) that leaves the network connected.
+// Expected ordering: SF / DLN / FBF-3 most resilient; DF below them;
+// tori degrade with size; HC / LH flat.
+
+#include "bench_common.hpp"
+
+#include "analysis/resilience.hpp"
+#include "sf/enumerate.hpp"
+#include "topo/dln.hpp"
+#include "topo/flatbutterfly.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/longhop.hpp"
+#include "topo/torus.hpp"
+
+namespace slimfly::bench {
+namespace {
+
+void run() {
+  analysis::ResilienceOptions opts;
+  opts.trials = paper_scale() ? 20 : 10;
+
+  Table table({"topology", "endpoints", "max_removable_%"});
+  auto row = [&](const Topology& topo) {
+    table.add_row({topo.symbol(),
+                   Table::num(static_cast<std::int64_t>(topo.num_endpoints())),
+                   Table::num(static_cast<std::int64_t>(
+                       analysis::max_failures_connected(topo.graph(), opts)))});
+  };
+
+  // N ~ 256-class and ~1K-class rows (Table III columns).
+  row(Torus({6, 6, 6}));
+  row(Torus({3, 3, 3, 3, 3}));
+  row(Hypercube(8));
+  row(LongHop(8, 4));
+  row(FatTree3(6));
+  row(*Dragonfly::balanced(2));
+  row(FlattenedButterfly(3, 4));
+  row(Dln(256, 14, 1));
+  row(sf::SlimFlyMMS(5));
+  row(sf::SlimFlyMMS(7));
+  if (paper_scale()) {
+    row(Torus({10, 10, 10}));
+    row(Hypercube(10));
+    row(LongHop(10, 5));
+    row(*Dragonfly::balanced(3));
+    row(FlattenedButterfly(3, 6));
+    row(Dln(1024, 14, 1));
+    row(sf::SlimFlyMMS(11));
+    row(sf::SlimFlyMMS(13));
+  }
+
+  print_table("table03", "Disconnection resiliency (Table III)", table);
+}
+
+}  // namespace
+}  // namespace slimfly::bench
+
+int main() {
+  slimfly::bench::run();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Table IV: the detailed cost & power case study around the k~43,
+// N~10K design point — low-radix networks of comparable size, high-radix
+// networks of comparable N or identical radix, the special DF with both,
+// and the Slim Fly. Headline: SF ~25% cheaper and ~25% more power-
+// efficient than the comparable DF.
+//
+// Always runs at the paper's sizes (this bench is analytic — no cycle
+// simulation — so the full-size networks are cheap to build).
+
+#include "bench_common.hpp"
+
+#include "cost/costmodel.hpp"
+#include "topo/dln.hpp"
+#include "topo/flatbutterfly.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/longhop.hpp"
+#include "topo/torus.hpp"
+
+namespace slimfly::bench {
+namespace {
+
+void add(Table& table, const std::string& label, const Topology& topo) {
+  auto c = cost::evaluate_cost(topo, cost::cable_fdr10());
+  table.add_row({label, Table::num(static_cast<std::int64_t>(c.num_endpoints)),
+                 Table::num(static_cast<std::int64_t>(c.num_routers)),
+                 Table::num(static_cast<std::int64_t>(c.router_radix)),
+                 Table::num(c.electric_cables), Table::num(c.fiber_cables),
+                 Table::num(c.cost_per_endpoint, 0),
+                 Table::num(c.watts_per_endpoint, 2)});
+}
+
+void run() {
+  Table table({"config", "N", "Nr", "k", "electric", "fiber", "$_per_node",
+               "W_per_node"});
+
+  // Low-radix topologies with N comparable to the SF (Table IV left).
+  add(table, "T3D", Torus({22, 22, 22}));                // 10648
+  add(table, "T5D", Torus({6, 6, 6, 6, 8}));             // 10368 (paper's size)
+  add(table, "HC", Hypercube(13));                       // 8192
+  add(table, "LH-HC", LongHop(13, 6));                   // 8192, k=19
+  // High-radix topologies with comparable N (Table IV middle).
+  add(table, "FT-3 (p=22)", FatTree3(22));               // 10648, k=44
+  add(table, "DLN (Nr=1386)", Dln(1386, 18, 7));         // ~9702
+  add(table, "FBF-3 (c=10)", FlattenedButterfly(3, 10)); // 10000
+  add(table, "DF (p=7)", Dragonfly(7, 14, 7, 99));       // 9702, k=27
+  // The special DF with comparable N AND identical k (Table IV right).
+  add(table, "DF (k=43)", Dragonfly(11, 22, 11, 45));    // 10890, k=43
+  // Slim Fly flagship.
+  add(table, "SF (q=19)", sf::SlimFlyMMS(19));           // 10830, k=44
+
+  print_table("table04", "Cost & power case study (Table IV)", table);
+
+  // Headline ratios.
+  auto sf_cost = cost::evaluate_cost(sf::SlimFlyMMS(19), cost::cable_fdr10());
+  auto df_cost = cost::evaluate_cost(Dragonfly(11, 22, 11, 45), cost::cable_fdr10());
+  Table headline({"metric", "SF", "DF(k=43)", "SF_advantage_%"});
+  headline.add_row({"$_per_node", Table::num(sf_cost.cost_per_endpoint, 0),
+                    Table::num(df_cost.cost_per_endpoint, 0),
+                    Table::num(100.0 * (1.0 - sf_cost.cost_per_endpoint /
+                                                  df_cost.cost_per_endpoint), 1)});
+  headline.add_row({"W_per_node", Table::num(sf_cost.watts_per_endpoint, 2),
+                    Table::num(df_cost.watts_per_endpoint, 2),
+                    Table::num(100.0 * (1.0 - sf_cost.watts_per_endpoint /
+                                                  df_cost.watts_per_endpoint), 1)});
+  print_table("table04-headline", "SF vs DF headline advantage", headline);
+}
+
+}  // namespace
+}  // namespace slimfly::bench
+
+int main() {
+  slimfly::bench::run();
+  return 0;
+}

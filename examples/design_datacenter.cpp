@@ -1,0 +1,73 @@
+// Datacenter design study: given a target endpoint count, pick the best
+// balanced Slim Fly, lay it out in racks (paper Section VI-A), and compare
+// cost and power against a Dragonfly alternative.
+//
+//   ./build/examples/design_datacenter [target_endpoints]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "slimfly.hpp"
+
+int main(int argc, char** argv) {
+  using namespace slimfly;
+
+  int target = argc > 1 ? std::atoi(argv[1]) : 10000;
+  auto config = sf::pick_slimfly(target);
+  if (!config) {
+    std::cerr << "no balanced Slim Fly with >= " << target << " endpoints in range\n";
+    return 1;
+  }
+  std::cout << "Target: " << target << " endpoints\n"
+            << "Chosen Slim Fly: q=" << config->q << ", k'=" << config->k_net
+            << ", p=" << config->concentration << ", k=" << config->router_radix
+            << ", Nr=" << config->num_routers << ", N=" << config->num_endpoints
+            << "\n\n";
+
+  sf::SlimFlyMMS topo(config->q);
+  auto layout = sf::compute_layout(topo);
+  std::cout << "Physical layout (Section VI-A):\n"
+            << "  racks                 " << layout.num_racks << "\n"
+            << "  routers per rack      " << layout.routers_per_rack << "\n"
+            << "  endpoints per rack    " << layout.endpoints_per_rack << "\n"
+            << "  cables inside a rack  " << layout.intra_rack_cables << "\n"
+            << "  cables per rack pair  " << layout.inter_rack_cables
+            << " (2q, the Dragonfly has 1)\n\n";
+
+  // Closest balanced Dragonfly for comparison.
+  Dragonfly* best_df = nullptr;
+  std::unique_ptr<Dragonfly> df_owner;
+  for (int p = 2; p < 32; ++p) {
+    auto df = Dragonfly::balanced(p);
+    if (df->num_endpoints() >= target) {
+      df_owner = std::move(df);
+      best_df = df_owner.get();
+      break;
+    }
+  }
+
+  auto cables = cost::cable_fdr10();
+  auto sf_cost = cost::evaluate_cost(topo, cables);
+  Table table({"design", "N", "routers", "radix", "$_per_node", "W_per_node"});
+  table.add_row({"Slim Fly", Table::num(static_cast<std::int64_t>(sf_cost.num_endpoints)),
+                 Table::num(static_cast<std::int64_t>(sf_cost.num_routers)),
+                 Table::num(static_cast<std::int64_t>(sf_cost.router_radix)),
+                 Table::num(sf_cost.cost_per_endpoint, 0),
+                 Table::num(sf_cost.watts_per_endpoint, 2)});
+  if (best_df) {
+    auto df_cost = cost::evaluate_cost(*best_df, cables);
+    table.add_row({"Dragonfly", Table::num(static_cast<std::int64_t>(df_cost.num_endpoints)),
+                   Table::num(static_cast<std::int64_t>(df_cost.num_routers)),
+                   Table::num(static_cast<std::int64_t>(df_cost.router_radix)),
+                   Table::num(df_cost.cost_per_endpoint, 0),
+                   Table::num(df_cost.watts_per_endpoint, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nResiliency check (connectivity under random link failures):\n";
+  analysis::ResilienceOptions opts;
+  opts.trials = 6;
+  std::cout << "  Slim Fly survives " << analysis::max_failures_connected(topo.graph(), opts)
+            << "% random cable failures\n";
+  return 0;
+}

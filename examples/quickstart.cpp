@@ -1,0 +1,51 @@
+// Quickstart: build a Slim Fly, inspect its structure, run a short
+// simulation, and price the network.
+//
+//   ./build/examples/quickstart [q]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "slimfly.hpp"
+
+int main(int argc, char** argv) {
+  using namespace slimfly;
+
+  int q = argc > 1 ? std::atoi(argv[1]) : 7;
+  if (!sf::is_valid_mms_q(q)) {
+    std::cerr << "q=" << q << " is not a prime power with q mod 4 != 2\n";
+    return 1;
+  }
+
+  // 1. Build the topology (balanced concentration p = ceil(k'/2)).
+  sf::SlimFlyMMS topo(q);
+  std::cout << topo.name() << "\n"
+            << "  routers        " << topo.num_routers() << "\n"
+            << "  endpoints      " << topo.num_endpoints() << "\n"
+            << "  network radix  " << topo.k_net() << "\n"
+            << "  router radix   " << topo.router_radix() << "\n"
+            << "  diameter       " << analysis::diameter(topo.graph()) << "\n"
+            << "  avg distance   "
+            << analysis::average_endpoint_distance(topo) << " hops\n";
+
+  // 2. Simulate uniform traffic at 40% load with UGAL-L routing.
+  auto routing = sim::make_routing(sim::RoutingKind::UgalL, topo);
+  auto traffic = sim::make_uniform(topo.num_endpoints());
+  sim::SimConfig cfg;
+  cfg.warmup_cycles = 1000;
+  cfg.measure_cycles = 1000;
+  auto result = sim::simulate(topo, *routing.algorithm, *traffic, cfg, 0.4);
+  std::cout << "\nUGAL-L @ 40% uniform load:\n"
+            << "  avg latency    " << result.avg_latency << " cycles\n"
+            << "  accepted load  " << result.accepted_load << "\n"
+            << "  saturated      " << (result.saturated ? "yes" : "no") << "\n";
+
+  // 3. Price it (Mellanox FDR10 cost model from the paper).
+  auto cost_result = cost::evaluate_cost(topo, cost::cable_fdr10());
+  std::cout << "\nCost model (FDR10):\n"
+            << "  total cost     $" << static_cast<long long>(cost_result.total_cost)
+            << "\n  per endpoint   $"
+            << static_cast<long long>(cost_result.cost_per_endpoint)
+            << "\n  power/endpoint " << cost_result.watts_per_endpoint << " W\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Traffic study: compare the four Slim Fly routing algorithms across the
+// paper's workload classes (graph-computation-style uniform traffic,
+// stencil/collective permutations, adversarial worst case) on one network.
+//
+//   ./build/examples/traffic_study [q] [load]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "slimfly.hpp"
+
+int main(int argc, char** argv) {
+  using namespace slimfly;
+
+  int q = argc > 1 ? std::atoi(argv[1]) : 7;
+  double load = argc > 2 ? std::atof(argv[2]) : 0.3;
+  sf::SlimFlyMMS topo(q);
+  std::cout << topo.name() << " @ offered load " << load << "\n\n";
+
+  sim::SimConfig cfg;
+  cfg.warmup_cycles = 1000;
+  cfg.measure_cycles = 1200;
+
+  auto dist = std::make_shared<sim::DistanceTable>(topo.graph());
+  Table table({"traffic", "routing", "latency", "accepted", "saturated"});
+
+  struct NamedTraffic {
+    std::string name;
+    std::function<std::unique_ptr<sim::TrafficPattern>()> make;
+  };
+  std::vector<NamedTraffic> patterns = {
+      {"uniform", [&] { return sim::make_uniform(topo.num_endpoints()); }},
+      {"shuffle", [&] { return sim::make_shuffle(topo.num_endpoints()); }},
+      {"bit-reversal", [&] { return sim::make_bit_reversal(topo.num_endpoints()); }},
+      {"bit-complement", [&] { return sim::make_bit_complement(topo.num_endpoints()); }},
+      {"shift", [&] { return sim::make_shift(topo.num_endpoints()); }},
+      {"worst-case", [&] { return sim::make_worst_case_sf(topo); }},
+  };
+
+  for (const auto& pattern : patterns) {
+    for (auto kind : {sim::RoutingKind::Minimal, sim::RoutingKind::Valiant,
+                      sim::RoutingKind::UgalL, sim::RoutingKind::UgalG}) {
+      auto routing = sim::make_routing(kind, topo, dist);
+      auto traffic = pattern.make();
+      auto r = sim::simulate(topo, *routing.algorithm, *traffic, cfg, load);
+      table.add_row({pattern.name, sim::to_string(kind),
+                     Table::num(r.avg_latency, 1), Table::num(r.accepted_load, 3),
+                     r.saturated ? "yes" : "no"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nReading guide: MIN wins on uniform; VAL pays double hops;\n"
+               "UGAL adapts — near MIN on benign traffic, near VAL on the\n"
+               "worst case (paper Section V).\n";
+  return 0;
+}

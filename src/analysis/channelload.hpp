@@ -1,0 +1,32 @@
+#pragma once
+// Channel-load model (paper Section II-B2): the average number of minimal
+// routes per channel under all-to-all steady-state traffic, the balanced
+// concentration derived from it, and a measured counterpart computed by
+// splitting shortest-path flow evenly over all minimal next hops.
+
+#include <vector>
+
+#include "topo/graph.hpp"
+#include "topo/topology.hpp"
+
+namespace slimfly::analysis {
+
+/// Analytic average channel load for a diameter-2 network with Nr routers
+/// of network radix k_net and concentration p:
+///   l = (2 Nr - k' - 2) p^2 / k'                 (Section II-B2)
+double analytic_channel_load_d2(int num_routers, int k_net, int concentration);
+
+/// Balanced concentration p ~= k' Nr / (2 Nr - k' - 2) (~ ceil(k'/2)).
+int balanced_concentration_d2(int num_routers, int k_net);
+
+struct ChannelLoadStats {
+  double average = 0.0;  ///< mean load over directed channels
+  double maximum = 0.0;  ///< most loaded channel
+};
+
+/// Measured channel load: every ordered endpoint pair contributes one unit
+/// of flow, split evenly across all minimal paths (computed by BFS DAG
+/// counting). O(V * E); intended for networks up to a few thousand routers.
+ChannelLoadStats measured_channel_load(const Topology& topo);
+
+}  // namespace slimfly::analysis

@@ -1,0 +1,104 @@
+#include "analysis/connectivity.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace slimfly::analysis {
+
+namespace {
+
+/// Unit-capacity flow network over the undirected graph: each undirected
+/// edge becomes a pair of arcs with capacity 1 each (standard reduction for
+/// edge-disjoint paths in undirected graphs).
+struct FlowNetwork {
+  struct Arc {
+    int to;
+    int capacity;
+    int paired;  // index of the reverse arc
+  };
+  std::vector<std::vector<int>> incident;  // vertex -> arc indices
+  std::vector<Arc> arcs;
+
+  explicit FlowNetwork(const Graph& g) : incident(static_cast<std::size_t>(g.num_vertices())) {
+    for (const auto& [u, v] : g.edges()) {
+      int a = static_cast<int>(arcs.size());
+      arcs.push_back({v, 1, a + 1});
+      arcs.push_back({u, 1, a});
+      incident[static_cast<std::size_t>(u)].push_back(a);
+      incident[static_cast<std::size_t>(v)].push_back(a + 1);
+    }
+  }
+
+  void reset() {
+    // Undirected unit edges: restore both arcs to capacity 1.
+    for (std::size_t a = 0; a < arcs.size(); a += 2) {
+      int total = arcs[a].capacity + arcs[a + 1].capacity;
+      (void)total;
+      arcs[a].capacity = 1;
+      arcs[a + 1].capacity = 1;
+    }
+  }
+
+  /// One BFS augmenting step; returns false when no augmenting path exists.
+  bool augment(int source, int sink) {
+    std::vector<int> via(incident.size(), -1);  // arc used to reach vertex
+    std::vector<bool> seen(incident.size(), false);
+    std::queue<int> queue;
+    queue.push(source);
+    seen[static_cast<std::size_t>(source)] = true;
+    while (!queue.empty() && !seen[static_cast<std::size_t>(sink)]) {
+      int v = queue.front();
+      queue.pop();
+      for (int a : incident[static_cast<std::size_t>(v)]) {
+        const Arc& arc = arcs[static_cast<std::size_t>(a)];
+        if (arc.capacity <= 0 || seen[static_cast<std::size_t>(arc.to)]) continue;
+        seen[static_cast<std::size_t>(arc.to)] = true;
+        via[static_cast<std::size_t>(arc.to)] = a;
+        queue.push(arc.to);
+      }
+    }
+    if (!seen[static_cast<std::size_t>(sink)]) return false;
+    for (int v = sink; v != source;) {
+      int a = via[static_cast<std::size_t>(v)];
+      arcs[static_cast<std::size_t>(a)].capacity -= 1;
+      arcs[static_cast<std::size_t>(arcs[static_cast<std::size_t>(a)].paired)]
+          .capacity += 1;
+      v = arcs[static_cast<std::size_t>(arcs[static_cast<std::size_t>(a)].paired)].to;
+    }
+    return true;
+  }
+
+  int max_flow(int source, int sink, int stop_at) {
+    int flow = 0;
+    while (flow < stop_at && augment(source, sink)) ++flow;
+    return flow;
+  }
+};
+
+}  // namespace
+
+int edge_disjoint_paths(const Graph& g, int source, int sink) {
+  if (source == sink) throw std::invalid_argument("edge_disjoint_paths: source == sink");
+  FlowNetwork net(g);
+  // Flow is bounded by min degree of the endpoints.
+  int bound = std::min(g.degree(source), g.degree(sink));
+  return net.max_flow(source, sink, bound);
+}
+
+int edge_connectivity(const Graph& g) {
+  int n = g.num_vertices();
+  if (n < 2) return 0;
+  FlowNetwork net(g);
+  int best = std::numeric_limits<int>::max();
+  for (int v = 1; v < n; ++v) {
+    net.reset();
+    best = std::min(best, net.max_flow(0, v, best));
+    if (best == 0) break;
+  }
+  return best;
+}
+
+}  // namespace slimfly::analysis

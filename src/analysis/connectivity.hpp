@@ -1,0 +1,21 @@
+#pragma once
+// Exact connectivity analysis via max-flow (Edmonds-Karp on unit-capacity
+// edges). The paper attributes Slim Fly's resiliency to "high path
+// diversity" and its expander structure (Sections III-D and IX); this
+// module quantifies that claim exactly:
+//   * edge_disjoint_paths(u, v)  — Menger path diversity between routers,
+//   * edge_connectivity()        — global min cut (worst-case cable cut),
+// both exact, not sampled.
+
+#include "topo/graph.hpp"
+
+namespace slimfly::analysis {
+
+/// Maximum number of edge-disjoint u-v paths (== min u-v edge cut).
+int edge_disjoint_paths(const Graph& g, int source, int sink);
+
+/// Global edge connectivity: min over v != 0 of the (0, v) edge cut.
+/// (Correct because some global min cut separates vertex 0 from somebody.)
+int edge_connectivity(const Graph& g);
+
+}  // namespace slimfly::analysis

@@ -1,0 +1,131 @@
+#include "analysis/metrics.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace slimfly::analysis {
+
+std::vector<int> bfs_distances(const Graph& g, int source) {
+  std::vector<int> dist(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::vector<int> frontier{source};
+  dist[static_cast<std::size_t>(source)] = 0;
+  int depth = 0;
+  while (!frontier.empty()) {
+    std::vector<int> next;
+    for (int v : frontier) {
+      for (int w : g.neighbors(v)) {
+        auto& d = dist[static_cast<std::size_t>(w)];
+        if (d < 0) {
+          d = depth + 1;
+          next.push_back(w);
+        }
+      }
+    }
+    frontier = std::move(next);
+    ++depth;
+  }
+  return dist;
+}
+
+int eccentricity(const Graph& g, int source) {
+  auto dist = bfs_distances(g, source);
+  int ecc = 0;
+  for (int d : dist) {
+    if (d < 0) return -1;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+int diameter(const Graph& g) {
+  int diam = 0;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    int e = eccentricity(g, v);
+    if (e < 0) return -1;
+    diam = std::max(diam, e);
+  }
+  return diam;
+}
+
+double average_distance(const Graph& g) {
+  std::int64_t total = 0;
+  std::int64_t pairs = 0;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    auto dist = bfs_distances(g, v);
+    for (int w = 0; w < g.num_vertices(); ++w) {
+      if (w == v) continue;
+      if (dist[static_cast<std::size_t>(w)] < 0) return -1.0;
+      total += dist[static_cast<std::size_t>(w)];
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(pairs);
+}
+
+double average_endpoint_distance(const Topology& topo) {
+  const Graph& g = topo.graph();
+  int p = topo.concentration();
+  int ep_routers = topo.num_endpoint_routers();
+  long long n = topo.num_endpoints();
+  // Sum over ordered endpoint pairs: pairs on the same router contribute 0;
+  // pairs on routers (r, s) contribute p * p * dist(r, s).
+  double total = 0.0;
+  for (int r = 0; r < ep_routers; ++r) {
+    auto dist = bfs_distances(g, r);
+    for (int s = 0; s < ep_routers; ++s) {
+      if (s == r) continue;
+      total += static_cast<double>(p) * p * dist[static_cast<std::size_t>(s)];
+    }
+  }
+  double ordered_pairs = static_cast<double>(n) * (n - 1);
+  return total / ordered_pairs;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  return largest_component(g) == g.num_vertices();
+}
+
+int largest_component(const Graph& g) {
+  int n = g.num_vertices();
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  int best = 0;
+  for (int s = 0; s < n; ++s) {
+    if (seen[static_cast<std::size_t>(s)]) continue;
+    int size = 0;
+    std::queue<int> queue;
+    queue.push(s);
+    seen[static_cast<std::size_t>(s)] = true;
+    while (!queue.empty()) {
+      int v = queue.front();
+      queue.pop();
+      ++size;
+      for (int w : g.neighbors(v)) {
+        if (!seen[static_cast<std::size_t>(w)]) {
+          seen[static_cast<std::size_t>(w)] = true;
+          queue.push(w);
+        }
+      }
+    }
+    best = std::max(best, size);
+  }
+  return best;
+}
+
+std::vector<std::int64_t> distance_histogram(const Graph& g) {
+  std::vector<std::int64_t> histogram;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    auto dist = bfs_distances(g, v);
+    for (int w = 0; w < g.num_vertices(); ++w) {
+      int d = dist[static_cast<std::size_t>(w)];
+      if (d < 0) continue;
+      if (static_cast<std::size_t>(d) >= histogram.size()) {
+        histogram.resize(static_cast<std::size_t>(d) + 1, 0);
+      }
+      ++histogram[static_cast<std::size_t>(d)];
+    }
+  }
+  return histogram;
+}
+
+}  // namespace slimfly::analysis

@@ -1,0 +1,23 @@
+#include "analysis/moore.hpp"
+
+#include <stdexcept>
+
+namespace slimfly::analysis {
+
+std::int64_t moore_bound(int k_net, int d) {
+  if (k_net < 1 || d < 1) throw std::invalid_argument("moore_bound: bad arguments");
+  std::int64_t sum = 0;
+  std::int64_t term = 1;  // (k'-1)^i
+  for (int i = 0; i < d; ++i) {
+    sum += term;
+    term *= (k_net - 1);
+  }
+  return 1 + k_net * sum;
+}
+
+double moore_fraction(std::int64_t num_routers, int k_net, int d) {
+  return static_cast<double>(num_routers) /
+         static_cast<double>(moore_bound(k_net, d));
+}
+
+}  // namespace slimfly::analysis

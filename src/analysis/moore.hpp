@@ -1,0 +1,16 @@
+#pragma once
+// Moore bound (paper Section II-A): the maximum number of radix-k' routers
+// a network of diameter D can contain, Nr <= 1 + k' * sum_{i=0}^{D-1} (k'-1)^i.
+
+#include <cstdint>
+
+namespace slimfly::analysis {
+
+/// Moore bound on router count for network radix k_net and diameter d.
+std::int64_t moore_bound(int k_net, int d);
+
+/// Fraction of the Moore bound achieved by a network with num_routers
+/// routers of network radix k_net and diameter d.
+double moore_fraction(std::int64_t num_routers, int k_net, int d);
+
+}  // namespace slimfly::analysis

@@ -1,0 +1,241 @@
+#include "analysis/partition.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace slimfly::analysis {
+
+namespace {
+
+/// One Fiduccia–Mattheyses refinement run from a given initial assignment.
+/// `weight` is 1 for vertices that count toward the balance constraint and
+/// 0 for free (transit) vertices.
+struct FmRunner {
+  const Graph& g;
+  const std::vector<int>& weight;
+  std::vector<int> side;
+  int total_weight = 0;
+  int side0_weight = 0;
+
+  FmRunner(const Graph& graph, const std::vector<int>& w, std::vector<int> initial)
+      : g(graph), weight(w), side(std::move(initial)) {
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      total_weight += weight[static_cast<std::size_t>(v)];
+      if (side[static_cast<std::size_t>(v)] == 0) {
+        side0_weight += weight[static_cast<std::size_t>(v)];
+      }
+    }
+  }
+
+  std::int64_t current_cut() const { return cut_of(g, side); }
+
+  /// Runs FM passes until a pass yields no improvement; returns final cut.
+  std::int64_t refine() {
+    std::int64_t best = current_cut();
+    for (int pass = 0; pass < 64; ++pass) {
+      std::int64_t after = one_pass(best);
+      if (after >= best) break;
+      best = after;
+    }
+    return best;
+  }
+
+ private:
+  bool balance_ok(int new_side0_weight) const {
+    // Moves may wander one unit outside perfect balance so FM can swap
+    // vertices; only tightly balanced states are *recorded* (see one_pass).
+    int lo = total_weight / 2 - 1;
+    int hi = total_weight - lo;
+    return new_side0_weight >= lo && new_side0_weight <= hi;
+  }
+
+  bool tightly_balanced() const {
+    // side0 in {floor(W/2), ceil(W/2)} — the bisection definition.
+    return side0_weight == total_weight / 2 ||
+           side0_weight == total_weight - total_weight / 2;
+  }
+
+  std::int64_t one_pass(std::int64_t start_cut) {
+    int n = g.num_vertices();
+    std::vector<int> gain(static_cast<std::size_t>(n), 0);
+    std::vector<bool> locked(static_cast<std::size_t>(n), false);
+    int max_deg = g.max_degree();
+    // Bucket array with lazy deletion: bucket[gain + max_deg] holds vertex
+    // candidates; stale entries (gain changed or locked) are skipped on pop.
+    std::vector<std::vector<int>> buckets(static_cast<std::size_t>(2 * max_deg + 1));
+    auto push = [&](int v) {
+      buckets[static_cast<std::size_t>(gain[static_cast<std::size_t>(v)] + max_deg)]
+          .push_back(v);
+    };
+    for (int v = 0; v < n; ++v) {
+      int external = 0;
+      for (int w : g.neighbors(v)) {
+        if (side[static_cast<std::size_t>(w)] != side[static_cast<std::size_t>(v)]) {
+          ++external;
+        }
+      }
+      gain[static_cast<std::size_t>(v)] = 2 * external - g.degree(v);
+      push(v);
+    }
+
+    std::int64_t cut = start_cut;
+    std::int64_t best_cut = start_cut;
+    std::vector<int> moves;
+    moves.reserve(static_cast<std::size_t>(n));
+    std::size_t best_prefix = 0;
+
+    for (int step = 0; step < n; ++step) {
+      // Pop the highest-gain movable vertex.
+      int chosen = -1;
+      for (int b = 2 * max_deg; b >= 0 && chosen < 0; --b) {
+        auto& bucket = buckets[static_cast<std::size_t>(b)];
+        while (!bucket.empty()) {
+          int v = bucket.back();
+          if (locked[static_cast<std::size_t>(v)] ||
+              gain[static_cast<std::size_t>(v)] + max_deg != b) {
+            bucket.pop_back();
+            continue;
+          }
+          int w = weight[static_cast<std::size_t>(v)];
+          int delta = side[static_cast<std::size_t>(v)] == 0 ? -w : w;
+          if (!balance_ok(side0_weight + delta)) {
+            bucket.pop_back();  // cannot move now; will be re-pushed on gain update
+            continue;
+          }
+          bucket.pop_back();
+          chosen = v;
+          break;
+        }
+      }
+      if (chosen < 0) break;
+
+      // Apply the move.
+      int v = chosen;
+      cut -= gain[static_cast<std::size_t>(v)];
+      int w = weight[static_cast<std::size_t>(v)];
+      side0_weight += side[static_cast<std::size_t>(v)] == 0 ? -w : w;
+      side[static_cast<std::size_t>(v)] ^= 1;
+      locked[static_cast<std::size_t>(v)] = true;
+      moves.push_back(v);
+      if (cut < best_cut && tightly_balanced()) {
+        best_cut = cut;
+        best_prefix = moves.size();
+      }
+      // Update neighbour gains.
+      for (int u : g.neighbors(v)) {
+        if (locked[static_cast<std::size_t>(u)]) continue;
+        if (side[static_cast<std::size_t>(u)] == side[static_cast<std::size_t>(v)]) {
+          gain[static_cast<std::size_t>(u)] -= 2;  // v now internal to u
+        } else {
+          gain[static_cast<std::size_t>(u)] += 2;
+        }
+        push(u);
+      }
+    }
+
+    // Roll back to the best prefix.
+    for (std::size_t i = moves.size(); i > best_prefix; --i) {
+      int v = moves[i - 1];
+      int w = weight[static_cast<std::size_t>(v)];
+      side0_weight += side[static_cast<std::size_t>(v)] == 0 ? -w : w;
+      side[static_cast<std::size_t>(v)] ^= 1;
+    }
+    return best_cut;
+  }
+};
+
+std::vector<int> random_balanced(const Graph& g, const std::vector<int>& weight,
+                                 Rng& rng) {
+  int n = g.num_vertices();
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  std::shuffle(order.begin(), order.end(), rng);
+  int total = 0;
+  for (int v = 0; v < n; ++v) total += weight[static_cast<std::size_t>(v)];
+  std::vector<int> side(static_cast<std::size_t>(n), 1);
+  int acc = 0;
+  for (int v : order) {
+    if (acc < total / 2) {
+      side[static_cast<std::size_t>(v)] = 0;
+      acc += weight[static_cast<std::size_t>(v)];
+    }
+  }
+  return side;
+}
+
+std::vector<int> bfs_region(const Graph& g, const std::vector<int>& weight,
+                            Rng& rng) {
+  int n = g.num_vertices();
+  int total = 0;
+  for (int v = 0; v < n; ++v) total += weight[static_cast<std::size_t>(v)];
+  std::vector<int> side(static_cast<std::size_t>(n), 1);
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::queue<int> queue;
+  int start = rng.next_int(0, n - 1);
+  queue.push(start);
+  seen[static_cast<std::size_t>(start)] = true;
+  int acc = 0;
+  while (!queue.empty() && acc < total / 2) {
+    int v = queue.front();
+    queue.pop();
+    side[static_cast<std::size_t>(v)] = 0;
+    acc += weight[static_cast<std::size_t>(v)];
+    for (int w : g.neighbors(v)) {
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = true;
+        queue.push(w);
+      }
+    }
+  }
+  return side;
+}
+
+BisectionResult bisect_weighted(const Graph& g, const std::vector<int>& weight,
+                                int num_starts, std::uint64_t seed) {
+  if (g.num_vertices() < 2) throw std::invalid_argument("bisect: graph too small");
+  Rng rng(seed);
+  BisectionResult best;
+  best.cut_edges = std::numeric_limits<std::int64_t>::max();
+  for (int s = 0; s < num_starts; ++s) {
+    std::vector<int> initial = (s % 2 == 0) ? bfs_region(g, weight, rng)
+                                            : random_balanced(g, weight, rng);
+    FmRunner runner(g, weight, std::move(initial));
+    std::int64_t cut = runner.refine();
+    if (cut < best.cut_edges) {
+      best.cut_edges = cut;
+      best.side = runner.side;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::int64_t cut_of(const Graph& g, const std::vector<int>& side) {
+  std::int64_t cut = 0;
+  for (const auto& [u, v] : g.edges()) {
+    if (side[static_cast<std::size_t>(u)] != side[static_cast<std::size_t>(v)]) ++cut;
+  }
+  return cut;
+}
+
+BisectionResult bisect(const Graph& g, int num_starts, std::uint64_t seed) {
+  std::vector<int> weight(static_cast<std::size_t>(g.num_vertices()), 1);
+  return bisect_weighted(g, weight, num_starts, seed);
+}
+
+double bisection_bandwidth_gbps(const Topology& topo, double link_gbps,
+                                int num_starts, std::uint64_t seed) {
+  std::vector<int> weight(static_cast<std::size_t>(topo.num_routers()), 0);
+  for (int r = 0; r < topo.num_endpoint_routers(); ++r) {
+    weight[static_cast<std::size_t>(r)] = 1;
+  }
+  auto result = bisect_weighted(topo.graph(), weight, num_starts, seed);
+  return static_cast<double>(result.cut_edges) * link_gbps;
+}
+
+}  // namespace slimfly::analysis

@@ -1,0 +1,35 @@
+#pragma once
+// Graph bisection for the bisection-bandwidth comparison (paper Section
+// III-C, Figure 5c). The paper approximates SF and DLN bisections with
+// METIS; this module is a from-scratch substitute: multi-start
+// Fiduccia–Mattheyses refinement over random and BFS-region initial
+// partitions. On structured graphs with known closed-form bisections
+// (hypercube, torus) it reproduces the exact values (verified in tests).
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/graph.hpp"
+#include "topo/topology.hpp"
+
+namespace slimfly::analysis {
+
+struct BisectionResult {
+  std::vector<int> side;     ///< 0/1 per vertex; sizes differ by at most 1
+  std::int64_t cut_edges = 0;
+};
+
+/// Minimum-cut balanced bisection estimate (upper bound on the true cut).
+BisectionResult bisect(const Graph& g, int num_starts = 8, std::uint64_t seed = 1);
+
+/// Cut size of a given assignment (test helper).
+std::int64_t cut_of(const Graph& g, const std::vector<int>& side);
+
+/// Bisection bandwidth in Gb/s: cut links between endpoint-balanced halves
+/// times the per-link rate (the paper assumes 10 Gb/s). For topologies with
+/// transit routers (fat tree) the balance constraint applies to
+/// endpoint-bearing routers; transit routers may land on either side.
+double bisection_bandwidth_gbps(const Topology& topo, double link_gbps = 10.0,
+                                int num_starts = 8, std::uint64_t seed = 1);
+
+}  // namespace slimfly::analysis

@@ -1,0 +1,75 @@
+#include "analysis/resilience.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "analysis/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace slimfly::analysis {
+
+Graph remove_random_links(const Graph& g, std::int64_t remove_count,
+                          std::uint64_t seed) {
+  auto edges = g.edges();
+  Rng rng(seed);
+  std::shuffle(edges.begin(), edges.end(), rng);
+  if (remove_count > static_cast<std::int64_t>(edges.size())) {
+    remove_count = static_cast<std::int64_t>(edges.size());
+  }
+  Graph out(g.num_vertices());
+  for (std::size_t i = static_cast<std::size_t>(remove_count); i < edges.size(); ++i) {
+    out.add_edge(edges[i].first, edges[i].second);
+  }
+  out.finalize();
+  return out;
+}
+
+int max_failures(const Graph& g,
+                 const std::function<bool(const Graph&)>& survives,
+                 const ResilienceOptions& opts) {
+  std::int64_t total = g.num_edges();
+  int last_ok = 0;
+  for (int percent = opts.step_percent; percent < 100; percent += opts.step_percent) {
+    std::int64_t remove = total * percent / 100;
+    int ok = 0;
+    for (int t = 0; t < opts.trials; ++t) {
+      Graph damaged = remove_random_links(
+          g, remove, opts.seed + static_cast<std::uint64_t>(percent) * 1000 +
+                         static_cast<std::uint64_t>(t));
+      if (survives(damaged)) ++ok;
+    }
+    if (static_cast<double>(ok) < opts.majority * opts.trials) break;
+    last_ok = percent;
+  }
+  return last_ok;
+}
+
+int max_failures_connected(const Graph& g, const ResilienceOptions& opts) {
+  return max_failures(g, [](const Graph& damaged) { return is_connected(damaged); },
+                      opts);
+}
+
+int max_failures_diameter(const Graph& g, int budget, const ResilienceOptions& opts) {
+  int base = diameter(g);
+  return max_failures(
+      g,
+      [base, budget](const Graph& damaged) {
+        int d = diameter(damaged);
+        return d >= 0 && d <= base + budget;
+      },
+      opts);
+}
+
+int max_failures_avg_distance(const Graph& g, double budget,
+                              const ResilienceOptions& opts) {
+  double base = average_distance(g);
+  return max_failures(
+      g,
+      [base, budget](const Graph& damaged) {
+        double d = average_distance(damaged);
+        return d >= 0.0 && d <= base + budget;
+      },
+      opts);
+}
+
+}  // namespace slimfly::analysis

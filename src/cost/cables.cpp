@@ -1,0 +1,24 @@
+#include "cost/cables.hpp"
+
+namespace slimfly::cost {
+
+CableModel cable_fdr10() {
+  // Paper Section VI-B1: f_elec(x) = 0.4079x + 0.5771, f_opt(x) = 0.0919x +
+  // 2.7452 [$/Gb/s], 40 Gb/s links.
+  return CableModel{"Mellanox IB FDR10 40Gb/s QSFP", 40.0,
+                    0.4079, 0.5771, 0.0919, 2.7452};
+}
+
+CableModel cable_qdr56() {
+  // Fitted to Figure 13a (56 Gb/s, lower $/Gb/s, crossover near 8 m).
+  return CableModel{"Mellanox IB QDR56 56Gb/s QSFP", 56.0,
+                    0.2600, 0.4100, 0.0640, 1.9800};
+}
+
+CableModel cable_elpeus10() {
+  // Fitted to Figure 12a (10 Gb/s, higher $/Gb/s, crossover near 5 m).
+  return CableModel{"Elpeus Ethernet 10Gb/s SFP+", 10.0,
+                    1.0500, 0.9000, 0.2100, 5.1000};
+}
+
+}  // namespace slimfly::cost

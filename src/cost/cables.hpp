@@ -1,0 +1,43 @@
+#pragma once
+// Cable cost models (paper Section VI-B1, Figures 11a/12a/13a): cost per
+// Gb/s as a linear function of length, separately for electric (intra-rack)
+// and optical (inter-rack) cables. The FDR10 coefficients are the paper's
+// regression values verbatim; the other families are fitted to the paper's
+// plots (the paper reports the choice shifts relative topology costs by
+// only ~1-2%, see DESIGN.md §2.3).
+
+#include <string>
+
+namespace slimfly::cost {
+
+struct CableModel {
+  std::string name;
+  double rate_gbps = 0.0;
+  double electric_slope = 0.0;      ///< $/Gb/s per meter
+  double electric_intercept = 0.0;  ///< $/Gb/s
+  double optical_slope = 0.0;
+  double optical_intercept = 0.0;
+
+  /// Cost in $ of one electric cable of the given length.
+  double electric_cost(double meters) const {
+    return (electric_slope * meters + electric_intercept) * rate_gbps;
+  }
+  /// Cost in $ of one optical cable of the given length.
+  double optical_cost(double meters) const {
+    return (optical_slope * meters + optical_intercept) * rate_gbps;
+  }
+  /// Length at which optical becomes cheaper than electric.
+  double crossover_meters() const {
+    return (optical_intercept - electric_intercept) /
+           (electric_slope - optical_slope);
+  }
+};
+
+/// Mellanox InfiniBand FDR10 40 Gb/s QSFP (paper's primary model).
+CableModel cable_fdr10();
+/// Mellanox InfiniBand QDR 56 Gb/s QSFP (Figure 13 variant; fitted).
+CableModel cable_qdr56();
+/// Elpeus Ethernet 10 Gb/s SFP+ (Figure 12 variant; fitted).
+CableModel cable_elpeus10();
+
+}  // namespace slimfly::cost

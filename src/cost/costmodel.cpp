@@ -1,0 +1,30 @@
+#include "cost/costmodel.hpp"
+
+namespace slimfly::cost {
+
+NetworkCost evaluate_cost(const Topology& topo, const CableModel& cables,
+                          const RouterCostModel& routers, const PowerModel& power) {
+  NetworkCost cost;
+  cost.topology = topo.symbol();
+  cost.num_endpoints = topo.num_endpoints();
+  cost.num_routers = topo.num_routers();
+  cost.router_radix = topo.router_radix();
+
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    cost.router_cost +=
+        routers.cost(topo.graph().degree(r) + topo.endpoints_at(r));
+  }
+
+  CableSummary cables_summary = enumerate_cables(topo, cables);
+  cost.electric_cables = cables_summary.electric_count;
+  cost.fiber_cables = cables_summary.fiber_count;
+  cost.cable_cost = cables_summary.total_cost();
+
+  cost.total_cost = cost.router_cost + cost.cable_cost;
+  cost.cost_per_endpoint = cost.total_cost / cost.num_endpoints;
+  cost.watts_total = power.network_watts(topo);
+  cost.watts_per_endpoint = cost.watts_total / cost.num_endpoints;
+  return cost;
+}
+
+}  // namespace slimfly::cost

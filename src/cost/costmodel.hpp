@@ -1,0 +1,36 @@
+#pragma once
+// Full network cost (paper Section VI-B, Figures 11c/12c/13c, Table IV):
+// router cost plus cable cost under the physical layout.
+
+#include <string>
+
+#include "cost/cables.hpp"
+#include "cost/layout.hpp"
+#include "cost/power.hpp"
+#include "cost/routers.hpp"
+#include "topo/topology.hpp"
+
+namespace slimfly::cost {
+
+struct NetworkCost {
+  std::string topology;
+  int num_endpoints = 0;
+  int num_routers = 0;
+  int router_radix = 0;
+  std::int64_t electric_cables = 0;
+  std::int64_t fiber_cables = 0;
+  double router_cost = 0.0;
+  double cable_cost = 0.0;
+  double total_cost = 0.0;
+  double cost_per_endpoint = 0.0;
+  double watts_total = 0.0;
+  double watts_per_endpoint = 0.0;
+};
+
+/// Prices a topology with the given cable family; router radix per router
+/// is its in-use port count (degree + attached endpoints).
+NetworkCost evaluate_cost(const Topology& topo, const CableModel& cables,
+                          const RouterCostModel& routers = {},
+                          const PowerModel& power = {});
+
+}  // namespace slimfly::cost

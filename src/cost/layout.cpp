@@ -1,0 +1,46 @@
+#include "cost/layout.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace slimfly::cost {
+
+RackGrid::RackGrid(int num_racks) : racks(num_racks) {
+  if (num_racks < 1) throw std::invalid_argument("RackGrid: need >= 1 rack");
+  cols = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(num_racks))));
+}
+
+double RackGrid::distance_m(int rack_a, int rack_b) const {
+  int ax = rack_a % cols, ay = rack_a / cols;
+  int bx = rack_b % cols, by = rack_b / cols;
+  return static_cast<double>(std::abs(ax - bx) + std::abs(ay - by));
+}
+
+CableSummary enumerate_cables(const Topology& topo, const CableModel& cables) {
+  CableSummary summary;
+  RackGrid grid(topo.num_racks());
+
+  for (const auto& [u, v] : topo.graph().edges()) {
+    int rack_u = topo.rack_of_router(u);
+    int rack_v = topo.rack_of_router(v);
+    if (topo.folded_electrical()) {
+      ++summary.electric_count;
+      summary.electric_cost += cables.electric_cost(kFoldedCableM);
+    } else if (rack_u == rack_v) {
+      ++summary.electric_count;
+      summary.electric_cost += cables.electric_cost(kIntraRackCableM);
+    } else {
+      ++summary.fiber_count;
+      double len = grid.distance_m(rack_u, rack_v) + kGlobalCableOverheadM;
+      summary.fiber_cost += cables.optical_cost(len);
+    }
+  }
+
+  // Endpoint uplinks: one short electric cable per endpoint.
+  summary.endpoint_count = topo.num_endpoints();
+  summary.electric_cost +=
+      static_cast<double>(topo.num_endpoints()) * cables.electric_cost(kIntraRackCableM);
+  return summary;
+}
+
+}  // namespace slimfly::cost

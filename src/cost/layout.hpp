@@ -1,0 +1,44 @@
+#pragma once
+// Physical cabling model (paper Section VI-B): racks of 1x1x2 m arranged in
+// a near-square grid, Manhattan cable lengths, 1 m average intra-rack
+// cables, +2 m overhead per inter-rack (global) cable. Tori are folded and
+// use only short electric cables. Endpoint uplinks are 1 m electric.
+
+#include <cstdint>
+
+#include "cost/cables.hpp"
+#include "topo/topology.hpp"
+
+namespace slimfly::cost {
+
+/// Near-square grid placement of racks; rack i sits at (i % cols, i / cols).
+struct RackGrid {
+  int racks = 0;
+  int cols = 0;
+
+  explicit RackGrid(int num_racks);
+  /// Manhattan distance between two racks in meters (1 m rack pitch).
+  double distance_m(int rack_a, int rack_b) const;
+};
+
+struct CableSummary {
+  std::int64_t electric_count = 0;  ///< router-router electric cables
+  std::int64_t fiber_count = 0;     ///< router-router optical cables
+  std::int64_t endpoint_count = 0;  ///< endpoint uplinks (electric)
+  double electric_cost = 0.0;       ///< $ incl. endpoint uplinks
+  double fiber_cost = 0.0;          ///< $
+  double total_cost() const { return electric_cost + fiber_cost; }
+};
+
+/// Enumerates all cables of a topology under its rack packaging and prices
+/// them with the given cable model.
+CableSummary enumerate_cables(const Topology& topo, const CableModel& cables);
+
+/// Overhead added to every inter-rack cable (paper: 2 m).
+inline constexpr double kGlobalCableOverheadM = 2.0;
+/// Average intra-rack cable length (paper: ~1 m).
+inline constexpr double kIntraRackCableM = 1.0;
+/// Folded-torus electric cable length (short constant by design).
+inline constexpr double kFoldedCableM = 2.0;
+
+}  // namespace slimfly::cost

@@ -1,0 +1,13 @@
+#include "cost/power.hpp"
+
+namespace slimfly::cost {
+
+double PowerModel::network_watts(const Topology& topo) const {
+  double ports = 0.0;
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    ports += topo.graph().degree(r) + topo.endpoints_at(r);
+  }
+  return ports * watts_per_port();
+}
+
+}  // namespace slimfly::cost

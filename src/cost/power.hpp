@@ -1,0 +1,26 @@
+#pragma once
+// Energy model (paper Section VI-C): each router port has 4 lanes, one
+// SerDes per lane at ~0.7 W. Network power is the sum over routers of
+// ports-in-use times 2.8 W; per-node power divides by N. Reproduces the
+// paper's Table IV values (SF ~8 W/node, DF ~10.9 W/node) analytically.
+
+#include "topo/topology.hpp"
+
+namespace slimfly::cost {
+
+struct PowerModel {
+  double watts_per_lane = 0.7;
+  int lanes_per_port = 4;
+
+  double watts_per_port() const { return watts_per_lane * lanes_per_port; }
+
+  /// Total network power: every in-use router port (network links plus
+  /// endpoint uplinks) burns one port's worth of SerDes.
+  double network_watts(const Topology& topo) const;
+
+  double watts_per_endpoint(const Topology& topo) const {
+    return network_watts(topo) / topo.num_endpoints();
+  }
+};
+
+}  // namespace slimfly::cost

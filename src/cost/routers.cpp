@@ -1,0 +1,9 @@
+// RouterCostModel is header-only; this TU anchors the target and hosts the
+// sanity constants used in tests.
+#include "cost/routers.hpp"
+
+namespace slimfly::cost {
+
+// Intentionally empty.
+
+}  // namespace slimfly::cost

@@ -1,0 +1,20 @@
+#pragma once
+// Router cost model (paper Section VI-B2, Figure 11b): linear in radix,
+// fitted by the paper to Mellanox IB FDR10 switches. SerDes dominate, so
+// cost scales with ports; the negative intercept reflects amortized chip
+// development cost.
+
+namespace slimfly::cost {
+
+struct RouterCostModel {
+  double per_port = 350.4;   ///< $ per port (paper regression)
+  double intercept = -892.3; ///< $
+
+  /// Cost of one router with the given radix, floored at one port's cost.
+  double cost(int radix) const {
+    double c = per_port * radix + intercept;
+    return c > per_port ? c : per_port;
+  }
+};
+
+}  // namespace slimfly::cost

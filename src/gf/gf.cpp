@@ -1,0 +1,112 @@
+#include "gf/gf.hpp"
+
+#include <stdexcept>
+
+#include "util/numtheory.hpp"
+
+namespace slimfly::gf {
+
+Field::Field(int q) : q_(q) {
+  if (q < 2 || q > 4096) {
+    throw std::invalid_argument("Field: q out of supported range [2, 4096]");
+  }
+  auto pp = as_prime_power(q);
+  if (!pp) throw std::invalid_argument("Field: q is not a prime power");
+  p_ = static_cast<int>(pp->p);
+  m_ = pp->m;
+  modulus_ = find_irreducible(p_, m_);
+
+  add_table_.resize(static_cast<std::size_t>(q_) * q_);
+  mul_table_.resize(static_cast<std::size_t>(q_) * q_);
+  neg_.resize(q_);
+  inv_.assign(q_, -1);
+
+  for (int a = 0; a < q_; ++a) {
+    Poly pa = decode(a);
+    for (int b = 0; b < q_; ++b) {
+      Poly pb = decode(b);
+      add_table_[static_cast<std::size_t>(a) * q_ + b] = encode(gf::add(pa, pb, p_));
+      mul_table_[static_cast<std::size_t>(a) * q_ + b] =
+          encode(gf::mod(gf::mul(pa, pb, p_), modulus_, p_));
+    }
+  }
+  for (int a = 0; a < q_; ++a) {
+    neg_[a] = encode(gf::sub(Poly{}, decode(a), p_));
+  }
+  for (int a = 1; a < q_; ++a) {
+    for (int b = 1; b < q_; ++b) {
+      if (mul_table_[static_cast<std::size_t>(a) * q_ + b] == 1) {
+        inv_[a] = b;
+        break;
+      }
+    }
+  }
+
+  // Exhaustive search for a primitive element (viable for q <= 4096).
+  xi_ = 0;
+  for (int a = 2; a < q_; ++a) {
+    if (order(a) == q_ - 1) {
+      xi_ = a;
+      break;
+    }
+  }
+  if (xi_ == 0 && q_ == 2) xi_ = 1;  // GF(2)^* = {1}
+  if (xi_ == 0 && q_ == 3) xi_ = 2;
+  if (xi_ == 0) throw std::logic_error("Field: no primitive element found");
+}
+
+int Field::check(int a) const {
+  if (a < 0 || a >= q_) throw std::out_of_range("Field: element out of range");
+  return a;
+}
+
+int Field::inv(int a) const {
+  check(a);
+  if (a == 0) throw std::domain_error("Field::inv: zero");
+  return inv_[a];
+}
+
+int Field::pow(int a, std::int64_t e) const {
+  check(a);
+  if (e < 0) throw std::invalid_argument("Field::pow: negative exponent");
+  int result = 1;
+  int base = a;
+  while (e > 0) {
+    if (e & 1) result = mul(result, base);
+    base = mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+int Field::order(int a) const {
+  check(a);
+  if (a == 0) throw std::domain_error("Field::order: zero");
+  int ord = 1;
+  int x = a;
+  while (x != 1) {
+    x = mul(x, a);
+    ++ord;
+    if (ord > q_) throw std::logic_error("Field::order: diverged");
+  }
+  return ord;
+}
+
+int Field::encode(const Poly& poly) const {
+  int value = 0;
+  for (int i = poly.degree(); i >= 0; --i) {
+    value = value * p_ + poly.coeffs[static_cast<std::size_t>(i)];
+  }
+  return value;
+}
+
+Poly Field::decode(int value) const {
+  Poly poly;
+  while (value > 0) {
+    poly.coeffs.push_back(value % p_);
+    value /= p_;
+  }
+  return poly;
+}
+
+}  // namespace slimfly::gf

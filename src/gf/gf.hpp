@@ -1,0 +1,67 @@
+#pragma once
+// Finite field GF(q) for any prime power q = p^m (q <= 4096).
+//
+// Elements are integers in [0, q). For m == 1 an element is its residue
+// mod p; for m > 1 the integer encodes the coefficient vector of a
+// polynomial over Z_p in base p (value = c0 + c1*p + c2*p^2 + ...), reduced
+// modulo a fixed irreducible monic polynomial of degree m.
+//
+// All operations are table-driven after construction, so arithmetic inside
+// the MMS generator search is a couple of array loads.
+
+#include <cstdint>
+#include <vector>
+
+#include "gf/poly.hpp"
+
+namespace slimfly::gf {
+
+class Field {
+ public:
+  /// Builds GF(q); throws std::invalid_argument unless q is a prime power
+  /// with 2 <= q <= 4096.
+  explicit Field(int q);
+
+  int q() const { return q_; }
+  int p() const { return p_; }        ///< characteristic
+  int degree() const { return m_; }   ///< extension degree m (q = p^m)
+
+  int add(int a, int b) const { return add_table_[idx(a, b)]; }
+  int sub(int a, int b) const { return add_table_[idx(a, neg_[b])]; }
+  int neg(int a) const { return neg_[check(a)]; }
+  int mul(int a, int b) const { return mul_table_[idx(a, b)]; }
+
+  /// Multiplicative inverse; throws std::domain_error for 0.
+  int inv(int a) const;
+  /// a / b; throws std::domain_error when b == 0.
+  int div(int a, int b) const { return mul(a, inv(b)); }
+
+  /// a^e with e >= 0 (0^0 == 1).
+  int pow(int a, std::int64_t e) const;
+
+  /// A fixed primitive element xi (generator of GF(q)^*), found by
+  /// exhaustive search exactly as the paper prescribes (Section II-B1a).
+  int primitive_element() const { return xi_; }
+
+  /// Multiplicative order of a nonzero element.
+  int order(int a) const;
+
+  /// The modulus polynomial (degree m; x for m == 1). Exposed for tests.
+  const Poly& modulus() const { return modulus_; }
+
+ private:
+  int idx(int a, int b) const { return check(a) * q_ + check(b); }
+  int check(int a) const;
+  int encode(const Poly& poly) const;
+  Poly decode(int value) const;
+
+  int q_ = 0, p_ = 0, m_ = 0;
+  Poly modulus_;
+  std::vector<int> add_table_;
+  std::vector<int> mul_table_;
+  std::vector<int> neg_;
+  std::vector<int> inv_;
+  int xi_ = 0;
+};
+
+}  // namespace slimfly::gf

@@ -1,0 +1,110 @@
+#include "gf/poly.hpp"
+
+#include <stdexcept>
+
+#include "util/numtheory.hpp"
+
+namespace slimfly::gf {
+
+Poly normalize(Poly a) {
+  while (!a.coeffs.empty() && a.coeffs.back() == 0) a.coeffs.pop_back();
+  return a;
+}
+
+Poly add(const Poly& a, const Poly& b, int p) {
+  Poly r;
+  r.coeffs.resize(std::max(a.coeffs.size(), b.coeffs.size()), 0);
+  for (std::size_t i = 0; i < r.coeffs.size(); ++i) {
+    int va = i < a.coeffs.size() ? a.coeffs[i] : 0;
+    int vb = i < b.coeffs.size() ? b.coeffs[i] : 0;
+    r.coeffs[i] = (va + vb) % p;
+  }
+  return normalize(std::move(r));
+}
+
+Poly sub(const Poly& a, const Poly& b, int p) {
+  Poly r;
+  r.coeffs.resize(std::max(a.coeffs.size(), b.coeffs.size()), 0);
+  for (std::size_t i = 0; i < r.coeffs.size(); ++i) {
+    int va = i < a.coeffs.size() ? a.coeffs[i] : 0;
+    int vb = i < b.coeffs.size() ? b.coeffs[i] : 0;
+    r.coeffs[i] = ((va - vb) % p + p) % p;
+  }
+  return normalize(std::move(r));
+}
+
+Poly mul(const Poly& a, const Poly& b, int p) {
+  if (a.is_zero() || b.is_zero()) return Poly{};
+  Poly r;
+  r.coeffs.assign(a.coeffs.size() + b.coeffs.size() - 1, 0);
+  for (std::size_t i = 0; i < a.coeffs.size(); ++i) {
+    if (a.coeffs[i] == 0) continue;
+    for (std::size_t j = 0; j < b.coeffs.size(); ++j) {
+      r.coeffs[i + j] = (r.coeffs[i + j] + a.coeffs[i] * b.coeffs[j]) % p;
+    }
+  }
+  return normalize(std::move(r));
+}
+
+Poly mod(const Poly& a, const Poly& d, int p) {
+  if (d.is_zero()) throw std::invalid_argument("poly mod: zero divisor");
+  if (d.coeffs.back() != 1) throw std::invalid_argument("poly mod: divisor not monic");
+  Poly r = normalize(a);
+  int dd = d.degree();
+  while (r.degree() >= dd) {
+    int shift = r.degree() - dd;
+    int factor = r.coeffs.back();
+    for (int i = 0; i <= dd; ++i) {
+      int idx = shift + i;
+      r.coeffs[idx] = ((r.coeffs[idx] - factor * d.coeffs[i]) % p + p) % p;
+    }
+    r = normalize(std::move(r));
+  }
+  return r;
+}
+
+bool is_irreducible(const Poly& f, int p) {
+  int n = f.degree();
+  if (n <= 0) return false;
+  if (n == 1) return true;
+  // Trial division by every monic polynomial of degree 1..n/2.
+  for (int d = 1; d * 2 <= n; ++d) {
+    std::int64_t count = 1;
+    for (int i = 0; i < d; ++i) count *= p;
+    for (std::int64_t code = 0; code < count; ++code) {
+      Poly g;
+      g.coeffs.resize(static_cast<std::size_t>(d) + 1, 0);
+      std::int64_t c = code;
+      for (int i = 0; i < d; ++i) {
+        g.coeffs[static_cast<std::size_t>(i)] = static_cast<int>(c % p);
+        c /= p;
+      }
+      g.coeffs[static_cast<std::size_t>(d)] = 1;
+      if (mod(f, g, p).is_zero()) return false;
+    }
+  }
+  return true;
+}
+
+Poly find_irreducible(int p, int m) {
+  if (m < 1) throw std::invalid_argument("find_irreducible: m < 1");
+  if (m == 1) {
+    return Poly{{0, 1}};  // x itself
+  }
+  std::int64_t count = 1;
+  for (int i = 0; i < m; ++i) count *= p;
+  for (std::int64_t code = 0; code < count; ++code) {
+    Poly f;
+    f.coeffs.resize(static_cast<std::size_t>(m) + 1, 0);
+    std::int64_t c = code;
+    for (int i = 0; i < m; ++i) {
+      f.coeffs[static_cast<std::size_t>(i)] = static_cast<int>(c % p);
+      c /= p;
+    }
+    f.coeffs[static_cast<std::size_t>(m)] = 1;
+    if (is_irreducible(f, p)) return f;
+  }
+  throw std::logic_error("find_irreducible: none found (unreachable)");
+}
+
+}  // namespace slimfly::gf

@@ -1,0 +1,40 @@
+#pragma once
+// Dense polynomials over the prime field Z_p, used only to bootstrap
+// GF(p^m): finding an irreducible modulus polynomial and reducing products.
+// Degrees and moduli are tiny (p^m <= 1024), so simplicity wins over speed.
+
+#include <vector>
+
+namespace slimfly::gf {
+
+/// Polynomial with coefficients in Z_p, least-significant coefficient first.
+/// The invariant coeffs.empty() || coeffs.back() != 0 (normal form) holds
+/// for every value returned by the functions below.
+struct Poly {
+  std::vector<int> coeffs;
+
+  /// Degree; the zero polynomial has degree -1.
+  int degree() const { return static_cast<int>(coeffs.size()) - 1; }
+  bool is_zero() const { return coeffs.empty(); }
+  bool operator==(const Poly& other) const = default;
+};
+
+/// Drops trailing zero coefficients (normal form).
+Poly normalize(Poly a);
+
+Poly add(const Poly& a, const Poly& b, int p);
+Poly sub(const Poly& a, const Poly& b, int p);
+Poly mul(const Poly& a, const Poly& b, int p);
+
+/// Remainder of a divided by monic divisor d (coefficients mod p).
+Poly mod(const Poly& a, const Poly& d, int p);
+
+/// True iff monic polynomial f of degree >= 1 is irreducible over Z_p,
+/// by trial division with all monic polynomials of degree <= deg(f)/2.
+bool is_irreducible(const Poly& f, int p);
+
+/// Smallest (in lexicographic coefficient order) monic irreducible
+/// polynomial of degree m over Z_p.
+Poly find_irreducible(int p, int m);
+
+}  // namespace slimfly::gf

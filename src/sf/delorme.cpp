@@ -1,0 +1,31 @@
+#include "sf/delorme.hpp"
+
+#include <stdexcept>
+
+#include "util/numtheory.hpp"
+
+namespace slimfly::sf {
+
+DelormeModel delorme_model(int v) {
+  if (!as_prime_power(v)) {
+    throw std::invalid_argument("delorme_model: v must be a prime power");
+  }
+  DelormeModel model;
+  model.v = v;
+  long long vp1 = v + 1;
+  long long v2p1 = static_cast<long long>(v) * v + 1;
+  model.k_net = vp1 * vp1;
+  model.num_routers = vp1 * vp1 * v2p1 * v2p1;
+  return model;
+}
+
+std::vector<DelormeModel> delorme_family(int max_k_net) {
+  std::vector<DelormeModel> family;
+  for (int v = 2; (v + 1) * (v + 1) <= max_k_net; ++v) {
+    if (!as_prime_power(v)) continue;
+    family.push_back(delorme_model(v));
+  }
+  return family;
+}
+
+}  // namespace slimfly::sf

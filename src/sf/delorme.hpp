@@ -1,0 +1,27 @@
+#pragma once
+// Delorme graphs (paper Section II-C): the best-known diameter-3 family,
+// reaching 68% of the Moore bound.
+//
+// The paper uses Delorme graphs only in the Figure 5b Moore-bound
+// comparison, via their closed-form sizes: Nr = (v+1)^2 (v^2+1)^2 and
+// k' = (v+1)^2 for a prime power v. The underlying construction (based on
+// generalized hexagons) is not needed by any experiment and is therefore
+// modelled, not instantiated (see DESIGN.md §2.3).
+
+#include <vector>
+
+namespace slimfly::sf {
+
+struct DelormeModel {
+  int v = 0;
+  long long k_net = 0;
+  long long num_routers = 0;
+};
+
+/// Closed-form Delorme size for prime power v.
+DelormeModel delorme_model(int v);
+
+/// All Delorme models with network radix up to max_k_net.
+std::vector<DelormeModel> delorme_family(int max_k_net);
+
+}  // namespace slimfly::sf

@@ -1,0 +1,69 @@
+#include "sf/enumerate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sf/generators.hpp"
+#include "sf/mms.hpp"
+
+namespace slimfly::sf {
+
+std::vector<SlimFlyConfig> enumerate_slimfly(int max_endpoints) {
+  std::vector<SlimFlyConfig> configs;
+  // The enumeration starts at q = 4 to match the paper's library of
+  // practical designs (11 configurations <= 20k endpoints); q = 3 (N = 54)
+  // is constructible but below any practical deployment size.
+  for (int q = 4;; ++q) {
+    if (!is_valid_mms_q(q)) continue;
+    SlimFlyConfig c;
+    c.q = q;
+    c.delta = delta_of_q(q);
+    c.k_net = (3 * q - c.delta) / 2;
+    c.concentration = SlimFlyMMS::balanced_concentration(q);
+    c.router_radix = c.k_net + c.concentration;
+    c.num_routers = 2 * q * q;
+    c.num_endpoints = c.num_routers * c.concentration;
+    if (c.num_endpoints > max_endpoints) break;
+    configs.push_back(c);
+  }
+  std::sort(configs.begin(), configs.end(),
+            [](const auto& a, const auto& b) { return a.num_endpoints < b.num_endpoints; });
+  return configs;
+}
+
+std::vector<DragonflyConfig> enumerate_dragonfly(int max_endpoints) {
+  std::vector<DragonflyConfig> configs;
+  for (int p = 1;; ++p) {
+    DragonflyConfig c;
+    c.p = p;
+    c.a = 2 * p;
+    c.h = p;
+    c.g = c.a * c.h + 1;
+    c.router_radix = c.p + (c.a - 1) + c.h;  // k = p + a-1 + h = 4p - 1
+    c.num_routers = c.a * c.g;
+    c.num_endpoints = c.num_routers * p;
+    if (c.num_endpoints > max_endpoints) break;
+    configs.push_back(c);
+  }
+  return configs;
+}
+
+std::optional<SlimFlyConfig> pick_slimfly(int min_endpoints) {
+  auto configs = enumerate_slimfly(4 * std::max(min_endpoints, 1));
+  for (const auto& c : configs) {
+    if (c.num_endpoints >= min_endpoints) return c;
+  }
+  return std::nullopt;
+}
+
+std::optional<SlimFlyConfig> closest_slimfly(int target_endpoints) {
+  auto configs = enumerate_slimfly(4 * std::max(target_endpoints, 1));
+  if (configs.empty()) return std::nullopt;
+  return *std::min_element(configs.begin(), configs.end(),
+                           [&](const auto& a, const auto& b) {
+                             return std::abs(a.num_endpoints - target_endpoints) <
+                                    std::abs(b.num_endpoints - target_endpoints);
+                           });
+}
+
+}  // namespace slimfly::sf

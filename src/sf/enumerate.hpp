@@ -1,0 +1,43 @@
+#pragma once
+// Design-space enumeration (paper Section VII-A): all balanced Slim Fly and
+// Dragonfly configurations up to a target endpoint count, used both by the
+// library's "pick me a network" helper and by the sec7a bench.
+
+#include <optional>
+#include <vector>
+
+namespace slimfly::sf {
+
+struct SlimFlyConfig {
+  int q = 0;
+  int delta = 0;
+  int k_net = 0;        ///< network radix k'
+  int concentration = 0;///< balanced p = ceil(k'/2)
+  int router_radix = 0; ///< k = k' + p
+  int num_routers = 0;  ///< 2 q^2
+  int num_endpoints = 0;
+};
+
+struct DragonflyConfig {
+  int p = 0, a = 0, h = 0, g = 0;
+  int router_radix = 0;
+  int num_routers = 0;
+  int num_endpoints = 0;
+};
+
+/// All balanced (full-global-bandwidth) Slim Fly configurations with
+/// N <= max_endpoints, ordered by N. Reproduces the paper's count of 11
+/// for max_endpoints = 20000.
+std::vector<SlimFlyConfig> enumerate_slimfly(int max_endpoints);
+
+/// All balanced Dragonflies (a = 2p = 2h, g = a h + 1) with N <= max.
+std::vector<DragonflyConfig> enumerate_dragonfly(int max_endpoints);
+
+/// Smallest balanced Slim Fly with at least min_endpoints endpoints, if one
+/// exists below 4 * min_endpoints (design helper used by the examples).
+std::optional<SlimFlyConfig> pick_slimfly(int min_endpoints);
+
+/// Balanced Slim Fly closest in endpoint count to `target`.
+std::optional<SlimFlyConfig> closest_slimfly(int target_endpoints);
+
+}  // namespace slimfly::sf

@@ -1,0 +1,186 @@
+#include "sf/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/numtheory.hpp"
+#include "util/rng.hpp"
+
+namespace slimfly::sf {
+
+int delta_of_q(int q) {
+  switch (q % 4) {
+    case 0: return 0;
+    case 1: return 1;
+    case 3: return -1;
+    default:
+      throw std::invalid_argument("MMS: q = 2 (mod 4) has no construction");
+  }
+}
+
+bool is_valid_mms_q(int q) {
+  if (q < 3 || q % 4 == 2) return false;
+  return slimfly::as_prime_power(q).has_value();
+}
+
+bool is_symmetric_set(const gf::Field& field, const std::vector<int>& set) {
+  for (int e : set) {
+    if (std::find(set.begin(), set.end(), field.neg(e)) == set.end()) return false;
+  }
+  return true;
+}
+
+bool covers_with_sums(const gf::Field& field, const std::vector<int>& set) {
+  int q = field.q();
+  std::vector<bool> covered(static_cast<std::size_t>(q), false);
+  for (int e : set) covered[static_cast<std::size_t>(e)] = true;
+  for (int a : set) {
+    for (int b : set) covered[static_cast<std::size_t>(field.add(a, b))] = true;
+  }
+  for (int e = 1; e < q; ++e) {
+    if (!covered[static_cast<std::size_t>(e)]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool sets_cover_units(const gf::Field& field, const GeneratorSets& gens) {
+  int q = field.q();
+  std::vector<bool> covered(static_cast<std::size_t>(q), false);
+  for (int e : gens.x) covered[static_cast<std::size_t>(e)] = true;
+  for (int e : gens.xprime) covered[static_cast<std::size_t>(e)] = true;
+  for (int e = 1; e < q; ++e) {
+    if (!covered[static_cast<std::size_t>(e)]) return false;
+  }
+  return true;
+}
+
+bool has_zero_or_dup(const std::vector<int>& set) {
+  std::vector<int> sorted = set;
+  std::sort(sorted.begin(), sorted.end());
+  if (!sorted.empty() && sorted.front() == 0) return true;
+  return std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end();
+}
+
+/// Canonical candidate per residue class (see header).
+GeneratorSets canonical_candidate(const gf::Field& field) {
+  int q = field.q();
+  int xi = field.primitive_element();
+  int delta = delta_of_q(q);
+  GeneratorSets gens;
+  if (delta == 1) {
+    // Paper formula: X = {1, xi^2, ..., xi^(q-3)}, X' = {xi, xi^3, ..., xi^(q-2)}.
+    for (int i = 0; i <= q - 3; i += 2) gens.x.push_back(field.pow(xi, i));
+    for (int i = 1; i <= q - 2; i += 2) gens.xprime.push_back(field.pow(xi, i));
+  } else if (delta == -1) {
+    // Paired power sets {±xi^(2i)} and {±xi^(2i+1)}, i = 0..w-1, w = (q+1)/4.
+    int w = (q + 1) / 4;
+    for (int i = 0; i < w; ++i) {
+      int even = field.pow(xi, 2 * i);
+      int odd = field.pow(xi, 2 * i + 1);
+      gens.x.push_back(even);
+      gens.x.push_back(field.neg(even));
+      gens.xprime.push_back(odd);
+      gens.xprime.push_back(field.neg(odd));
+    }
+  } else {
+    // Characteristic 2: negation is the identity, so any set is symmetric.
+    // Even exponents give q/2 elements (the exponent range 0..q-2 has odd
+    // length); odd exponents give q/2 - 1, topped up with the unit element.
+    for (int i = 0; i <= q - 2; i += 2) gens.x.push_back(field.pow(xi, i));
+    for (int i = 1; i <= q - 2; i += 2) gens.xprime.push_back(field.pow(xi, i));
+    gens.xprime.push_back(1);
+  }
+  return gens;
+}
+
+/// Symmetric building blocks: in odd characteristic the {e, -e} pairs; in
+/// characteristic 2 the singletons (every set is symmetric there).
+std::vector<std::vector<int>> symmetric_blocks(const gf::Field& field) {
+  std::vector<std::vector<int>> blocks;
+  std::vector<bool> seen(static_cast<std::size_t>(field.q()), false);
+  for (int e = 1; e < field.q(); ++e) {
+    if (seen[static_cast<std::size_t>(e)]) continue;
+    int ne = field.neg(e);
+    seen[static_cast<std::size_t>(e)] = true;
+    if (ne != e) {
+      seen[static_cast<std::size_t>(ne)] = true;
+      blocks.push_back({e, ne});
+    } else {
+      blocks.push_back({e});
+    }
+  }
+  return blocks;
+}
+
+/// Randomized fallback: sample symmetric sets of the right size until the
+/// diameter-2 conditions hold.
+GeneratorSets search_generators(const gf::Field& field) {
+  int q = field.q();
+  int delta = delta_of_q(q);
+  std::size_t target = static_cast<std::size_t>((q - delta) / 2);
+  auto blocks = symmetric_blocks(field);
+  Rng rng(0x5f1f5f1fULL + static_cast<std::uint64_t>(q));
+
+  for (int attempt = 0; attempt < 200000; ++attempt) {
+    std::shuffle(blocks.begin(), blocks.end(), rng);
+    GeneratorSets gens;
+    std::size_t i = 0;
+    while (i < blocks.size() && gens.x.size() + blocks[i].size() <= target) {
+      gens.x.insert(gens.x.end(), blocks[i].begin(), blocks[i].end());
+      ++i;
+    }
+    if (gens.x.size() != target) continue;
+    if (!covers_with_sums(field, gens.x)) continue;
+
+    // X' must contain every unit missing from X (condition B); fill the
+    // remainder with blocks drawn from anywhere, preferring coverage.
+    std::vector<bool> in_x(static_cast<std::size_t>(q), false);
+    for (int e : gens.x) in_x[static_cast<std::size_t>(e)] = true;
+    for (const auto& block : blocks) {
+      if (!in_x[static_cast<std::size_t>(block.front())]) {
+        gens.xprime.insert(gens.xprime.end(), block.begin(), block.end());
+      }
+    }
+    if (gens.xprime.size() > target) continue;
+    for (const auto& block : blocks) {
+      if (gens.xprime.size() + block.size() > target) continue;
+      if (in_x[static_cast<std::size_t>(block.front())]) {
+        gens.xprime.insert(gens.xprime.end(), block.begin(), block.end());
+      }
+      if (gens.xprime.size() == target) break;
+    }
+    if (gens.xprime.size() != target) continue;
+    if (!covers_with_sums(field, gens.xprime)) continue;
+    if (check_diameter2_conditions(field, gens)) return gens;
+  }
+  throw std::runtime_error("MMS generators: search failed for q=" + std::to_string(q));
+}
+
+}  // namespace
+
+bool check_diameter2_conditions(const gf::Field& field, const GeneratorSets& gens) {
+  int q = field.q();
+  int delta = delta_of_q(q);
+  std::size_t target = static_cast<std::size_t>((q - delta) / 2);
+  if (gens.x.size() != target || gens.xprime.size() != target) return false;
+  if (has_zero_or_dup(gens.x) || has_zero_or_dup(gens.xprime)) return false;
+  if (!is_symmetric_set(field, gens.x) || !is_symmetric_set(field, gens.xprime)) {
+    return false;
+  }
+  if (!sets_cover_units(field, gens)) return false;
+  return covers_with_sums(field, gens.x) && covers_with_sums(field, gens.xprime);
+}
+
+GeneratorSets make_generators(const gf::Field& field) {
+  if (!is_valid_mms_q(field.q())) {
+    throw std::invalid_argument("MMS generators: unsupported q");
+  }
+  GeneratorSets gens = canonical_candidate(field);
+  if (check_diameter2_conditions(field, gens)) return gens;
+  return search_generators(field);
+}
+
+}  // namespace slimfly::sf

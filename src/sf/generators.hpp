@@ -1,0 +1,57 @@
+#pragma once
+// Generator sets X, X' for the MMS construction (paper Section II-B1,
+// Step 2).
+//
+// The paper states the formula only for delta = +1 and defers to Hafner for
+// the other residue classes. Rather than transcribing formulas, this module
+// derives the exact conditions that make the resulting graph have diameter
+// two — they follow directly from connection equations (1)-(3):
+//
+//   A1:  X  union (X + X )  contains GF(q)^*      (same-column pairs in subgraph 0)
+//   A2:  X' union (X' + X') contains GF(q)^*      (same-row pairs in subgraph 1)
+//   B :  X  union X'        contains GF(q)^*      (cross-subgraph pairs)
+//   S :  X = -X and X' = -X'                      (edges are undirected)
+//
+// together with |X| = |X'| = (q - delta)/2, which fixes the network radix
+// at k' = (3q - delta)/2. Cross-subgraph pairs with distinct x (or distinct
+// m) always have exactly one common neighbour, so A1/A2/B/S are necessary
+// *and* sufficient for diameter 2.
+//
+// make_generators() first tries the canonical candidates (quadratic
+// residues / non-residues for delta = +1 exactly as in the paper; paired
+// power sets for delta = -1; even/odd exponent sets for delta = 0) and
+// falls back to a seeded randomized search over symmetric sets when a
+// candidate fails the conditions. Every returned pair is verified.
+
+#include <vector>
+
+#include "gf/gf.hpp"
+
+namespace slimfly::sf {
+
+struct GeneratorSets {
+  std::vector<int> x;       ///< X  — subgraph-0 intra-group generator set
+  std::vector<int> xprime;  ///< X' — subgraph-1 intra-group generator set
+};
+
+/// delta in {-1, 0, +1} with q = 4w + delta; throws for q = 2 (mod 4).
+int delta_of_q(int q);
+
+/// True iff q is a prime power supporting an MMS construction (q >= 3 and
+/// q mod 4 != 2).
+bool is_valid_mms_q(int q);
+
+/// Checks symmetry (S) of a set under field negation.
+bool is_symmetric_set(const gf::Field& field, const std::vector<int>& set);
+
+/// Checks coverage condition  set ∪ (set+set) ⊇ GF(q)^*  (A1/A2).
+bool covers_with_sums(const gf::Field& field, const std::vector<int>& set);
+
+/// Checks all four diameter-2 conditions for the pair (X, X').
+bool check_diameter2_conditions(const gf::Field& field, const GeneratorSets& gens);
+
+/// Produces verified generator sets; throws std::runtime_error if none can
+/// be found (does not happen for any supported q <= 4096 we test).
+GeneratorSets make_generators(const gf::Field& field);
+
+}  // namespace slimfly::sf

@@ -1,0 +1,50 @@
+#include "sf/layout.hpp"
+
+#include <stdexcept>
+
+namespace slimfly::sf {
+
+long long cables_between_racks(const SlimFlyMMS& topo, int rack_i, int rack_j) {
+  long long count = 0;
+  const Graph& g = topo.graph();
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    if (topo.rack_of_router(r) != rack_i) continue;
+    for (int s : g.neighbors(r)) {
+      if (topo.rack_of_router(s) == rack_j) ++count;
+    }
+  }
+  return count;
+}
+
+MmsLayout compute_layout(const SlimFlyMMS& topo) {
+  MmsLayout layout;
+  layout.q = topo.q();
+  layout.num_racks = topo.num_racks();
+  layout.routers_per_rack = 2 * topo.q();
+  layout.endpoints_per_rack = layout.routers_per_rack * topo.concentration();
+
+  const Graph& g = topo.graph();
+  long long intra = 0;
+  long long inter = 0;
+  for (const auto& [u, v] : g.edges()) {
+    if (topo.rack_of_router(u) == topo.rack_of_router(v)) ++intra;
+    else ++inter;
+  }
+  layout.total_electric = intra;
+  layout.total_fiber = inter;
+  if (intra % layout.num_racks != 0) {
+    throw std::logic_error("MmsLayout: racks are not cabled identically");
+  }
+  layout.intra_rack_cables = intra / layout.num_racks;
+  // Every pair of racks is joined by the same number of cables (2q for
+  // prime q as shown in the paper; the generic value is verified here).
+  long long pairs = static_cast<long long>(layout.num_racks) *
+                    (layout.num_racks - 1) / 2;
+  if (inter % pairs != 0) {
+    throw std::logic_error("MmsLayout: rack pairs are not cabled identically");
+  }
+  layout.inter_rack_cables = inter / pairs;
+  return layout;
+}
+
+}  // namespace slimfly::sf

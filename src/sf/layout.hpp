@@ -1,0 +1,32 @@
+#pragma once
+// Physical datacenter layout of a Slim Fly MMS network (paper Section VI-A,
+// Figure 10): rack x merges subgroup (0,x,*) with subgroup (1,x,*); racks
+// form a fully-connected "graph of racks" with exactly 2q cables between
+// every pair, which this module verifies and summarizes for the cost model
+// and the design example.
+
+#include <vector>
+
+#include "sf/mms.hpp"
+
+namespace slimfly::sf {
+
+struct MmsLayout {
+  int q = 0;
+  int num_racks = 0;            ///< q racks
+  int routers_per_rack = 0;     ///< 2q
+  int endpoints_per_rack = 0;   ///< 2q * p
+  long long intra_rack_cables = 0;  ///< per rack: |X|q/2 + |X'|q/2 + q
+  long long inter_rack_cables = 0;  ///< per rack pair: 2q
+  long long total_electric = 0;     ///< all intra-rack router cables
+  long long total_fiber = 0;        ///< all inter-rack router cables
+};
+
+/// Computes and cross-checks the layout against the actual graph; throws
+/// std::logic_error if the structural invariants do not hold.
+MmsLayout compute_layout(const SlimFlyMMS& topo);
+
+/// Cables between rack i and rack j counted from the graph (i != j).
+long long cables_between_racks(const SlimFlyMMS& topo, int rack_i, int rack_j);
+
+}  // namespace slimfly::sf

@@ -1,0 +1,86 @@
+#include "sf/sfgrouped.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace slimfly::sf {
+
+Graph SfGroupedDragonfly::build(int q, int h, int groups) {
+  SlimFlyMMS prototype(q);
+  int a = prototype.num_routers();  // routers per group
+  if (h < 1) throw std::invalid_argument("SfGroupedDragonfly: h must be >= 1");
+  if (groups < 2 || groups > a * h + 1) {
+    throw std::invalid_argument("SfGroupedDragonfly: bad group count");
+  }
+
+  Graph g(a * groups);
+  // Replicate the MMS graph in every group.
+  auto edges = prototype.graph().edges();
+  for (int grp = 0; grp < groups; ++grp) {
+    for (const auto& [u, v] : edges) {
+      g.add_edge(grp * a + u, grp * a + v);
+    }
+  }
+
+  // Global links, Dragonfly-style: `base` links between every group pair
+  // plus a circulant for the remainder, with a per-round router-rotation
+  // offset (see topo/dragonfly.cpp for the rationale).
+  int ports = a * h;
+  int base = ports / (groups - 1);
+  int rem = ports - base * (groups - 1);
+  std::vector<int> next_port(static_cast<std::size_t>(groups), 0);
+  auto add_global = [&](int gi, int gj, int offset) {
+    int ri = gi * a + ((next_port[static_cast<std::size_t>(gi)] + offset) % a);
+    int rj = gj * a + ((next_port[static_cast<std::size_t>(gj)] + offset) % a);
+    ++next_port[static_cast<std::size_t>(gi)];
+    ++next_port[static_cast<std::size_t>(gj)];
+    g.add_edge(ri, rj);
+  };
+  // Rotation is only sound when a full round advances every group's
+  // counter by a multiple of a (otherwise it breaks h-regularity);
+  // in the other case the counter drifts naturally and no rotation is
+  // needed to avoid repeated router pairs.
+  bool rotate = (groups - 1) % a == 0;
+  for (int round = 0; round < base; ++round) {
+    for (int gi = 0; gi < groups; ++gi) {
+      for (int gj = gi + 1; gj < groups; ++gj) add_global(gi, gj, rotate ? round : 0);
+    }
+  }
+  if (rem > 0) {
+    if (rem % 2 == 1 && groups % 2 == 1) {
+      throw std::invalid_argument(
+          "SfGroupedDragonfly: leftover ports cannot form a regular pattern");
+    }
+    for (int s = 1; s <= rem / 2; ++s) {
+      for (int gi = 0; gi < groups; ++gi) add_global(gi, (gi + s) % groups, rotate ? base : 0);
+    }
+    if (rem % 2 == 1) {
+      for (int gi = 0; gi < groups / 2; ++gi) add_global(gi, gi + groups / 2, rotate ? base : 0);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+SfGroupedDragonfly::SfGroupedDragonfly(int q, int h, int groups, int concentration)
+    : Topology(build(q, h, groups),
+               concentration == 0 ? SlimFlyMMS::balanced_concentration(q)
+                                  : concentration,
+               2 * q * q * groups),
+      q_(q),
+      h_(h),
+      groups_(groups) {}
+
+int SfGroupedDragonfly::rack_of_router(int r) const {
+  // Rack = (group, MMS x-coordinate): the SF rack structure per group.
+  int local = r % group_size();
+  int x = (local % (q_ * q_)) / q_;
+  return group_of(r) * q_ + x;
+}
+
+std::string SfGroupedDragonfly::name() const {
+  return "SF-grouped Dragonfly (q=" + std::to_string(q_) + ", h=" +
+         std::to_string(h_) + ", g=" + std::to_string(groups_) + ")";
+}
+
+}  // namespace slimfly::sf

@@ -1,0 +1,48 @@
+#pragma once
+// Section VII-B: "An interesting option is to use SF to implement groups
+// (higher-radix logical routers) of a DF or to connect multiple groups of
+// a DF topology."
+//
+// This module implements that idea: g groups, each an identical Slim Fly
+// MMS graph, connected pairwise like Dragonfly groups. Each router donates
+// `h` global ports; group pairs receive an equal share of links with
+// round-robin router selection (same balancing discipline as the Dragonfly
+// builder). The result is a three-level hierarchy whose groups have
+// diameter 2 instead of the Dragonfly's diameter-1 cliques — trading one
+// intra-group hop for far larger (2q^2 vs a) groups per radix.
+
+#include <memory>
+
+#include "sf/mms.hpp"
+#include "topo/topology.hpp"
+
+namespace slimfly::sf {
+
+class SfGroupedDragonfly : public Topology {
+ public:
+  /// g groups of SlimFly(q) routers, h global ports per router,
+  /// concentration p per router (0 = the SF balanced value).
+  /// Requires 2 <= g <= 2q^2 * h + 1.
+  SfGroupedDragonfly(int q, int h, int groups, int concentration = 0);
+
+  std::string name() const override;
+  std::string symbol() const override { return "SF-DF"; }
+
+  int q() const { return q_; }
+  int h() const { return h_; }
+  int groups() const { return groups_; }
+  int group_size() const { return 2 * q_ * q_; }
+  int group_of(int r) const { return r / group_size(); }
+
+  /// Diameter bound: 2 (src group) + 1 (global) + 2 (dst group).
+  static constexpr int kDiameterBound = 5;
+
+  int num_racks() const override { return groups_ * q_; }
+  int rack_of_router(int r) const override;
+
+ private:
+  static Graph build(int q, int h, int groups);
+  int q_, h_, groups_;
+};
+
+}  // namespace slimfly::sf

@@ -1,0 +1,26 @@
+#include "sim/buffer.hpp"
+
+#include <stdexcept>
+
+namespace slimfly::sim {
+
+void VcBuffer::push(Packet packet) {
+  if (full()) {
+    throw std::logic_error("VcBuffer: overflow (credit protocol violation)");
+  }
+  packets_.push_back(std::move(packet));
+}
+
+const Packet& VcBuffer::front() const {
+  if (packets_.empty()) throw std::logic_error("VcBuffer: front on empty buffer");
+  return packets_.front();
+}
+
+Packet VcBuffer::pop() {
+  if (packets_.empty()) throw std::logic_error("VcBuffer: pop on empty buffer");
+  Packet p = std::move(packets_.front());
+  packets_.pop_front();
+  return p;
+}
+
+}  // namespace slimfly::sim

@@ -1,0 +1,32 @@
+#pragma once
+// Per-(input port, VC) flit buffer with a hard capacity, the unit of
+// credit-based flow control.
+
+#include <deque>
+
+#include "sim/packet.hpp"
+
+namespace slimfly::sim {
+
+class VcBuffer {
+ public:
+  explicit VcBuffer(int capacity = 0) : capacity_(capacity) {}
+
+  bool full() const { return static_cast<int>(packets_.size()) >= capacity_; }
+  bool empty() const { return packets_.empty(); }
+  int size() const { return static_cast<int>(packets_.size()); }
+  int capacity() const { return capacity_; }
+
+  /// Throws std::logic_error if the buffer is full (a credit violation —
+  /// upstream must never send without a credit).
+  void push(Packet packet);
+
+  const Packet& front() const;
+  Packet pop();
+
+ private:
+  std::deque<Packet> packets_;
+  int capacity_;
+};
+
+}  // namespace slimfly::sim

@@ -1,0 +1,35 @@
+#pragma once
+// Fixed-latency FIFO delay line modelling wires: flit channels and credit
+// return paths. Items pushed at cycle t with latency L become visible at
+// t + L; FIFO order is preserved because latency is constant.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+
+namespace slimfly::sim {
+
+template <typename T>
+class DelayLine {
+ public:
+  void push(std::int64_t ready_cycle, T item) {
+    items_.emplace_back(ready_cycle, std::move(item));
+  }
+
+  /// Pops the front item if it is ready at `cycle`.
+  std::optional<T> pop_ready(std::int64_t cycle) {
+    if (items_.empty() || items_.front().first > cycle) return std::nullopt;
+    T item = std::move(items_.front().second);
+    items_.pop_front();
+    return item;
+  }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+
+ private:
+  std::deque<std::pair<std::int64_t, T>> items_;
+};
+
+}  // namespace slimfly::sim

@@ -1,0 +1,32 @@
+#pragma once
+// Simulator configuration (paper Section V, "Performance" methodology):
+// single-flit packets, Bernoulli injection, input-queued routers with
+// credit-based virtual-channel flow control, internal speedup 2, 64-flit
+// default buffering per port, 2-cycle credit processing, 1-cycle channel /
+// allocation / crossbar stages.
+
+#include <cstdint>
+
+namespace slimfly::sim {
+
+struct SimConfig {
+  int num_vcs = 4;             ///< VC = hop index (Gopal); 4 covers <=4-hop paths
+  int buffer_per_port = 64;    ///< total flit slots per input port (all VCs)
+  int channel_latency = 1;     ///< cycles on the wire
+  int router_pipeline = 2;     ///< SA + crossbar stages folded together
+  int credit_delay = 2;        ///< cycles to return a credit upstream
+  int alloc_iterations = 2;    ///< internal speedup
+  int output_staging = 4;      ///< slots between crossbar and channel
+
+  std::int64_t warmup_cycles = 2000;
+  std::int64_t measure_cycles = 2000;
+  std::int64_t drain_cycles = 30000;   ///< cap on the drain phase
+  double latency_cap = 2000.0;         ///< declare saturation beyond this
+
+  std::uint64_t seed = 1;
+
+  /// Flit slots available to each VC.
+  int buffer_per_vc() const { return buffer_per_port / num_vcs; }
+};
+
+}  // namespace slimfly::sim

@@ -1,0 +1,18 @@
+#include "sim/injector.hpp"
+
+namespace slimfly::sim {
+
+void Injector::init(int num_endpoints, int initial_credits) {
+  endpoints_.assign(static_cast<std::size_t>(num_endpoints), EndpointState{});
+  for (auto& ep : endpoints_) ep.credits = initial_credits;
+}
+
+std::int64_t Injector::backlog() const {
+  std::int64_t total = 0;
+  for (const auto& ep : endpoints_) {
+    total += static_cast<std::int64_t>(ep.source_queue.size());
+  }
+  return total;
+}
+
+}  // namespace slimfly::sim

@@ -1,0 +1,38 @@
+#pragma once
+// Endpoint-side state: the unbounded source queue (so offered load is
+// well-defined even past saturation) and the credit counter for the single
+// uplink into the router's injection port.
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/packet.hpp"
+
+namespace slimfly::sim {
+
+struct EndpointState {
+  std::deque<Packet> source_queue;
+  int credits = 0;                 ///< slots free in the injection buffer
+  DelayLine<int> credit_return;    ///< credits on their way back
+};
+
+class Injector {
+ public:
+  void init(int num_endpoints, int initial_credits);
+
+  EndpointState& endpoint(int e) { return endpoints_[static_cast<std::size_t>(e)]; }
+  const EndpointState& endpoint(int e) const {
+    return endpoints_[static_cast<std::size_t>(e)];
+  }
+  int num_endpoints() const { return static_cast<int>(endpoints_.size()); }
+
+  /// Total packets waiting in source queues (saturation indicator).
+  std::int64_t backlog() const;
+
+ private:
+  std::vector<EndpointState> endpoints_;
+};
+
+}  // namespace slimfly::sim

@@ -1,0 +1,299 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace slimfly::sim {
+
+Network::Network(const Topology& topo, RoutingAlgorithm& routing,
+                 TrafficPattern& traffic, const SimConfig& config,
+                 double offered_load)
+    : topo_(topo),
+      routing_(routing),
+      traffic_(traffic),
+      config_(config),
+      load_(offered_load),
+      rng_(config.seed, 0xfeedULL) {
+  if (config_.num_vcs < routing_.max_hops()) {
+    throw std::invalid_argument(
+        "Network: num_vcs must cover the routing algorithm's max hops (" +
+        std::to_string(routing_.max_hops()) + " needed)");
+  }
+  if (config_.buffer_per_vc() < 1) {
+    throw std::invalid_argument("Network: buffer_per_port too small for num_vcs");
+  }
+  wire();
+  for (int e = 0; e < topo_.num_endpoints(); ++e) {
+    if (traffic_.is_active(e)) ++active_endpoints_;
+  }
+}
+
+void Network::wire() {
+  const Graph& g = topo_.graph();
+  int nr = topo_.num_routers();
+  routers_ = make_routers(nr);
+  requests_.resize(static_cast<std::size_t>(nr));
+  int buf_vc = config_.buffer_per_vc();
+
+  for (int r = 0; r < nr; ++r) {
+    RouterState& router = routers_[static_cast<std::size_t>(r)];
+    int deg = g.degree(r);
+    int eps = topo_.endpoints_at(r);
+    router.network_ports = deg;
+    router.inputs.resize(static_cast<std::size_t>(deg + eps));
+    router.outputs.resize(static_cast<std::size_t>(deg + eps));
+    for (auto& in : router.inputs) {
+      in.vcs.assign(static_cast<std::size_t>(config_.num_vcs), VcBuffer(buf_vc));
+    }
+    const auto& nbrs = g.neighbors(r);
+    for (int i = 0; i < deg; ++i) {
+      OutputPort& out = router.outputs[static_cast<std::size_t>(i)];
+      out.dest_router = nbrs[static_cast<std::size_t>(i)];
+      out.initial_credit = buf_vc;
+      out.credits.assign(static_cast<std::size_t>(config_.num_vcs), buf_vc);
+    }
+    for (int j = 0; j < eps; ++j) {
+      OutputPort& out = router.outputs[static_cast<std::size_t>(deg + j)];
+      out.dest_router = -1;
+      out.dest_endpoint = topo_.first_endpoint(r) + j;
+      // Endpoints always consume: model as unbounded credit.
+      out.initial_credit = 1 << 28;
+      out.credits.assign(static_cast<std::size_t>(config_.num_vcs), 1 << 28);
+    }
+  }
+  // Reverse port wiring: input port i of r receives from neighbour i.
+  for (int r = 0; r < nr; ++r) {
+    const auto& nbrs = g.neighbors(r);
+    for (int i = 0; i < static_cast<int>(nbrs.size()); ++i) {
+      int u = nbrs[static_cast<std::size_t>(i)];
+      routers_[static_cast<std::size_t>(r)].outputs[static_cast<std::size_t>(i)]
+          .dest_port = port_of_neighbor(u, r);
+    }
+  }
+  injector_.init(topo_.num_endpoints(), buf_vc);
+}
+
+int Network::port_of_neighbor(int router, int neighbor) const {
+  const auto& nbrs = topo_.graph().neighbors(router);
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), neighbor);
+  if (it == nbrs.end() || *it != neighbor) {
+    throw std::invalid_argument("port_of_neighbor: not adjacent");
+  }
+  return static_cast<int>(it - nbrs.begin());
+}
+
+void Network::do_arrivals() {
+  for (auto& router : routers_) {
+    for (auto& out : router.outputs) {
+      // Credits coming back from downstream consumption.
+      while (auto vc = out.credit_return.pop_ready(cycle_)) {
+        ++out.credits[static_cast<std::size_t>(*vc)];
+      }
+      // Flits reaching the far end of the channel.
+      if (auto pkt = out.channel.pop_ready(cycle_)) {
+        if (out.dest_router < 0) {
+          deliver(std::move(*pkt));
+        } else {
+          int vc = pkt->wire_vc;  // VC used on the link just traversed
+          routers_[static_cast<std::size_t>(out.dest_router)]
+              .inputs[static_cast<std::size_t>(out.dest_port)]
+              .vcs[static_cast<std::size_t>(vc)]
+              .push(std::move(*pkt));
+        }
+      }
+    }
+  }
+  // Endpoint uplink credits.
+  for (int e = 0; e < injector_.num_endpoints(); ++e) {
+    auto& ep = injector_.endpoint(e);
+    while (auto c = ep.credit_return.pop_ready(cycle_)) {
+      (void)c;
+      ++ep.credits;
+    }
+  }
+}
+
+void Network::do_injection() {
+  bool in_measurement = cycle_ >= config_.warmup_cycles &&
+                        cycle_ < config_.warmup_cycles + config_.measure_cycles;
+  for (int e = 0; e < topo_.num_endpoints(); ++e) {
+    auto& ep = injector_.endpoint(e);
+    // Bernoulli generation.
+    if (rng_.bernoulli(load_)) {
+      int dst = traffic_.destination(e, rng_);
+      if (dst >= 0) {
+        Packet pkt;
+        pkt.id = next_packet_id_++;
+        pkt.src_endpoint = e;
+        pkt.dst_endpoint = dst;
+        pkt.src_router = topo_.endpoint_router(e);
+        pkt.dst_router = topo_.endpoint_router(dst);
+        pkt.t_generated = cycle_;
+        pkt.measured = in_measurement;
+        if (pkt.measured) ++measured_generated_;
+        ep.source_queue.push_back(std::move(pkt));
+      }
+    }
+    // Uplink: move the head of the source queue into the router's injection
+    // buffer (VC 0) when a credit is available. Routing happens here so
+    // UGAL sees the queue state at the moment of injection.
+    if (!ep.source_queue.empty() && ep.credits > 0) {
+      Packet pkt = std::move(ep.source_queue.front());
+      ep.source_queue.pop_front();
+      --ep.credits;
+      pkt.t_injected = cycle_;
+      routing_.route_at_injection(*this, pkt, rng_);
+      int r = pkt.src_router;
+      int port = routers_[static_cast<std::size_t>(r)].network_ports +
+                 (e - topo_.first_endpoint(r));
+      routers_[static_cast<std::size_t>(r)]
+          .inputs[static_cast<std::size_t>(port)]
+          .vcs[0]
+          .push(std::move(pkt));
+    }
+  }
+}
+
+void Network::do_allocation() {
+  int nr = topo_.num_routers();
+  for (int iter = 0; iter < config_.alloc_iterations; ++iter) {
+    for (int r = 0; r < nr; ++r) {
+      RouterState& router = routers_[static_cast<std::size_t>(r)];
+      int num_inputs = static_cast<int>(router.inputs.size());
+      int num_outputs = static_cast<int>(router.outputs.size());
+      // Collect head-of-line requests, bucketed by requested output port so
+      // each output only scans its own candidates.
+      auto& by_output = requests_[static_cast<std::size_t>(r)];
+      if (by_output.size() != static_cast<std::size_t>(num_outputs)) {
+        by_output.resize(static_cast<std::size_t>(num_outputs));
+      }
+      for (auto& bucket : by_output) bucket.clear();
+      for (int ip = 0; ip < num_inputs; ++ip) {
+        for (int vc = 0; vc < config_.num_vcs; ++vc) {
+          const VcBuffer& buf = router.inputs[static_cast<std::size_t>(ip)]
+                                    .vcs[static_cast<std::size_t>(vc)];
+          if (buf.empty()) continue;
+          const Packet& pkt = buf.front();
+          int next = routing_.next_router(*this, pkt, r);
+          int op;
+          int vc_link;
+          if (next < 0) {
+            op = router.network_ports + (pkt.dst_endpoint - topo_.first_endpoint(r));
+            vc_link = 0;  // ejection ports have unbounded credit on VC 0
+          } else {
+            op = port_of_neighbor(r, next);
+            vc_link = routing_.link_vc(pkt);
+          }
+          by_output[static_cast<std::size_t>(op)].push_back(
+              Request{ip, vc, op, vc_link});
+        }
+      }
+      // Output-major separable allocation with per-input grant limit 1.
+      std::vector<bool> input_granted(static_cast<std::size_t>(num_inputs), false);
+      for (int op = 0; op < num_outputs; ++op) {
+        OutputPort& out = router.outputs[static_cast<std::size_t>(op)];
+        if (static_cast<int>(out.staging.size()) >= config_.output_staging) continue;
+        // Round-robin over this output's candidates.
+        auto& requests = by_output[static_cast<std::size_t>(op)];
+        int n_req = static_cast<int>(requests.size());
+        if (n_req == 0) continue;
+        int start = out.rr_pointer % n_req;
+        for (int k = 0; k < n_req; ++k) {
+          const Request& req = requests[static_cast<std::size_t>((start + k) % n_req)];
+          if (input_granted[static_cast<std::size_t>(req.input_port)]) continue;
+          if (out.credits[static_cast<std::size_t>(req.vc_link)] <= 0) continue;
+          VcBuffer& buf = router.inputs[static_cast<std::size_t>(req.input_port)]
+                              .vcs[static_cast<std::size_t>(req.vc)];
+          if (buf.empty()) continue;  // granted earlier this cycle
+          Packet pkt = buf.pop();
+          --out.credits[static_cast<std::size_t>(req.vc_link)];
+          pkt.wire_vc = req.vc_link;
+          ++pkt.hop;
+          out.staging.push_back(std::move(pkt));
+          input_granted[static_cast<std::size_t>(req.input_port)] = true;
+          out.rr_pointer = (start + k + 1) % n_req;
+          // Return the freed buffer slot upstream.
+          if (req.input_port < router.network_ports) {
+            int u = topo_.graph().neighbors(r)[static_cast<std::size_t>(req.input_port)];
+            int uport = port_of_neighbor(u, r);
+            routers_[static_cast<std::size_t>(u)]
+                .outputs[static_cast<std::size_t>(uport)]
+                .credit_return.push(cycle_ + config_.credit_delay, req.vc);
+          } else {
+            int endpoint = topo_.first_endpoint(r) +
+                           (req.input_port - router.network_ports);
+            injector_.endpoint(endpoint)
+                .credit_return.push(cycle_ + config_.credit_delay, 0);
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Network::do_transmission() {
+  std::int64_t ready = cycle_ + config_.channel_latency + config_.router_pipeline;
+  for (auto& router : routers_) {
+    for (auto& out : router.outputs) {
+      if (out.staging.empty()) continue;
+      out.channel.push(ready, std::move(out.staging.front()));
+      out.staging.pop_front();
+    }
+  }
+}
+
+void Network::deliver(Packet pkt) {
+  stats_.record_delivery(cycle_ - pkt.t_generated, cycle_ - pkt.t_injected,
+                         pkt.measured);
+  if (cycle_ >= config_.warmup_cycles &&
+      cycle_ < config_.warmup_cycles + config_.measure_cycles) {
+    ++delivered_in_window_;
+  }
+}
+
+void Network::step() {
+  do_arrivals();
+  do_injection();
+  do_allocation();
+  do_transmission();
+  ++cycle_;
+}
+
+std::int64_t Network::flits_in_flight() const {
+  std::int64_t total = 0;
+  for (const auto& router : routers_) {
+    for (const auto& in : router.inputs) total += in.occupancy();
+    for (const auto& out : router.outputs) {
+      total += static_cast<std::int64_t>(out.staging.size() + out.channel.size());
+    }
+  }
+  return total;
+}
+
+SimResult Network::run() {
+  std::int64_t horizon = config_.warmup_cycles + config_.measure_cycles;
+  while (cycle_ < horizon) step();
+  stats_.set_measured_generated(measured_generated_);
+  std::int64_t drain_end = horizon + config_.drain_cycles;
+  while (!stats_.all_measured_delivered() && cycle_ < drain_end) step();
+
+  SimResult result;
+  result.offered_load = load_;
+  result.avg_latency = stats_.average_latency();
+  result.avg_network_latency = stats_.average_network_latency();
+  result.p99_latency = stats_.percentile_latency(0.99);
+  result.delivered = stats_.total_delivered();
+  // Accepted throughput counts ejections *during* the measurement window
+  // (Dally & Towles methodology); packets delivered later in the drain
+  // improve latency statistics but not throughput.
+  double denom = static_cast<double>(active_endpoints_) *
+                 static_cast<double>(config_.measure_cycles);
+  result.accepted_load =
+      denom > 0 ? static_cast<double>(delivered_in_window_) / denom : 0.0;
+  result.saturated = !stats_.all_measured_delivered() ||
+                     result.avg_latency > config_.latency_cap;
+  return result;
+}
+
+}  // namespace slimfly::sim

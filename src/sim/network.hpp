@@ -1,0 +1,92 @@
+#pragma once
+// The cycle-driven network engine: input-queued routers with virtual
+// channels and credit-based flow control, Bernoulli endpoint injection,
+// two switch-allocation iterations per cycle (internal speedup 2), and the
+// warmup / measurement / drain methodology of the paper (Section V).
+//
+// Port layout per router r of degree d with e = endpoints_at(r):
+//   inputs  [0, d) from neighbours, [d, d+e) injection from endpoints
+//   outputs [0, d) to neighbours,   [d, d+e) ejection to endpoints
+// Neighbour i (in sorted adjacency order) uses port i on both sides.
+
+#include <memory>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/injector.hpp"
+#include "sim/router.hpp"
+#include "sim/routing/routing.hpp"
+#include "sim/stats.hpp"
+#include "sim/traffic.hpp"
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+
+namespace slimfly::sim {
+
+class Network {
+ public:
+  /// All references must outlive the Network.
+  Network(const Topology& topo, RoutingAlgorithm& routing,
+          TrafficPattern& traffic, const SimConfig& config, double offered_load);
+
+  /// Advances one cycle.
+  void step();
+
+  /// Runs warmup + measurement + drain and returns the summary.
+  SimResult run();
+
+  std::int64_t cycle() const { return cycle_; }
+  const Stats& stats() const { return stats_; }
+
+  // ---- Introspection used by routing algorithms -------------------------
+  const Topology& topology() const { return topo_; }
+  /// Output port index on `router` leading to `neighbor`.
+  int port_of_neighbor(int router, int neighbor) const;
+  /// Congestion estimate for an output port: staging occupancy plus
+  /// credits consumed downstream.
+  int queue_estimate(int router, int port) const {
+    return routers_[static_cast<std::size_t>(router)].queue_estimate(port);
+  }
+  Rng& rng() { return rng_; }
+
+  /// Total flits currently buffered in the network (test/debug hook).
+  std::int64_t flits_in_flight() const;
+  /// Endpoints that can generate traffic under the pattern.
+  int active_endpoints() const { return active_endpoints_; }
+
+ private:
+  void wire();
+  void do_arrivals();
+  void do_injection();
+  void do_allocation();
+  void do_transmission();
+  void deliver(Packet pkt);
+
+  const Topology& topo_;
+  RoutingAlgorithm& routing_;
+  TrafficPattern& traffic_;
+  SimConfig config_;
+  double load_;
+
+  std::vector<RouterState> routers_;
+  Injector injector_;
+  Stats stats_;
+  Rng rng_;
+  std::int64_t cycle_ = 0;
+  std::int64_t next_packet_id_ = 0;
+  std::int64_t measured_generated_ = 0;
+  std::int64_t delivered_in_window_ = 0;
+  int active_endpoints_ = 0;
+
+  // Scratch request lists rebuilt each allocation iteration:
+  // per router, per output port, candidate (input port, vc) pairs.
+  struct Request {
+    int input_port;
+    int vc;
+    int output_port;
+    int vc_link;
+  };
+  std::vector<std::vector<std::vector<Request>>> requests_;  // [router][output]
+};
+
+}  // namespace slimfly::sim

@@ -1,0 +1,35 @@
+#pragma once
+// Single-flit packet, following the paper's choice of one-flit packets to
+// isolate routing behaviour from flow-control effects (Section V).
+
+#include <cstdint>
+#include <vector>
+
+namespace slimfly::sim {
+
+struct Packet {
+  std::int64_t id = 0;
+  int src_endpoint = -1;
+  int dst_endpoint = -1;
+  int src_router = -1;
+  int dst_router = -1;
+
+  /// Router path for source-routed algorithms (path[0] == src_router,
+  /// path.back() == dst_router). Empty for per-hop adaptive routing.
+  std::vector<int> path;
+  /// Index of the router the packet currently occupies (0 at the source).
+  int hop = 0;
+  /// VC assigned to the link currently being traversed (set at switch
+  /// allocation from RoutingAlgorithm::link_vc).
+  int wire_vc = 0;
+
+  std::int64_t t_generated = 0;  ///< cycle the endpoint created the packet
+  std::int64_t t_injected = 0;   ///< cycle the packet entered its source router
+  std::int64_t t_delivered = -1;
+  bool measured = false;         ///< generated inside the measurement window
+
+  /// VC used on the link leaving the current router (VC = hop index).
+  int next_vc() const { return hop; }
+};
+
+}  // namespace slimfly::sim

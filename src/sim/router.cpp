@@ -1,0 +1,9 @@
+#include "sim/router.hpp"
+
+namespace slimfly::sim {
+
+std::vector<RouterState> make_routers(int num_routers) {
+  return std::vector<RouterState>(static_cast<std::size_t>(num_routers));
+}
+
+}  // namespace slimfly::sim

@@ -1,0 +1,61 @@
+#pragma once
+// Input-queued router state: per-(port, VC) input buffers, per-output
+// staging queues with credit counters, and the flit/credit delay lines of
+// the attached outgoing channel. The allocation logic lives in Network
+// (it needs global state for arrivals and credits).
+
+#include <vector>
+
+#include "sim/buffer.hpp"
+#include "sim/channel.hpp"
+#include "sim/config.hpp"
+#include "sim/packet.hpp"
+
+namespace slimfly::sim {
+
+struct OutputPort {
+  int dest_router = -1;  ///< -1 => ejection port to an endpoint
+  int dest_port = -1;    ///< input port index at dest_router
+  int dest_endpoint = -1;///< endpoint id for ejection ports
+
+  std::vector<int> credits;        ///< per-VC slots free downstream
+  std::deque<Packet> staging;      ///< between crossbar and channel
+  DelayLine<Packet> channel;       ///< flits in flight on the wire
+  DelayLine<int> credit_return;    ///< VCs credited back to this port
+  int rr_pointer = 0;              ///< round-robin over input (port,vc)
+
+  int consumed_credits() const {
+    int consumed = 0;
+    for (std::size_t v = 0; v < credits.size(); ++v) consumed += initial_credit - credits[v];
+    return consumed;
+  }
+  int initial_credit = 0;
+};
+
+struct InputPort {
+  std::vector<VcBuffer> vcs;
+  int occupancy() const {
+    int total = 0;
+    for (const auto& b : vcs) total += b.size();
+    return total;
+  }
+};
+
+struct RouterState {
+  std::vector<InputPort> inputs;    ///< [0,deg) network + [deg, deg+p) injection
+  std::vector<OutputPort> outputs;  ///< [0,deg) network + [deg, deg+p) ejection
+  int network_ports = 0;            ///< router degree in the graph
+
+  /// Congestion estimate for UGAL: staging occupancy plus credits consumed
+  /// downstream (an upper bound on the downstream queue for this port).
+  int queue_estimate(int port) const {
+    const OutputPort& out = outputs[static_cast<std::size_t>(port)];
+    return static_cast<int>(out.staging.size()) + out.consumed_credits();
+  }
+};
+
+/// Builds the router state array for a topology graph; wiring of
+/// dest_router/dest_port/ejection ports is done by Network.
+std::vector<RouterState> make_routers(int num_routers);
+
+}  // namespace slimfly::sim

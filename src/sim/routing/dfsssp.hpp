@@ -1,0 +1,28 @@
+#pragma once
+// DFSSSP-style virtual-channel assignment (paper Section IV-D; Domke,
+// Hoefler, Nagel IPDPS'11): given deterministic shortest-path routes for
+// every ordered router pair, assign each route to a VC layer such that the
+// channel dependency graph of every layer is acyclic (Dally-Seitz
+// criterion). The number of layers used is the number of VCs a generic
+// deadlock-free deployment (e.g. OFED) needs. The paper reports 3 for all
+// Slim Flies and 8-15 for DLN random topologies.
+
+#include <cstdint>
+
+#include "topo/graph.hpp"
+
+namespace slimfly::sim {
+
+struct DfssspResult {
+  int vcs_used = 0;      ///< layers needed; 0 when max_layers was exceeded
+  std::int64_t routes = 0;
+};
+
+/// Computes the VC count for deterministic single-shortest-path routing on
+/// g (one BFS-tree path per ordered pair). Routes are processed in a seeded
+/// random order; a route moves to the next layer when adding it would close
+/// a cycle in the current layer's channel dependency graph.
+DfssspResult dfsssp_vc_count(const Graph& g, int max_layers = 32,
+                             std::uint64_t seed = 1);
+
+}  // namespace slimfly::sim

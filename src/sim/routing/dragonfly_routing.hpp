@@ -1,0 +1,25 @@
+#pragma once
+// Dragonfly routing (paper Section V; Kim et al. ISCA'08):
+//  * minimal hierarchical routing falls out of the generic shortest-path
+//    machinery (local - global - local, <= 3 hops),
+//  * DF-UGAL-L uses Valiant-to-a-random-GROUP candidates (Kim's VAL_group)
+//    compared against the minimal path with local queue information.
+
+#include <memory>
+
+#include "sim/routing/ugal.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace slimfly::sim {
+
+/// Builds the paper's DF-UGAL-L: UGAL with group-Valiant candidates.
+std::unique_ptr<UgalRouting> make_dragonfly_ugal_l(const Dragonfly& topo,
+                                                   const DistanceTable& dist,
+                                                   int candidates = 4);
+
+/// Group-Valiant sampler exposed for tests: minimal to a random router in a
+/// random intermediate group, then minimal to the destination.
+UgalRouting::CandidateSampler dragonfly_group_sampler(const Dragonfly& topo,
+                                                      const DistanceTable& dist);
+
+}  // namespace slimfly::sim

@@ -1,0 +1,69 @@
+#include "sim/routing/fattree_routing.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "sim/network.hpp"
+
+namespace slimfly::sim {
+
+void FatTreeAncaRouting::route_at_injection(Network& net, Packet& pkt, Rng& rng) {
+  (void)net;
+  (void)rng;
+  pkt.path.clear();  // per-hop routed
+}
+
+int FatTreeAncaRouting::adaptive_up(const Network& net, const Packet& pkt,
+                                    int router, int level) const {
+  // All upward neighbours reach every destination; pick the least-loaded
+  // output port (ANCA's adaptivity). The scan starts at a packet-dependent
+  // offset so that ties (ubiquitous at low load, where every queue estimate
+  // is zero) spread traffic instead of herding onto the first port.
+  std::vector<int> ups;
+  ups.reserve(16);
+  for (int n : topo_.graph().neighbors(router)) {
+    if (topo_.level(n) == level + 1) ups.push_back(n);
+  }
+  if (ups.empty()) throw std::logic_error("FT-ANCA: no upward neighbour");
+  std::size_t offset = static_cast<std::size_t>(
+      (pkt.id + pkt.src_endpoint + 31 * router) % static_cast<int>(ups.size()));
+  int best = -1;
+  int best_queue = std::numeric_limits<int>::max();
+  for (std::size_t k = 0; k < ups.size(); ++k) {
+    int n = ups[(k + offset) % ups.size()];
+    int q = net.queue_estimate(router, net.port_of_neighbor(router, n));
+    if (q < best_queue) {
+      best_queue = q;
+      best = n;
+    }
+  }
+  return best;
+}
+
+int FatTreeAncaRouting::next_router(const Network& net, const Packet& pkt,
+                                    int current_router) const {
+  int dst = pkt.dst_router;  // always an edge switch
+  if (current_router == dst) return -1;
+  int level = topo_.level(current_router);
+  int dst_pod = topo_.pod(dst);
+  switch (level) {
+    case 0:
+      // Edge switch other than the destination: go up adaptively.
+      return adaptive_up(net, pkt, current_router, 0);
+    case 1: {
+      if (topo_.pod(current_router) == dst_pod) return dst;  // down to dst edge
+      return adaptive_up(net, pkt, current_router, 1);
+    }
+    case 2: {
+      // Core (j, l) connects to aggregation j in every pod; descend into the
+      // destination pod.
+      int j = topo_.index_in_level(current_router) / topo_.p();
+      int agg = topo_.pods() * topo_.p() + dst_pod * topo_.p() + j;
+      return agg;
+    }
+    default:
+      throw std::logic_error("FT-ANCA: bad level");
+  }
+}
+
+}  // namespace slimfly::sim

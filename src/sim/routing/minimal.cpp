@@ -1,0 +1,13 @@
+#include "sim/routing/minimal.hpp"
+
+namespace slimfly::sim {
+
+void MinimalRouting::route_at_injection(Network& net, Packet& pkt, Rng& rng) {
+  (void)net;
+  pkt.path.clear();
+  pkt.path.push_back(pkt.src_router);
+  dist_.sample_minimal_path(topo_.graph(), pkt.src_router, pkt.dst_router, rng,
+                            pkt.path);
+}
+
+}  // namespace slimfly::sim

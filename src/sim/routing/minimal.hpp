@@ -1,0 +1,27 @@
+#pragma once
+// Minimal static routing (paper Section IV-A): a uniformly random shortest
+// path is chosen at injection — direct neighbours in one hop, everything
+// else in diameter-many hops. Matches what statically routed InfiniBand or
+// Ethernet would do on the topology.
+
+#include "sim/routing/routing.hpp"
+#include "topo/topology.hpp"
+
+namespace slimfly::sim {
+
+class MinimalRouting : public RoutingAlgorithm {
+ public:
+  MinimalRouting(const Topology& topo, const DistanceTable& dist)
+      : topo_(topo), dist_(dist) {}
+
+  std::string name() const override { return "MIN"; }
+  int max_hops() const override { return dist_.diameter(); }
+
+  void route_at_injection(Network& net, Packet& pkt, Rng& rng) override;
+
+ protected:
+  const Topology& topo_;
+  const DistanceTable& dist_;
+};
+
+}  // namespace slimfly::sim

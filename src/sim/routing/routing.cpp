@@ -1,0 +1,69 @@
+#include "sim/routing/routing.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace slimfly::sim {
+
+DistanceTable::DistanceTable(const Graph& g) : n_(g.num_vertices()) {
+  table_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), 255);
+  std::vector<int> frontier;
+  for (int s = 0; s < n_; ++s) {
+    auto* row = &table_[static_cast<std::size_t>(s) * static_cast<std::size_t>(n_)];
+    row[s] = 0;
+    frontier.assign(1, s);
+    int depth = 0;
+    while (!frontier.empty()) {
+      std::vector<int> next;
+      for (int v : frontier) {
+        for (int w : g.neighbors(v)) {
+          if (row[w] == 255) {
+            if (depth + 1 >= 255) throw std::logic_error("DistanceTable: diameter too large");
+            row[w] = static_cast<std::uint8_t>(depth + 1);
+            next.push_back(w);
+          }
+        }
+      }
+      frontier = std::move(next);
+      ++depth;
+    }
+    for (int v = 0; v < n_; ++v) {
+      if (row[v] == 255) throw std::invalid_argument("DistanceTable: graph disconnected");
+      diameter_ = std::max(diameter_, static_cast<int>(row[v]));
+    }
+  }
+}
+
+void DistanceTable::sample_minimal_path(const Graph& g, int u, int v, Rng& rng,
+                                        std::vector<int>& out) const {
+  int current = u;
+  while (current != v) {
+    int want = dist(current, v) - 1;
+    // Reservoir-sample one minimal next hop uniformly.
+    int chosen = -1;
+    int seen = 0;
+    for (int w : g.neighbors(current)) {
+      if (dist(w, v) == want) {
+        ++seen;
+        if (rng.next_below(static_cast<std::uint32_t>(seen)) == 0) chosen = w;
+      }
+    }
+    if (chosen < 0) throw std::logic_error("sample_minimal_path: no progress");
+    out.push_back(chosen);
+    current = chosen;
+  }
+}
+
+int RoutingAlgorithm::next_router(const Network& net, const Packet& pkt,
+                                  int current_router) const {
+  (void)net;
+  std::size_t hop = static_cast<std::size_t>(pkt.hop);
+  if (hop >= pkt.path.size()) throw std::logic_error("next_router: hop out of range");
+  if (pkt.path[hop] != current_router) {
+    throw std::logic_error("next_router: packet not on its path");
+  }
+  if (hop + 1 == pkt.path.size()) return -1;  // at destination router
+  return pkt.path[hop + 1];
+}
+
+}  // namespace slimfly::sim

@@ -1,0 +1,72 @@
+#pragma once
+// Routing algorithm interface (paper Section IV) and the all-pairs
+// distance table shared by every algorithm.
+//
+// Most algorithms are source-routed: the full router path is chosen at
+// injection (where UGAL's queue comparison happens) and the packet then
+// follows it with VC = hop index, which guarantees deadlock freedom because
+// VCs increase strictly along every path (Gopal's scheme, Section IV-D).
+// Fat-tree ANCA overrides next_router() for per-hop adaptivity; its up/down
+// structure is acyclic so the same VC discipline applies.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/packet.hpp"
+#include "topo/graph.hpp"
+#include "util/rng.hpp"
+
+namespace slimfly::sim {
+
+class Network;
+
+/// All-pairs hop distances with minimal-path sampling.
+class DistanceTable {
+ public:
+  explicit DistanceTable(const Graph& g);
+
+  int dist(int u, int v) const {
+    return table_[static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
+                  static_cast<std::size_t>(v)];
+  }
+  int diameter() const { return diameter_; }
+
+  /// Appends a uniformly-sampled minimal path from u to v onto `out`
+  /// (excluding u, including v). No-op when u == v.
+  void sample_minimal_path(const Graph& g, int u, int v, Rng& rng,
+                           std::vector<int>& out) const;
+
+ private:
+  int n_;
+  int diameter_ = 0;
+  std::vector<std::uint8_t> table_;
+};
+
+class RoutingAlgorithm {
+ public:
+  virtual ~RoutingAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+  /// Largest number of links any produced path can traverse (defines the
+  /// number of VCs needed for deadlock freedom).
+  virtual int max_hops() const = 0;
+
+  /// Called once when the packet enters its source router; source-routed
+  /// algorithms fill pkt.path here (pkt.path[0] == src_router).
+  virtual void route_at_injection(Network& net, Packet& pkt, Rng& rng) = 0;
+
+  /// Next router from `current_router`, or -1 to eject. The default follows
+  /// pkt.path.
+  virtual int next_router(const Network& net, const Packet& pkt,
+                          int current_router) const;
+
+  /// Virtual channel for the link the packet is about to take. The default
+  /// (VC = hop index, Gopal's scheme) is deadlock-free on any topology
+  /// because VCs strictly increase along a path. Algorithms whose physical
+  /// routes are acyclic (fat-tree up/down) may spread packets over all
+  /// max_hops() VCs instead, avoiding single-VC head-of-line blocking.
+  virtual int link_vc(const Packet& pkt) const { return pkt.hop; }
+};
+
+}  // namespace slimfly::sim

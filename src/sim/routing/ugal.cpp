@@ -1,0 +1,60 @@
+#include "sim/routing/ugal.hpp"
+
+#include <limits>
+
+#include "sim/network.hpp"
+
+namespace slimfly::sim {
+
+UgalRouting::UgalRouting(const Topology& topo, const DistanceTable& dist,
+                         UgalMode mode, int candidates, CandidateSampler sampler)
+    : topo_(topo),
+      dist_(dist),
+      mode_(mode),
+      candidates_(candidates),
+      valiant_(topo, dist),
+      sampler_(std::move(sampler)) {}
+
+double UgalRouting::path_cost(const Network& net, const std::vector<int>& path) const {
+  double hops = static_cast<double>(path.size()) - 1.0;
+  if (hops <= 0.0) return 0.0;
+  if (mode_ == UgalMode::Local) {
+    // Length of the local output queue toward the first hop, weighted by
+    // path length (Section IV-C2).
+    int port = net.port_of_neighbor(path[0], path[1]);
+    return hops * (1.0 + net.queue_estimate(path[0], port));
+  }
+  // Global: sum of output queues along the path plus the hop count as a
+  // zero-load tie-breaker (Section IV-C1).
+  double cost = hops;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    int port = net.port_of_neighbor(path[i], path[i + 1]);
+    cost += net.queue_estimate(path[i], port);
+  }
+  return cost;
+}
+
+void UgalRouting::route_at_injection(Network& net, Packet& pkt, Rng& rng) {
+  // Minimal candidate.
+  std::vector<int> best;
+  best.push_back(pkt.src_router);
+  dist_.sample_minimal_path(topo_.graph(), pkt.src_router, pkt.dst_router, rng, best);
+  double best_cost = path_cost(net, best);
+
+  std::vector<int> candidate;
+  for (int c = 0; c < candidates_; ++c) {
+    if (sampler_) {
+      sampler_(pkt.src_router, pkt.dst_router, rng, candidate);
+    } else {
+      valiant_.build_path(pkt.src_router, pkt.dst_router, rng, candidate);
+    }
+    double cost = path_cost(net, candidate);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best.swap(candidate);
+    }
+  }
+  pkt.path = std::move(best);
+}
+
+}  // namespace slimfly::sim

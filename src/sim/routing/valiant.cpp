@@ -1,0 +1,32 @@
+#include "sim/routing/valiant.hpp"
+
+namespace slimfly::sim {
+
+void ValiantRouting::build_path(int src_router, int dst_router, Rng& rng,
+                                std::vector<int>& path) const {
+  int nr = topo_.num_routers();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    path.clear();
+    path.push_back(src_router);
+    if (src_router != dst_router) {
+      // Random intermediate distinct from both ends (Section IV-B).
+      int via = src_router;
+      while (via == src_router || via == dst_router) via = rng.next_int(0, nr - 1);
+      dist_.sample_minimal_path(topo_.graph(), src_router, via, rng, path);
+      dist_.sample_minimal_path(topo_.graph(), via, dst_router, rng, path);
+    }
+    if (!hop_limit_ || static_cast<int>(path.size()) - 1 <= *hop_limit_) return;
+  }
+  // Hop-limited variant: fall back to a minimal path when sampling keeps
+  // exceeding the limit (rare; keeps the algorithm total).
+  path.clear();
+  path.push_back(src_router);
+  dist_.sample_minimal_path(topo_.graph(), src_router, dst_router, rng, path);
+}
+
+void ValiantRouting::route_at_injection(Network& net, Packet& pkt, Rng& rng) {
+  (void)net;
+  build_path(pkt.src_router, pkt.dst_router, rng, pkt.path);
+}
+
+}  // namespace slimfly::sim

@@ -1,0 +1,92 @@
+#include "sim/simulation.hpp"
+
+#include <stdexcept>
+
+#include "sim/routing/dragonfly_routing.hpp"
+#include "sim/routing/fattree_routing.hpp"
+#include "sim/routing/minimal.hpp"
+#include "sim/routing/ugal.hpp"
+#include "sim/routing/valiant.hpp"
+
+namespace slimfly::sim {
+
+std::string to_string(RoutingKind kind) {
+  switch (kind) {
+    case RoutingKind::Minimal: return "MIN";
+    case RoutingKind::Valiant: return "VAL";
+    case RoutingKind::UgalL: return "UGAL-L";
+    case RoutingKind::UgalG: return "UGAL-G";
+    case RoutingKind::DragonflyUgalL: return "DF-UGAL-L";
+    case RoutingKind::FatTreeAnca: return "FT-ANCA";
+  }
+  return "?";
+}
+
+RoutingBundle make_routing(RoutingKind kind, const Topology& topo,
+                           std::shared_ptr<DistanceTable> distances) {
+  RoutingBundle bundle;
+  if (kind != RoutingKind::FatTreeAnca) {
+    bundle.distances = distances ? std::move(distances)
+                                 : std::make_shared<DistanceTable>(topo.graph());
+  }
+  switch (kind) {
+    case RoutingKind::Minimal:
+      bundle.algorithm = std::make_unique<MinimalRouting>(topo, *bundle.distances);
+      break;
+    case RoutingKind::Valiant:
+      bundle.algorithm = std::make_unique<ValiantRouting>(topo, *bundle.distances);
+      break;
+    case RoutingKind::UgalL:
+      bundle.algorithm = std::make_unique<UgalRouting>(topo, *bundle.distances,
+                                                       UgalMode::Local);
+      break;
+    case RoutingKind::UgalG:
+      bundle.algorithm = std::make_unique<UgalRouting>(topo, *bundle.distances,
+                                                       UgalMode::Global);
+      break;
+    case RoutingKind::DragonflyUgalL: {
+      const auto* df = dynamic_cast<const Dragonfly*>(&topo);
+      if (!df) throw std::invalid_argument("DF-UGAL-L requires a Dragonfly topology");
+      bundle.algorithm = make_dragonfly_ugal_l(*df, *bundle.distances);
+      break;
+    }
+    case RoutingKind::FatTreeAnca: {
+      const auto* ft = dynamic_cast<const FatTree3*>(&topo);
+      if (!ft) throw std::invalid_argument("FT-ANCA requires a FatTree3 topology");
+      bundle.algorithm = std::make_unique<FatTreeAncaRouting>(*ft);
+      break;
+    }
+  }
+  return bundle;
+}
+
+SimResult simulate(const Topology& topo, RoutingAlgorithm& routing,
+                   TrafficPattern& traffic, SimConfig config, double load) {
+  if (config.num_vcs < routing.max_hops()) config.num_vcs = routing.max_hops();
+  Network net(topo, routing, traffic, config, load);
+  return net.run();
+}
+
+std::vector<SweepPoint> load_sweep(
+    const Topology& topo, RoutingAlgorithm& routing,
+    const std::function<std::unique_ptr<TrafficPattern>()>& traffic_factory,
+    SimConfig config, const std::vector<double>& loads, bool stop_at_saturation) {
+  std::vector<SweepPoint> points;
+  for (double load : loads) {
+    auto traffic = traffic_factory();
+    SweepPoint point;
+    point.load = load;
+    point.result = simulate(topo, routing, *traffic, config, load);
+    points.push_back(point);
+    if (stop_at_saturation && point.result.saturated) break;
+  }
+  return points;
+}
+
+std::vector<double> default_loads(double step, double max) {
+  std::vector<double> loads;
+  for (double l = step; l <= max + 1e-9; l += step) loads.push_back(l);
+  return loads;
+}
+
+}  // namespace slimfly::sim

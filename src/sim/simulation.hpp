@@ -1,0 +1,56 @@
+#pragma once
+// High-level simulation driver: routing factories, single-point runs and
+// offered-load sweeps (the x-axis of the paper's Figures 6 and 8).
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/routing/routing.hpp"
+#include "sim/traffic.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/fattree.hpp"
+#include "topo/topology.hpp"
+
+namespace slimfly::sim {
+
+enum class RoutingKind { Minimal, Valiant, UgalL, UgalG, DragonflyUgalL, FatTreeAnca };
+
+std::string to_string(RoutingKind kind);
+
+/// Routing algorithm plus the distance table it borrows (kept alive here).
+struct RoutingBundle {
+  std::shared_ptr<DistanceTable> distances;
+  std::unique_ptr<RoutingAlgorithm> algorithm;
+};
+
+/// Builds a routing algorithm for `topo`. DragonflyUgalL requires a
+/// Dragonfly topology and FatTreeAnca a FatTree3 (checked at runtime).
+/// An existing distance table may be shared to avoid recomputation.
+RoutingBundle make_routing(RoutingKind kind, const Topology& topo,
+                           std::shared_ptr<DistanceTable> distances = nullptr);
+
+/// Runs one (topology, routing, traffic, load) point.
+SimResult simulate(const Topology& topo, RoutingAlgorithm& routing,
+                   TrafficPattern& traffic, SimConfig config, double load);
+
+struct SweepPoint {
+  double load = 0.0;
+  SimResult result;
+};
+
+/// Sweeps offered load over `loads` (ascending); stops after the first
+/// saturated point when stop_at_saturation is set. The traffic pattern is
+/// rebuilt per point via the factory so state never leaks between points.
+std::vector<SweepPoint> load_sweep(
+    const Topology& topo, RoutingAlgorithm& routing,
+    const std::function<std::unique_ptr<TrafficPattern>()>& traffic_factory,
+    SimConfig config, const std::vector<double>& loads,
+    bool stop_at_saturation = true);
+
+/// Standard load grid 0.05 .. 0.95 in steps of `step`.
+std::vector<double> default_loads(double step = 0.1, double max = 0.95);
+
+}  // namespace slimfly::sim

@@ -1,0 +1,47 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace slimfly::sim {
+
+void Stats::record_delivery(std::int64_t latency, std::int64_t network_latency,
+                            bool measured) {
+  ++total_delivered_;
+  if (measured) {
+    ++measured_delivered_;
+    latencies_.push_back(latency);
+    network_latencies_.push_back(network_latency);
+  }
+}
+
+double Stats::average_network_latency() const {
+  if (network_latencies_.empty()) return 0.0;
+  std::int64_t sum = 0;
+  for (std::int64_t l : network_latencies_) sum += l;
+  return static_cast<double>(sum) / static_cast<double>(network_latencies_.size());
+}
+
+double Stats::average_latency() const {
+  if (latencies_.empty()) return 0.0;
+  std::int64_t sum = 0;
+  for (std::int64_t l : latencies_) sum += l;
+  return static_cast<double>(sum) / static_cast<double>(latencies_.size());
+}
+
+double Stats::percentile_latency(double p) const {
+  if (latencies_.empty()) return 0.0;
+  if (p <= 0.0 || p > 1.0) throw std::invalid_argument("percentile_latency: bad p");
+  std::vector<std::int64_t> sorted = latencies_;
+  std::sort(sorted.begin(), sorted.end());
+  std::size_t idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size()));
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return static_cast<double>(sorted[idx]);
+}
+
+std::int64_t Stats::max_latency() const {
+  if (latencies_.empty()) return 0;
+  return *std::max_element(latencies_.begin(), latencies_.end());
+}
+
+}  // namespace slimfly::sim

@@ -1,0 +1,50 @@
+#pragma once
+// Measurement collection: packet latency statistics and accepted throughput
+// over the measurement window (warmup -> measure -> drain methodology).
+
+#include <cstdint>
+#include <vector>
+
+namespace slimfly::sim {
+
+class Stats {
+ public:
+  /// `latency` counts from generation (includes source queueing);
+  /// `network_latency` from injection into the source router.
+  void record_delivery(std::int64_t latency, std::int64_t network_latency,
+                       bool measured);
+
+  void set_measured_generated(std::int64_t count) { measured_generated_ = count; }
+  std::int64_t measured_generated() const { return measured_generated_; }
+  std::int64_t measured_delivered() const { return measured_delivered_; }
+  std::int64_t total_delivered() const { return total_delivered_; }
+
+  double average_latency() const;
+  double average_network_latency() const;
+  double percentile_latency(double p) const;  ///< p in (0, 1]
+  std::int64_t max_latency() const;
+
+  bool all_measured_delivered() const {
+    return measured_delivered_ >= measured_generated_;
+  }
+
+ private:
+  std::vector<std::int64_t> latencies_;          // measured packets only
+  std::vector<std::int64_t> network_latencies_;  // measured packets only
+  std::int64_t measured_generated_ = 0;
+  std::int64_t measured_delivered_ = 0;
+  std::int64_t total_delivered_ = 0;
+};
+
+/// Result of one (topology, routing, traffic, load) simulation point.
+struct SimResult {
+  double offered_load = 0.0;    ///< flits/cycle/endpoint offered
+  double accepted_load = 0.0;   ///< measured flits delivered / (endpoints*cycles)
+  double avg_latency = 0.0;         ///< generation -> ejection
+  double avg_network_latency = 0.0; ///< injection -> ejection (Figure 8a metric)
+  double p99_latency = 0.0;
+  bool saturated = false;       ///< drain incomplete or latency beyond cap
+  std::int64_t delivered = 0;
+};
+
+}  // namespace slimfly::sim

@@ -1,0 +1,317 @@
+#include "sim/traffic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analysis/metrics.hpp"
+
+namespace slimfly::sim {
+
+namespace {
+
+class UniformTraffic final : public TrafficPattern {
+ public:
+  explicit UniformTraffic(int n) : n_(n) {}
+  std::string name() const override { return "uniform"; }
+  int destination(int src, Rng& rng) override {
+    int dst = rng.next_int(0, n_ - 2);
+    return dst >= src ? dst + 1 : dst;  // uniform over all others
+  }
+
+ private:
+  int n_;
+};
+
+/// Base for the power-of-two bit permutations: endpoints >= 2^b are idle.
+class BitPermutation : public TrafficPattern {
+ public:
+  explicit BitPermutation(int n) {
+    if (n < 2) throw std::invalid_argument("BitPermutation: need >= 2 endpoints");
+    bits_ = 0;
+    while ((2 << bits_) <= n) ++bits_;  // largest 2^bits_ <= n
+    active_ = 1 << bits_;
+  }
+  int destination(int src, Rng& rng) override {
+    (void)rng;
+    if (src >= active_) return -1;
+    int dst = permute(src);
+    return dst == src ? -1 : dst;  // self-sends would be no-ops
+  }
+  bool is_active(int src) const override {
+    return src < active_ && permute(src) != src;
+  }
+
+ protected:
+  virtual int permute(int src) const = 0;
+  int bits_ = 0;
+  int active_ = 0;
+};
+
+class ShuffleTraffic final : public BitPermutation {
+ public:
+  using BitPermutation::BitPermutation;
+  std::string name() const override { return "shuffle"; }
+
+ protected:
+  // d_i = s_(i-1 mod b): rotate the address left by one bit.
+  int permute(int src) const override {
+    return ((src << 1) | (src >> (bits_ - 1))) & (active_ - 1);
+  }
+};
+
+class BitReversalTraffic final : public BitPermutation {
+ public:
+  using BitPermutation::BitPermutation;
+  std::string name() const override { return "bitrev"; }
+
+ protected:
+  int permute(int src) const override {
+    int dst = 0;
+    for (int i = 0; i < bits_; ++i) {
+      if (src & (1 << i)) dst |= 1 << (bits_ - 1 - i);
+    }
+    return dst;
+  }
+};
+
+class BitComplementTraffic final : public BitPermutation {
+ public:
+  using BitPermutation::BitPermutation;
+  std::string name() const override { return "bitcomp"; }
+
+ protected:
+  int permute(int src) const override { return ~src & (active_ - 1); }
+};
+
+class ShiftTraffic final : public TrafficPattern {
+ public:
+  explicit ShiftTraffic(int n) : n_(n) {}
+  std::string name() const override { return "shift"; }
+  int destination(int src, Rng& rng) override {
+    int half = n_ / 2;
+    int base = src % half;
+    int dst = rng.bernoulli(0.5) ? base + half : base;
+    return dst == src ? (src < half ? src + half : src - half) : dst;
+  }
+
+ private:
+  int n_;
+};
+
+/// Figure 9 construction: pick a link (Rx, Ry); routers adjacent to Ry
+/// whose 2-hop minimal path to Rx leads through Ry all send to Rx (and Rx
+/// replies), and symmetrically for Ry; repeat over links until no more
+/// routers can be assigned.
+class WorstCaseSfTraffic final : public TrafficPattern {
+ public:
+  explicit WorstCaseSfTraffic(const Topology& topo) {
+    const Graph& g = topo.graph();
+    int nr = topo.num_routers();
+    int p = topo.concentration();
+    std::vector<int> target(static_cast<std::size_t>(nr), -1);  // per router
+
+    // Distances once (diameter-2 class networks are small enough for this).
+    std::vector<std::vector<int>> dist(static_cast<std::size_t>(nr));
+    for (int r = 0; r < nr; ++r) dist[static_cast<std::size_t>(r)] = analysis::bfs_distances(g, r);
+
+    for (const auto& [rx, ry] : g.edges()) {
+      if (rx >= topo.num_endpoint_routers() || ry >= topo.num_endpoint_routers()) continue;
+      if (target[static_cast<std::size_t>(rx)] != -1 ||
+          target[static_cast<std::size_t>(ry)] != -1) {
+        continue;
+      }
+      bool any = false;
+      for (int ri : g.neighbors(ry)) {
+        if (ri == rx || ri >= topo.num_endpoint_routers()) continue;
+        if (target[static_cast<std::size_t>(ri)] != -1) continue;
+        if (dist[static_cast<std::size_t>(ri)][static_cast<std::size_t>(rx)] == 2) {
+          target[static_cast<std::size_t>(ri)] = rx;  // path Ri -> Ry -> Rx
+          any = true;
+        }
+      }
+      for (int rb : g.neighbors(rx)) {
+        if (rb == ry || rb >= topo.num_endpoint_routers()) continue;
+        if (target[static_cast<std::size_t>(rb)] != -1) continue;
+        if (dist[static_cast<std::size_t>(rb)][static_cast<std::size_t>(ry)] == 2) {
+          target[static_cast<std::size_t>(rb)] = ry;
+          any = true;
+        }
+      }
+      if (any) {
+        // The overloaded routers reply to one of their attackers so they
+        // also "send and receive" (Section V-C).
+        for (int ri : g.neighbors(ry)) {
+          if (target[static_cast<std::size_t>(ri)] == rx) {
+            target[static_cast<std::size_t>(rx)] = ri;
+            break;
+          }
+        }
+        for (int rb : g.neighbors(rx)) {
+          if (target[static_cast<std::size_t>(rb)] == ry) {
+            target[static_cast<std::size_t>(ry)] = rb;
+            break;
+          }
+        }
+      }
+    }
+
+    // Endpoint-level map: endpoint j of router r -> endpoint j of target(r).
+    dst_.assign(static_cast<std::size_t>(topo.num_endpoints()), -1);
+    for (int r = 0; r < topo.num_endpoint_routers(); ++r) {
+      int t = target[static_cast<std::size_t>(r)];
+      if (t < 0) continue;
+      for (int j = 0; j < p; ++j) {
+        dst_[static_cast<std::size_t>(topo.first_endpoint(r) + j)] =
+            topo.first_endpoint(t) + j;
+      }
+    }
+  }
+
+  std::string name() const override { return "worst-sf"; }
+  int destination(int src, Rng& rng) override {
+    (void)rng;
+    return dst_[static_cast<std::size_t>(src)];
+  }
+  bool is_active(int src) const override {
+    return dst_[static_cast<std::size_t>(src)] >= 0;
+  }
+
+ private:
+  std::vector<int> dst_;
+};
+
+class WorstCaseDfTraffic final : public TrafficPattern {
+ public:
+  explicit WorstCaseDfTraffic(const Dragonfly& topo) : topo_(topo) {}
+  std::string name() const override { return "worst-df"; }
+  int destination(int src, Rng& rng) override {
+    int p = topo_.concentration();
+    int group = topo_.group_of(src / p);
+    int next_group = (group + 1) % topo_.groups();
+    // Random endpoint inside the successor group.
+    int router = next_group * topo_.a() + rng.next_int(0, topo_.a() - 1);
+    return topo_.first_endpoint(router) + rng.next_int(0, p - 1);
+  }
+
+ private:
+  const Dragonfly& topo_;
+};
+
+class WorstCaseFtTraffic final : public TrafficPattern {
+ public:
+  explicit WorstCaseFtTraffic(const FatTree3& topo) : topo_(topo) {}
+  std::string name() const override { return "worst-ft"; }
+  int destination(int src, Rng& rng) override {
+    (void)rng;
+    // Shift by one pod: every route must climb to a core switch.
+    int pod_endpoints = topo_.p() * topo_.p();
+    return (src + pod_endpoints) % topo_.num_endpoints();
+  }
+
+ private:
+  const FatTree3& topo_;
+};
+
+class Stencil3dTraffic final : public TrafficPattern {
+ public:
+  explicit Stencil3dTraffic(int n) {
+    // Largest cubic grid fitting in n endpoints.
+    side_ = 1;
+    while ((side_ + 1) * (side_ + 1) * (side_ + 1) <= n) ++side_;
+    active_ = side_ * side_ * side_;
+    next_face_.assign(static_cast<std::size_t>(active_), 0);
+  }
+  std::string name() const override { return "stencil3d"; }
+  int destination(int src, Rng& rng) override {
+    (void)rng;
+    if (src >= active_ || side_ < 2) return -1;
+    int face = next_face_[static_cast<std::size_t>(src)];
+    next_face_[static_cast<std::size_t>(src)] = (face + 1) % 6;
+    int x = src % side_;
+    int y = (src / side_) % side_;
+    int z = src / (side_ * side_);
+    int dim = face / 2;
+    int dir = (face % 2 == 0) ? 1 : side_ - 1;  // +1 or -1 mod side
+    int coords[3] = {x, y, z};
+    coords[dim] = (coords[dim] + dir) % side_;
+    return coords[0] + coords[1] * side_ + coords[2] * side_ * side_;
+  }
+  bool is_active(int src) const override { return src < active_ && side_ >= 2; }
+
+ private:
+  int side_ = 0;
+  int active_ = 0;
+  std::vector<int> next_face_;  // round-robin over the 6 neighbours
+};
+
+class TraceTraffic final : public TrafficPattern {
+ public:
+  TraceTraffic(int n, const std::vector<std::pair<int, int>>& flows)
+      : flows_(static_cast<std::size_t>(n)), cursor_(static_cast<std::size_t>(n), 0) {
+    for (const auto& [src, dst] : flows) {
+      if (src < 0 || src >= n || dst < 0 || dst >= n || src == dst) {
+        throw std::invalid_argument("make_trace: bad flow endpoint");
+      }
+      flows_[static_cast<std::size_t>(src)].push_back(dst);
+    }
+  }
+  std::string name() const override { return "trace"; }
+  int destination(int src, Rng& rng) override {
+    (void)rng;
+    const auto& list = flows_[static_cast<std::size_t>(src)];
+    if (list.empty()) return -1;
+    auto& cur = cursor_[static_cast<std::size_t>(src)];
+    int dst = list[static_cast<std::size_t>(cur)];
+    cur = (cur + 1) % static_cast<int>(list.size());
+    return dst;
+  }
+  bool is_active(int src) const override {
+    return !flows_[static_cast<std::size_t>(src)].empty();
+  }
+
+ private:
+  std::vector<std::vector<int>> flows_;
+  std::vector<int> cursor_;
+};
+
+}  // namespace
+
+std::unique_ptr<TrafficPattern> make_stencil3d(int n) {
+  if (n < 8) throw std::invalid_argument("make_stencil3d: need >= 8 endpoints");
+  return std::make_unique<Stencil3dTraffic>(n);
+}
+
+std::unique_ptr<TrafficPattern> make_trace(
+    int n, const std::vector<std::pair<int, int>>& flows) {
+  if (n < 2) throw std::invalid_argument("make_trace: need >= 2 endpoints");
+  return std::make_unique<TraceTraffic>(n, flows);
+}
+
+std::unique_ptr<TrafficPattern> make_uniform(int n) {
+  if (n < 2) throw std::invalid_argument("make_uniform: need >= 2 endpoints");
+  return std::make_unique<UniformTraffic>(n);
+}
+std::unique_ptr<TrafficPattern> make_shuffle(int n) {
+  return std::make_unique<ShuffleTraffic>(n);
+}
+std::unique_ptr<TrafficPattern> make_bit_reversal(int n) {
+  return std::make_unique<BitReversalTraffic>(n);
+}
+std::unique_ptr<TrafficPattern> make_bit_complement(int n) {
+  return std::make_unique<BitComplementTraffic>(n);
+}
+std::unique_ptr<TrafficPattern> make_shift(int n) {
+  if (n < 2) throw std::invalid_argument("make_shift: need >= 2 endpoints");
+  return std::make_unique<ShiftTraffic>(n);
+}
+std::unique_ptr<TrafficPattern> make_worst_case_sf(const Topology& topo) {
+  return std::make_unique<WorstCaseSfTraffic>(topo);
+}
+std::unique_ptr<TrafficPattern> make_worst_case_df(const Dragonfly& topo) {
+  return std::make_unique<WorstCaseDfTraffic>(topo);
+}
+std::unique_ptr<TrafficPattern> make_worst_case_ft(const FatTree3& topo) {
+  return std::make_unique<WorstCaseFtTraffic>(topo);
+}
+
+}  // namespace slimfly::sim

@@ -1,0 +1,67 @@
+#pragma once
+// Traffic patterns (paper Section V): uniform random for irregular
+// workloads; shuffle / bit reversal / bit complement / shift for
+// collectives and stencils; and the adversarial worst-case patterns for
+// Slim Fly (Figure 9), Dragonfly (Kim Section 4.2) and the fat tree
+// (forced core traversal).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topo/dragonfly.hpp"
+#include "topo/fattree.hpp"
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+
+namespace slimfly::sim {
+
+class TrafficPattern {
+ public:
+  virtual ~TrafficPattern() = default;
+  virtual std::string name() const = 0;
+  /// Destination endpoint for a packet from src, or -1 when src is idle in
+  /// this pattern (inactive endpoints never generate traffic).
+  virtual int destination(int src_endpoint, Rng& rng) = 0;
+  virtual bool is_active(int src_endpoint) const {
+    (void)src_endpoint;
+    return true;
+  }
+};
+
+/// Every endpoint sends to a uniformly random other endpoint.
+std::unique_ptr<TrafficPattern> make_uniform(int num_endpoints);
+
+/// Bit permutations over the largest power-of-two subset of endpoints
+/// (the paper deactivates the rest, Section V-B).
+std::unique_ptr<TrafficPattern> make_shuffle(int num_endpoints);
+std::unique_ptr<TrafficPattern> make_bit_reversal(int num_endpoints);
+std::unique_ptr<TrafficPattern> make_bit_complement(int num_endpoints);
+
+/// Shift: d = (s mod N/2) + N/2 or (s mod N/2), each with probability 1/2.
+std::unique_ptr<TrafficPattern> make_shift(int num_endpoints);
+
+/// Worst case for minimal routing on Slim Fly (Figure 9): maximize the
+/// load on single links; endpoints not covered by the construction idle.
+std::unique_ptr<TrafficPattern> make_worst_case_sf(const Topology& topo);
+
+/// Worst case for Dragonfly: every group sends to its successor group.
+std::unique_ptr<TrafficPattern> make_worst_case_df(const Dragonfly& topo);
+
+/// Fat-tree adversarial pattern: every packet must cross a core switch
+/// (destination in the next pod).
+std::unique_ptr<TrafficPattern> make_worst_case_ft(const FatTree3& topo);
+
+/// 3D stencil workload (the paper's motivating HPC pattern, Section V):
+/// endpoints are arranged in a near-cubic 3D process grid; each endpoint
+/// sends to its six nearest neighbours (periodic boundaries) round-robin.
+/// Endpoints beyond the largest complete grid idle.
+std::unique_ptr<TrafficPattern> make_stencil3d(int num_endpoints);
+
+/// Trace replay: a fixed list of (src, dst) flows; each generation event at
+/// src picks the next dst from src's flow list round-robin. Lets users
+/// replay application communication matrices. Sources without flows idle.
+std::unique_ptr<TrafficPattern> make_trace(
+    int num_endpoints, const std::vector<std::pair<int, int>>& flows);
+
+}  // namespace slimfly::sim

@@ -1,0 +1,79 @@
+#include "topo/augmented.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace slimfly {
+
+Graph AugmentedTopology::build(const Topology& base, int extra_ports,
+                               bool intra_rack_only, std::uint64_t seed) {
+  if (extra_ports < 1) {
+    throw std::invalid_argument("AugmentedTopology: extra_ports must be >= 1");
+  }
+  const Graph& g = base.graph();
+  int n = g.num_vertices();
+  Rng rng(seed);
+
+  // Stub matching as in the DLN construction, rejecting existing edges and
+  // (optionally) cross-rack pairs. Unpairable leftovers are dropped.
+  std::vector<int> stubs;
+  for (int v = 0; v < n; ++v) {
+    for (int s = 0; s < extra_ports; ++s) stubs.push_back(v);
+  }
+  std::shuffle(stubs.begin(), stubs.end(), rng);
+
+  std::vector<std::vector<int>> extra(static_cast<std::size_t>(n));
+  auto compatible = [&](int u, int v) {
+    if (u == v || g.has_edge(u, v)) return false;
+    if (intra_rack_only && base.rack_of_router(u) != base.rack_of_router(v)) {
+      return false;
+    }
+    const auto& list = extra[static_cast<std::size_t>(u)];
+    return std::find(list.begin(), list.end(), v) == list.end();
+  };
+  while (stubs.size() >= 2) {
+    int u = stubs.back();
+    stubs.pop_back();
+    for (std::size_t i = stubs.size(); i-- > 0;) {
+      int v = stubs[i];
+      if (compatible(u, v)) {
+        stubs.erase(stubs.begin() + static_cast<std::ptrdiff_t>(i));
+        extra[static_cast<std::size_t>(u)].push_back(v);
+        extra[static_cast<std::size_t>(v)].push_back(u);
+        break;
+      }
+    }
+  }
+
+  Graph out(n);
+  for (const auto& [u, v] : g.edges()) out.add_edge(u, v);
+  for (int v = 0; v < n; ++v) {
+    for (int u : extra[static_cast<std::size_t>(v)]) {
+      if (v < u) out.add_edge(v, u);
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+AugmentedTopology::AugmentedTopology(const Topology& base, int extra_ports,
+                                     bool intra_rack_only, std::uint64_t seed)
+    : Topology(build(base, extra_ports, intra_rack_only, seed),
+               base.concentration(), base.num_endpoint_routers()),
+      base_name_(base.name()),
+      base_symbol_(base.symbol()),
+      extra_ports_(extra_ports),
+      num_racks_(base.num_racks()) {
+  rack_of_.resize(static_cast<std::size_t>(base.num_routers()));
+  for (int r = 0; r < base.num_routers(); ++r) {
+    rack_of_[static_cast<std::size_t>(r)] = base.rack_of_router(r);
+  }
+}
+
+std::string AugmentedTopology::name() const {
+  return base_name_ + " + " + std::to_string(extra_ports_) + " random ports";
+}
+
+}  // namespace slimfly

@@ -1,0 +1,47 @@
+#pragma once
+// Random-channel augmentation (paper Section VII-A): when deployed routers
+// have more ports than the Slim Fly construction uses (e.g. 48-port Aries
+// routers for the k=43 design), the spare ports can carry extra random
+// cables "using strategies presented in [42], [52]", improving latency and
+// bandwidth. The paper leaves the analysis to future research; this module
+// implements it: a wrapper that adds a random near-regular set of extra
+// links on top of any base topology.
+
+#include <memory>
+
+#include "topo/topology.hpp"
+
+namespace slimfly {
+
+class AugmentedTopology : public Topology {
+ public:
+  /// Adds `extra_ports` random links per router on top of `base`'s graph
+  /// (near-regular random matching, deduplicated against existing links).
+  /// Packaging (racks, concentration) is inherited from the base topology;
+  /// pass intra_rack_only=true to restrict new cables to rack-local pairs
+  /// (the paper's cheap copper-only option).
+  AugmentedTopology(const Topology& base, int extra_ports,
+                    bool intra_rack_only = false, std::uint64_t seed = 11);
+
+  std::string name() const override;
+  std::string symbol() const override { return base_symbol_ + "+rnd"; }
+
+  int num_racks() const override { return num_racks_; }
+  int rack_of_router(int r) const override {
+    return rack_of_[static_cast<std::size_t>(r)];
+  }
+
+  int extra_ports() const { return extra_ports_; }
+
+ private:
+  static Graph build(const Topology& base, int extra_ports, bool intra_rack_only,
+                     std::uint64_t seed);
+
+  std::string base_name_;
+  std::string base_symbol_;
+  int extra_ports_;
+  int num_racks_;
+  std::vector<int> rack_of_;
+};
+
+}  // namespace slimfly

@@ -1,0 +1,80 @@
+#include "topo/dln.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace slimfly {
+
+Graph Dln::build(int n, int k_net, std::uint64_t seed) {
+  if (n < 5) throw std::invalid_argument("Dln: need at least 5 routers");
+  if (k_net < 3 || k_net >= n) throw std::invalid_argument("Dln: bad network radix");
+  Rng rng(seed);
+
+  // Random near-regular matching of shortcut stubs: every router owns
+  // k_net - 2 stubs; shuffle and pair them, rejecting self/parallel/ring
+  // edges. A handful of stubs can remain unpairable; they are dropped, which
+  // leaves a few routers one link short (the original DLN paper tolerates
+  // the same slack).
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    Graph g(n);
+    for (int v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+
+    std::vector<std::vector<int>> extra(n);
+    std::vector<int> stubs;
+    for (int v = 0; v < n; ++v) {
+      for (int s = 0; s < k_net - 2; ++s) stubs.push_back(v);
+    }
+    std::shuffle(stubs.begin(), stubs.end(), rng);
+
+    auto is_adjacent = [&](int u, int v) {
+      if (u == v) return true;
+      if ((u + 1) % n == v || (v + 1) % n == u) return true;
+      return std::find(extra[u].begin(), extra[u].end(), v) != extra[u].end();
+    };
+
+    // Greedy pairing with local retry: take the first stub, scan for a
+    // compatible partner.
+    std::size_t failures = 0;
+    while (stubs.size() >= 2) {
+      int u = stubs.back();
+      stubs.pop_back();
+      bool paired = false;
+      for (std::size_t i = stubs.size(); i-- > 0;) {
+        int v = stubs[i];
+        if (!is_adjacent(u, v)) {
+          stubs.erase(stubs.begin() + static_cast<std::ptrdiff_t>(i));
+          extra[u].push_back(v);
+          extra[v].push_back(u);
+          paired = true;
+          break;
+        }
+      }
+      if (!paired) ++failures;
+    }
+    if (failures > static_cast<std::size_t>(n) / 20 + 2) continue;  // too ragged, retry
+
+    for (int v = 0; v < n; ++v) {
+      for (int u : extra[v]) {
+        if (v < u) g.add_edge(v, u);
+      }
+    }
+    g.finalize();
+    return g;
+  }
+  throw std::runtime_error("Dln: failed to build a near-regular shortcut graph");
+}
+
+Dln::Dln(int num_routers, int network_radix, int concentration, std::uint64_t seed)
+    : Topology(build(num_routers, network_radix, seed), concentration, num_routers),
+      k_net_(network_radix) {}
+
+std::string Dln::name() const {
+  return "DLN random shortcuts (Nr=" + std::to_string(num_routers()) +
+         ", k'=" + std::to_string(k_net_) + ")";
+}
+
+}  // namespace slimfly

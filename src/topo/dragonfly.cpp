@@ -1,0 +1,93 @@
+#include "topo/dragonfly.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace slimfly {
+
+Graph Dragonfly::build(int a, int h, int g) {
+  if (a < 2 || h < 1 || g < 2) throw std::invalid_argument("Dragonfly: bad parameters");
+  if (g > a * h + 1) {
+    throw std::invalid_argument("Dragonfly: g exceeds a*h + 1 (not enough global ports)");
+  }
+  Graph graph(a * g);
+
+  // Local cliques.
+  for (int grp = 0; grp < g; ++grp) {
+    for (int i = 0; i < a; ++i) {
+      for (int j = i + 1; j < a; ++j) {
+        graph.add_edge(grp * a + i, grp * a + j);
+      }
+    }
+  }
+
+  // Global links: every peer-group pair receives `base` links; the remaining
+  // rem = a*h - base*(g-1) ports per group are spent one per pair along a
+  // circulant (i, i+s) pattern so each group ends with exactly a*h global
+  // links and each router with exactly h.
+  int ports = a * h;
+  int base = ports / (g - 1);
+  int rem = ports - base * (g - 1);
+  std::vector<int> next_port(g, 0);
+  // `offset` rotates the router chosen within each group per round: a full
+  // round advances every group's counter by a multiple of a when a | g-1,
+  // which would otherwise reuse identical router pairs (and the simple
+  // graph would silently drop the duplicates).
+  auto add_global = [&](int gi, int gj, int offset) {
+    int ri = gi * a + ((next_port[gi] + offset) % a);
+    int rj = gj * a + ((next_port[gj] + offset) % a);
+    ++next_port[gi];
+    ++next_port[gj];
+    graph.add_edge(ri, rj);
+  };
+  // Rotation is only sound when a full round advances every group's
+  // counter by a multiple of a (otherwise it breaks h-regularity);
+  // in the other case the counter drifts naturally and no rotation is
+  // needed to avoid repeated router pairs.
+  bool rotate = (g - 1) % a == 0;
+  for (int round = 0; round < base; ++round) {
+    for (int gi = 0; gi < g; ++gi) {
+      for (int gj = gi + 1; gj < g; ++gj) add_global(gi, gj, rotate ? round : 0);
+    }
+  }
+  if (rem > 0) {
+    if (rem % 2 == 1 && g % 2 == 1) {
+      throw std::invalid_argument(
+          "Dragonfly: leftover global ports cannot form a regular pattern "
+          "(odd remainder with odd group count)");
+    }
+    // Each stride s < g/2 visits g distinct pairs {gi, gi+s}, consuming two
+    // ports per group (one as the left member, one as the right). Strides
+    // never reach g/2 because rem < g-1.
+    // Constant offset here: within the extras each group's counter walks
+    // every router exactly once, so a per-stride offset would fold distinct
+    // routers onto each other and push one router past h global links.
+    for (int s = 1; s <= rem / 2; ++s) {
+      for (int gi = 0; gi < g; ++gi) add_global(gi, (gi + s) % g, rotate ? base : 0);
+    }
+    if (rem % 2 == 1) {
+      for (int gi = 0; gi < g / 2; ++gi) add_global(gi, gi + g / 2, rotate ? base : 0);
+    }
+  }
+  graph.finalize();
+  return graph;
+}
+
+Dragonfly::Dragonfly(int p, int a, int h, int g)
+    : Topology(build(a, h, g), p, a * g), a_(a), h_(h), g_(g) {
+  set_routers_per_rack(a);  // one group per rack (paper Section VI-B3e)
+}
+
+std::unique_ptr<Dragonfly> Dragonfly::balanced(int p) {
+  int a = 2 * p;
+  int h = p;
+  return std::make_unique<Dragonfly>(p, a, h, a * h + 1);
+}
+
+std::string Dragonfly::name() const {
+  return "Dragonfly (p=" + std::to_string(concentration()) +
+         ", a=" + std::to_string(a_) + ", h=" + std::to_string(h_) +
+         ", g=" + std::to_string(g_) + ")";
+}
+
+}  // namespace slimfly

@@ -1,0 +1,69 @@
+#include "topo/fattree.hpp"
+
+#include <stdexcept>
+
+namespace slimfly {
+
+// Switch numbering: [0, pods*p) edge, [pods*p, 2*pods*p) agg,
+// [2*pods*p, 2*pods*p + p^2) core. Edge e of pod i = i*p + e;
+// agg j of pod i = pods*p + i*p + j; core (j, l) = 2*pods*p + j*p + l —
+// core (j, l) connects to up-port l of aggregation switch j in every pod.
+Graph FatTree3::build(int p, int pods) {
+  if (p < 2) throw std::invalid_argument("FatTree3: p must be >= 2");
+  int edge_base = 0;
+  int agg_base = pods * p;
+  int core_base = 2 * pods * p;
+  Graph g(core_base + p * p);
+  for (int i = 0; i < pods; ++i) {
+    for (int e = 0; e < p; ++e) {
+      for (int j = 0; j < p; ++j) {
+        g.add_edge(edge_base + i * p + e, agg_base + i * p + j);
+      }
+    }
+    for (int j = 0; j < p; ++j) {
+      for (int l = 0; l < p; ++l) {
+        g.add_edge(agg_base + i * p + j, core_base + j * p + l);
+      }
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+FatTree3::FatTree3(int p, FatTreeVariant variant)
+    : Topology(build(p, variant == FatTreeVariant::Classic ? 2 * p : p),
+               p,
+               (variant == FatTreeVariant::Classic ? 2 * p : p) * p),
+      p_(p),
+      pods_(variant == FatTreeVariant::Classic ? 2 * p : p),
+      variant_(variant) {
+  // Paper Section VI-B3c: routers are installed in a central row; the
+  // packaging below groups one pod per rack plus core racks.
+  set_routers_per_rack(2 * p);
+}
+
+std::string FatTree3::name() const {
+  return std::string("Fat tree 3-level (") +
+         (variant_ == FatTreeVariant::Classic ? "classic" : "paper-slim") +
+         ", p=" + std::to_string(p_) + ")";
+}
+
+int FatTree3::level(int r) const {
+  if (r < pods_ * p_) return 0;
+  if (r < 2 * pods_ * p_) return 1;
+  return 2;
+}
+
+int FatTree3::pod(int r) const {
+  int lvl = level(r);
+  if (lvl == 2) return -1;
+  return (r - lvl * pods_ * p_) / p_;
+}
+
+int FatTree3::index_in_level(int r) const {
+  int lvl = level(r);
+  if (lvl == 2) return r - 2 * pods_ * p_;
+  return (r - lvl * pods_ * p_) % p_;
+}
+
+}  // namespace slimfly

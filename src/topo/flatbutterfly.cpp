@@ -1,0 +1,58 @@
+#include "topo/flatbutterfly.hpp"
+
+#include <stdexcept>
+
+namespace slimfly {
+
+namespace {
+
+long long ipow(int base, int exp) {
+  long long r = 1;
+  for (int i = 0; i < exp; ++i) r *= base;
+  return r;
+}
+
+}  // namespace
+
+Graph FlattenedButterfly::build(int n_dims, int extent) {
+  if (n_dims < 1) throw std::invalid_argument("FlattenedButterfly: n_dims < 1");
+  if (extent < 2) throw std::invalid_argument("FlattenedButterfly: extent < 2");
+  long long total = ipow(extent, n_dims);
+  if (total > 2'000'000) {
+    throw std::invalid_argument("FlattenedButterfly: too large");
+  }
+  int n = static_cast<int>(total);
+  Graph g(n);
+  // stride[i] = extent^i; changing coordinate i by d changes the id by d*stride.
+  for (int v = 0; v < n; ++v) {
+    long long stride = 1;
+    int rest = v;
+    for (int dim = 0; dim < n_dims; ++dim) {
+      int coord = rest % extent;
+      rest /= extent;
+      for (int other = coord + 1; other < extent; ++other) {
+        g.add_edge(v, v + static_cast<int>((other - coord) * stride));
+      }
+      stride *= extent;
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+FlattenedButterfly::FlattenedButterfly(int n_dims, int extent, int concentration)
+    : Topology(build(n_dims, extent),
+               concentration == 0 ? extent : concentration,
+               static_cast<int>(ipow(extent, n_dims))),
+      n_dims_(n_dims),
+      extent_(extent) {
+  // Paper Section VI-B3d: p routers per rack, groups form an ideal square.
+  set_routers_per_rack(extent);
+}
+
+std::string FlattenedButterfly::name() const {
+  return "Flattened Butterfly " + std::to_string(n_dims_ + 1) + "-level (c=" +
+         std::to_string(extent_) + ")";
+}
+
+}  // namespace slimfly

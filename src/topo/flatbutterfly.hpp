@@ -1,0 +1,34 @@
+#pragma once
+// Flattened butterfly (Kim, Dally, Abts, ISCA'07).
+//
+// Routers form an n-dimensional array with extent c per dimension; routers
+// that differ in exactly one coordinate are directly connected (each
+// dimension is a clique). Network radix k' = n*(c-1); the balanced
+// concentration is p = c, matching the paper's p = floor((k+3)/4) for the
+// 3-level variant (k = 4c-3).
+
+#include "topo/topology.hpp"
+
+namespace slimfly {
+
+class FlattenedButterfly : public Topology {
+ public:
+  /// n_dims >= 1, extent >= 2; concentration 0 means "balanced" (= extent).
+  FlattenedButterfly(int n_dims, int extent, int concentration = 0);
+
+  std::string name() const override;
+  std::string symbol() const override {
+    return "FBF-" + std::to_string(n_dims_ + 1);  // levels = dims + 1
+  }
+
+  int n_dims() const { return n_dims_; }
+  int extent() const { return extent_; }
+  int diameter() const { return n_dims_; }
+
+ private:
+  static Graph build(int n_dims, int extent);
+  int n_dims_;
+  int extent_;
+};
+
+}  // namespace slimfly

@@ -1,0 +1,75 @@
+#include "topo/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace slimfly {
+
+Graph::Graph(int num_vertices) {
+  if (num_vertices < 0) throw std::invalid_argument("Graph: negative size");
+  adjacency_.resize(static_cast<std::size_t>(num_vertices));
+}
+
+int Graph::check(int v) const {
+  if (v < 0 || v >= num_vertices()) {
+    throw std::out_of_range("Graph: vertex out of range");
+  }
+  return v;
+}
+
+void Graph::add_edge(int u, int v) {
+  check(u);
+  check(v);
+  if (u == v) throw std::invalid_argument("Graph: self-loop rejected");
+  adjacency_[static_cast<std::size_t>(u)].push_back(v);
+  adjacency_[static_cast<std::size_t>(v)].push_back(u);
+  finalized_ = false;
+}
+
+void Graph::finalize() {
+  num_edges_ = 0;
+  for (auto& list : adjacency_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    num_edges_ += static_cast<std::int64_t>(list.size());
+  }
+  num_edges_ /= 2;
+  finalized_ = true;
+}
+
+bool Graph::has_edge(int u, int v) const {
+  if (!finalized_) throw std::logic_error("Graph::has_edge before finalize");
+  const auto& list = adjacency_[static_cast<std::size_t>(check(u))];
+  return std::binary_search(list.begin(), list.end(), check(v));
+}
+
+std::vector<std::pair<int, int>> Graph::edges() const {
+  if (!finalized_) throw std::logic_error("Graph::edges before finalize");
+  std::vector<std::pair<int, int>> result;
+  result.reserve(static_cast<std::size_t>(num_edges_));
+  for (int u = 0; u < num_vertices(); ++u) {
+    for (int v : adjacency_[static_cast<std::size_t>(u)]) {
+      if (u < v) result.emplace_back(u, v);
+    }
+  }
+  return result;
+}
+
+int Graph::max_degree() const {
+  int best = 0;
+  for (const auto& list : adjacency_) {
+    best = std::max(best, static_cast<int>(list.size()));
+  }
+  return best;
+}
+
+bool Graph::is_regular() const {
+  if (adjacency_.empty()) return true;
+  std::size_t d = adjacency_.front().size();
+  for (const auto& list : adjacency_) {
+    if (list.size() != d) return false;
+  }
+  return true;
+}
+
+}  // namespace slimfly

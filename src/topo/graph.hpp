@@ -1,0 +1,55 @@
+#pragma once
+// Undirected simple graph used for all router-level topologies.
+//
+// Construction is two-phase: add_edge() collects edges, finalize() freezes
+// the graph into sorted adjacency lists (enabling O(log d) has_edge and
+// cache-friendly BFS). All analysis and simulation code operates on
+// finalized graphs.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace slimfly {
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int num_vertices);
+
+  /// Adds the undirected edge {u, v}. Self-loops are rejected; duplicate
+  /// edges are silently deduplicated at finalize() time.
+  void add_edge(int u, int v);
+
+  /// Sorts adjacency lists and removes duplicate edges. Idempotent.
+  void finalize();
+
+  int num_vertices() const { return static_cast<int>(adjacency_.size()); }
+  /// Number of undirected edges (valid after finalize()).
+  std::int64_t num_edges() const { return num_edges_; }
+
+  int degree(int v) const { return static_cast<int>(adjacency_[check(v)].size()); }
+  const std::vector<int>& neighbors(int v) const { return adjacency_[check(v)]; }
+
+  /// O(log degree(u)); requires finalize().
+  bool has_edge(int u, int v) const;
+
+  /// All edges as (u, v) pairs with u < v; requires finalize().
+  std::vector<std::pair<int, int>> edges() const;
+
+  /// Maximum vertex degree (0 for empty graph).
+  int max_degree() const;
+  /// True iff every vertex has the same degree.
+  bool is_regular() const;
+
+  bool finalized() const { return finalized_; }
+
+ private:
+  int check(int v) const;
+
+  std::vector<std::vector<int>> adjacency_;
+  std::int64_t num_edges_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace slimfly

@@ -1,0 +1,28 @@
+#include "topo/hypercube.hpp"
+
+#include <stdexcept>
+
+namespace slimfly {
+
+Graph Hypercube::build(int n_dims) {
+  if (n_dims < 1 || n_dims > 24) {
+    throw std::invalid_argument("Hypercube: n_dims out of range [1, 24]");
+  }
+  int n = 1 << n_dims;
+  Graph g(n);
+  for (int v = 0; v < n; ++v) {
+    for (int b = 0; b < n_dims; ++b) {
+      int u = v ^ (1 << b);
+      if (v < u) g.add_edge(v, u);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+Hypercube::Hypercube(int n_dims, int concentration)
+    : Topology(build(n_dims), concentration, 1 << n_dims), n_dims_(n_dims) {
+  set_routers_per_rack(32);
+}
+
+}  // namespace slimfly

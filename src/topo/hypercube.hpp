@@ -1,0 +1,26 @@
+#pragma once
+// Binary hypercube (HC; NASA Pleiades class). Diameter log2(Nr), degree n.
+
+#include <memory>
+
+#include "topo/topology.hpp"
+
+namespace slimfly {
+
+class Hypercube : public Topology {
+ public:
+  /// n-dimensional cube with 2^n routers.
+  explicit Hypercube(int n_dims, int concentration = 1);
+
+  std::string name() const override { return "Hypercube " + std::to_string(n_dims_) + "D"; }
+  std::string symbol() const override { return "HC"; }
+
+  int n_dims() const { return n_dims_; }
+  int diameter() const { return n_dims_; }
+
+ private:
+  static Graph build(int n_dims);
+  int n_dims_;
+};
+
+}  // namespace slimfly

@@ -1,0 +1,82 @@
+#include "topo/io.hpp"
+#include <algorithm>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace slimfly {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << "# slimfly-edgelist v1\n";
+  os << "# vertices " << g.num_vertices() << " edges " << g.num_edges() << "\n";
+  for (const auto& [u, v] : g.edges()) {
+    os << u << ' ' << v << '\n';
+  }
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::string line;
+  int vertices = -1;
+  std::vector<std::pair<int, int>> edges;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream hdr(line);
+      std::string hash, word;
+      hdr >> hash >> word;
+      if (word == "vertices") {
+        long long m = 0;
+        if (!(hdr >> vertices >> word >> m) || word != "edges") {
+          throw std::invalid_argument("edge list: malformed header");
+        }
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    int u = 0, v = 0;
+    if (!(ls >> u >> v)) throw std::invalid_argument("edge list: malformed line: " + line);
+    edges.emplace_back(u, v);
+  }
+  if (vertices < 0) {
+    // No header: infer the vertex count.
+    for (auto [u, v] : edges) vertices = std::max({vertices, u, v});
+    ++vertices;
+  }
+  Graph g(vertices);
+  for (auto [u, v] : edges) g.add_edge(u, v);
+  g.finalize();
+  return g;
+}
+
+void write_dot(std::ostream& os, const Topology& topo) {
+  os << "graph \"" << topo.name() << "\" {\n";
+  os << "  // " << topo.num_routers() << " routers, "
+     << topo.num_endpoints() << " endpoints\n";
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    os << "  r" << r;
+    if (topo.endpoints_at(r) > 0) {
+      os << " [label=\"r" << r << " (+" << topo.endpoints_at(r) << " ep)\"]";
+    }
+    os << ";\n";
+  }
+  for (const auto& [u, v] : topo.graph().edges()) {
+    os << "  r" << u << " -- r" << v << ";\n";
+  }
+  os << "}\n";
+}
+
+void save_edge_list(const std::string& path, const Graph& g) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  write_edge_list(os, g);
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  return read_edge_list(is);
+}
+
+}  // namespace slimfly

@@ -1,0 +1,33 @@
+#pragma once
+// Graph serialization: the paper ships "a library of practical topologies
+// ... that can readily be used to construct efficient Slim Fly networks";
+// this module provides that artifact — plain edge lists (loadable by
+// Booksim/SST-style simulators and InfiniBand subnet managers) and Graphviz
+// DOT for visualisation, plus the inverse parser.
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/graph.hpp"
+#include "topo/topology.hpp"
+
+namespace slimfly {
+
+/// Writes "u v" per line, preceded by a header comment:
+///   # slimfly-edgelist v1
+///   # vertices <n> edges <m>
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Parses the write_edge_list format (comments tolerated anywhere);
+/// throws std::invalid_argument on malformed input.
+Graph read_edge_list(std::istream& is);
+
+/// Graphviz DOT with one node per router; endpoint-bearing routers are
+/// annotated with their concentration.
+void write_dot(std::ostream& os, const Topology& topo);
+
+/// Convenience file wrappers (throw std::runtime_error on I/O failure).
+void save_edge_list(const std::string& path, const Graph& g);
+Graph load_edge_list(const std::string& path);
+
+}  // namespace slimfly

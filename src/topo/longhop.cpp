@@ -1,0 +1,124 @@
+#include "topo/longhop.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace slimfly {
+
+namespace {
+
+/// BFS eccentricity of vertex 0 in the Cayley graph over Z_2^n with the
+/// given generators. Cayley graphs are vertex-transitive, so this equals
+/// the diameter.
+int cayley_diameter(int n_dims, const std::vector<unsigned>& gens) {
+  int n = 1 << n_dims;
+  std::vector<int> dist(static_cast<std::size_t>(n), -1);
+  std::vector<int> frontier{0};
+  dist[0] = 0;
+  int depth = 0;
+  while (!frontier.empty()) {
+    std::vector<int> next;
+    for (int v : frontier) {
+      for (unsigned g : gens) {
+        int u = v ^ static_cast<int>(g);
+        if (dist[static_cast<std::size_t>(u)] < 0) {
+          dist[static_cast<std::size_t>(u)] = depth + 1;
+          next.push_back(u);
+        }
+      }
+    }
+    frontier = std::move(next);
+    ++depth;
+  }
+  return depth - 1;
+}
+
+int popcount(unsigned x) { return __builtin_popcount(x); }
+
+}  // namespace
+
+LongHop::Built LongHop::build(int n_dims, int extra, std::uint64_t seed) {
+  if (n_dims < 3 || n_dims > 20) {
+    throw std::invalid_argument("LongHop: n_dims out of range [3, 20]");
+  }
+  if (extra < 0 || extra >= (1 << n_dims) - n_dims) {
+    throw std::invalid_argument("LongHop: bad extra generator count");
+  }
+  unsigned mask = (n_dims == 32) ? ~0u : ((1u << n_dims) - 1);
+
+  std::vector<unsigned> gens;
+  for (int b = 0; b < n_dims; ++b) gens.push_back(1u << b);
+
+  // Candidate pool: all-ones, complemented basis vectors, and seeded random
+  // balanced vectors (weight ~ n/2). Long generators shrink distances the
+  // most; balanced ones cross any coordinate bisection with probability 1/2.
+  std::vector<unsigned> pool;
+  pool.push_back(mask);
+  for (int b = 0; b < n_dims; ++b) pool.push_back(mask ^ (1u << b));
+  Rng rng(seed);
+  while (pool.size() < static_cast<std::size_t>(extra) * 8 + 16) {
+    unsigned v = rng.next_u32() & mask;
+    if (popcount(v) >= n_dims / 2 && v != 0) pool.push_back(v);
+  }
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  pool.erase(std::remove_if(pool.begin(), pool.end(),
+                            [&](unsigned v) {
+                              return std::find(gens.begin(), gens.end(), v) != gens.end();
+                            }),
+             pool.end());
+
+  // Greedy: add the candidate with the lowest resulting diameter, breaking
+  // ties toward higher Hamming weight (better bisection crossing).
+  for (int step = 0; step < extra; ++step) {
+    int best_diameter = std::numeric_limits<int>::max();
+    int best_weight = -1;
+    std::size_t best_idx = pool.size();
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      gens.push_back(pool[i]);
+      int d = cayley_diameter(n_dims, gens);
+      gens.pop_back();
+      int w = popcount(pool[i]);
+      if (d < best_diameter || (d == best_diameter && w > best_weight)) {
+        best_diameter = d;
+        best_weight = w;
+        best_idx = i;
+      }
+    }
+    gens.push_back(pool[best_idx]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best_idx));
+  }
+
+  int n = 1 << n_dims;
+  Graph g(n);
+  for (int v = 0; v < n; ++v) {
+    for (unsigned gen : gens) {
+      int u = v ^ static_cast<int>(gen);
+      if (v < u) g.add_edge(v, u);
+    }
+  }
+  g.finalize();
+  return Built{std::move(g), std::move(gens)};
+}
+
+LongHop::LongHop(Built b, int n_dims, int concentration)
+    : Topology(std::move(b.graph), concentration, 1 << n_dims),
+      n_dims_(n_dims),
+      generators_(std::move(b.generators)) {
+  set_routers_per_rack(32);
+}
+
+LongHop::LongHop(int n_dims, int extra_generators, int concentration,
+                 std::uint64_t seed)
+    : LongHop(build(n_dims, extra_generators, seed), n_dims, concentration) {}
+
+std::string LongHop::name() const {
+  return "Long Hop hypercube (n=" + std::to_string(n_dims_) + ", +L=" +
+         std::to_string(static_cast<int>(generators_.size()) - n_dims_) + ")";
+}
+
+}  // namespace slimfly

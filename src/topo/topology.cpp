@@ -1,0 +1,47 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace slimfly {
+
+Topology::Topology(Graph graph, int concentration, int endpoint_routers)
+    : graph_(std::move(graph)),
+      concentration_(concentration),
+      endpoint_routers_(endpoint_routers) {
+  if (!graph_.finalized()) {
+    throw std::invalid_argument("Topology: graph must be finalized");
+  }
+  if (concentration_ < 1) {
+    throw std::invalid_argument("Topology: concentration must be >= 1");
+  }
+  if (endpoint_routers_ < 1 || endpoint_routers_ > graph_.num_vertices()) {
+    throw std::invalid_argument("Topology: bad endpoint router count");
+  }
+  // Default packaging: about 40 routers per rack (a dense 42U-class rack),
+  // overridden by topologies with a structural rack notion.
+  routers_per_rack_ = 40;
+}
+
+int Topology::router_radix() const {
+  int radix = 0;
+  for (int r = 0; r < num_routers(); ++r) {
+    radix = std::max(radix, graph_.degree(r) + endpoints_at(r));
+  }
+  return radix;
+}
+
+void Topology::set_routers_per_rack(int routers_per_rack) {
+  if (routers_per_rack < 1) {
+    throw std::invalid_argument("Topology: routers_per_rack must be >= 1");
+  }
+  routers_per_rack_ = routers_per_rack;
+}
+
+int Topology::num_racks() const {
+  return (num_routers() + routers_per_rack_ - 1) / routers_per_rack_;
+}
+
+int Topology::rack_of_router(int r) const { return r / routers_per_rack_; }
+
+}  // namespace slimfly

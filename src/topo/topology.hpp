@@ -1,0 +1,77 @@
+#pragma once
+// Base class for all network topologies compared in the paper (Table II).
+//
+// A topology is a finalized router graph plus the endpoint attachment rule
+// and the physical packaging hints (racks, folded cabling) consumed by the
+// cost model. Endpoint-bearing routers are always numbered first, each
+// carrying exactly `concentration()` endpoints, so endpoint e attaches to
+// router e / p everywhere.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace slimfly {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  /// Router-level connectivity (finalized).
+  const Graph& graph() const { return graph_; }
+
+  int num_routers() const { return graph_.num_vertices(); }
+  /// Endpoints per endpoint-bearing router (p in the paper).
+  int concentration() const { return concentration_; }
+  /// Routers that carry endpoints (numbered 0 .. count-1).
+  int num_endpoint_routers() const { return endpoint_routers_; }
+  /// Total endpoints N = p * num_endpoint_routers().
+  int num_endpoints() const { return concentration_ * endpoint_routers_; }
+
+  /// Router that endpoint e attaches to.
+  int endpoint_router(int e) const { return e / concentration_; }
+  /// Endpoints attached to router r (0 for pure transit routers).
+  int endpoints_at(int r) const {
+    return r < endpoint_routers_ ? concentration_ : 0;
+  }
+  /// First endpoint id attached to router r (valid when endpoints_at > 0).
+  int first_endpoint(int r) const { return r * concentration_; }
+
+  /// Router radix k = network ports + endpoint ports (max over routers).
+  int router_radix() const;
+  /// Network radix k' (max router degree in the graph).
+  int network_radix() const { return graph_.max_degree(); }
+
+  virtual std::string name() const = 0;
+  /// Short symbol used in the paper's tables (SF, DF, FT-3, ...).
+  virtual std::string symbol() const = 0;
+
+  // ---- Physical packaging (cost model, Section VI) -----------------------
+
+  /// Number of racks the routers are packaged into.
+  virtual int num_racks() const;
+  /// Rack that router r is mounted in.
+  virtual int rack_of_router(int r) const;
+  /// Tori are physically folded so every cable stays short and electrical.
+  virtual bool folded_electrical() const { return false; }
+
+ protected:
+  /// `endpoint_routers` <= graph.num_vertices(); the graph must be finalized.
+  Topology(Graph graph, int concentration, int endpoint_routers);
+
+  /// Default packaging: fixed number of routers per rack.
+  void set_routers_per_rack(int routers_per_rack);
+
+ private:
+  Graph graph_;
+  int concentration_ = 1;
+  int endpoint_routers_ = 0;
+  int routers_per_rack_ = 0;
+};
+
+}  // namespace slimfly

@@ -1,0 +1,85 @@
+#include "topo/torus.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace slimfly {
+
+namespace {
+
+int product(const std::vector<int>& dims) {
+  int n = 1;
+  for (int d : dims) n *= d;
+  return n;
+}
+
+}  // namespace
+
+Graph Torus::build(const std::vector<int>& dims) {
+  if (dims.empty()) throw std::invalid_argument("Torus: no dimensions");
+  for (int d : dims) {
+    if (d < 3) throw std::invalid_argument("Torus: extent must be >= 3");
+  }
+  int n = product(dims);
+  Graph g(n);
+  // Mixed-radix coordinates: vertex id = sum coords[i] * stride[i].
+  std::vector<int> stride(dims.size());
+  stride[0] = 1;
+  for (std::size_t i = 1; i < dims.size(); ++i) {
+    stride[i] = stride[i - 1] * dims[i - 1];
+  }
+  for (int v = 0; v < n; ++v) {
+    int rest = v;
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      int coord = rest % dims[i];
+      rest /= dims[i];
+      int up = (coord + 1) % dims[i];
+      int neighbor = v + (up - coord) * stride[i];
+      g.add_edge(v, neighbor);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+Torus::Torus(std::vector<int> dims, int concentration)
+    : Topology(build(dims), concentration, product(dims)), dims_(std::move(dims)) {
+  // One "rack" per column of the first two dimensions is physically
+  // irrelevant for tori: the folded layout keeps all cables electrical, so
+  // the default packaging suffices.
+}
+
+std::string Torus::name() const {
+  std::string s = "Torus " + std::to_string(dims_.size()) + "D (";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) s += "x";
+    s += std::to_string(dims_[i]);
+  }
+  return s + ")";
+}
+
+std::string Torus::symbol() const {
+  return "T" + std::to_string(dims_.size()) + "D";
+}
+
+int Torus::diameter() const {
+  int d = 0;
+  for (int extent : dims_) d += extent / 2;
+  return d;
+}
+
+std::unique_ptr<Torus> Torus::make_cubic(int n_dims, int min_routers,
+                                         int concentration) {
+  if (n_dims < 1) throw std::invalid_argument("Torus: n_dims < 1");
+  int extent = 3;
+  auto count = [&](int e) {
+    long long n = 1;
+    for (int i = 0; i < n_dims; ++i) n *= e;
+    return n;
+  };
+  while (count(extent) < min_routers) ++extent;
+  return std::make_unique<Torus>(std::vector<int>(n_dims, extent), concentration);
+}
+
+}  // namespace slimfly

@@ -1,0 +1,38 @@
+#pragma once
+// k-ary n-dimensional torus (T3D, T5D in the paper; Cray Gemini / BlueGene/Q
+// class networks). Concentration is 1 following the paper's low-radix
+// topology setup (Section III, "Topology parameters").
+
+#include <memory>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace slimfly {
+
+class Torus : public Topology {
+ public:
+  /// dims[i] is the extent of dimension i (each >= 2; extent 2 would create
+  /// duplicate wrap links, which the simple-graph model deduplicates, so we
+  /// require >= 3 to keep degree exactly 2*n).
+  Torus(std::vector<int> dims, int concentration = 1);
+
+  std::string name() const override;
+  std::string symbol() const override;
+  bool folded_electrical() const override { return true; }
+
+  const std::vector<int>& dims() const { return dims_; }
+
+  /// Torus diameter: sum over dims of floor(extent/2).
+  int diameter() const;
+
+  /// Nearly cubic n-dimensional torus with at least `min_routers` routers.
+  static std::unique_ptr<Torus> make_cubic(int n_dims, int min_routers,
+                                           int concentration = 1);
+
+ private:
+  static Graph build(const std::vector<int>& dims);
+  std::vector<int> dims_;
+};
+
+}  // namespace slimfly

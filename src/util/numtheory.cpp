@@ -1,0 +1,103 @@
+#include "util/numtheory.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace slimfly {
+
+bool is_prime(std::int64_t n) {
+  if (n < 2) return false;
+  if (n < 4) return true;
+  if (n % 2 == 0) return false;
+  for (std::int64_t d = 3; d * d <= n; d += 2) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+std::optional<PrimePower> as_prime_power(std::int64_t n) {
+  if (n < 2) return std::nullopt;
+  // Find the smallest prime factor; n is a prime power iff it is the only one.
+  std::int64_t p = 0;
+  if (n % 2 == 0) {
+    p = 2;
+  } else {
+    for (std::int64_t d = 3; d * d <= n; d += 2) {
+      if (n % d == 0) {
+        p = d;
+        break;
+      }
+    }
+    if (p == 0) return PrimePower{n, 1};  // n itself is prime
+  }
+  int m = 0;
+  std::int64_t rest = n;
+  while (rest % p == 0) {
+    rest /= p;
+    ++m;
+  }
+  if (rest != 1) return std::nullopt;
+  return PrimePower{p, m};
+}
+
+std::int64_t mul_mod(std::int64_t a, std::int64_t b, std::int64_t m) {
+  return static_cast<std::int64_t>(
+      (static_cast<__int128>(a) * static_cast<__int128>(b)) % m);
+}
+
+std::int64_t pow_mod(std::int64_t base, std::int64_t exp, std::int64_t m) {
+  std::int64_t result = 1 % m;
+  base %= m;
+  if (base < 0) base += m;
+  while (exp > 0) {
+    if (exp & 1) result = mul_mod(result, base, m);
+    base = mul_mod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+std::int64_t gcd(std::int64_t a, std::int64_t b) {
+  while (b != 0) {
+    std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a < 0 ? -a : a;
+}
+
+std::int64_t inv_mod(std::int64_t a, std::int64_t p) {
+  a %= p;
+  if (a < 0) a += p;
+  if (a == 0) throw std::invalid_argument("inv_mod: zero has no inverse");
+  return pow_mod(a, p - 2, p);  // Fermat; p is prime
+}
+
+std::int64_t primitive_root(std::int64_t p) {
+  if (!is_prime(p)) throw std::invalid_argument("primitive_root: p not prime");
+  if (p == 2) return 1;
+  // Factor p-1 once, then test candidates g by checking g^((p-1)/f) != 1.
+  std::int64_t order = p - 1;
+  std::vector<std::int64_t> factors;
+  std::int64_t rest = order;
+  for (std::int64_t d = 2; d * d <= rest; ++d) {
+    if (rest % d == 0) {
+      factors.push_back(d);
+      while (rest % d == 0) rest /= d;
+    }
+  }
+  if (rest > 1) factors.push_back(rest);
+  for (std::int64_t g = 2; g < p; ++g) {
+    bool ok = true;
+    for (std::int64_t f : factors) {
+      if (pow_mod(g, order / f, p) == 1) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return g;
+  }
+  throw std::logic_error("primitive_root: not found (unreachable for prime p)");
+}
+
+}  // namespace slimfly

@@ -1,0 +1,37 @@
+#pragma once
+// Elementary number theory used by the MMS/BDF constructions: primality,
+// prime-power factoring, and modular arithmetic on machine integers.
+
+#include <cstdint>
+#include <optional>
+
+namespace slimfly {
+
+/// True iff n is prime (deterministic trial division; inputs are small).
+bool is_prime(std::int64_t n);
+
+/// Decomposition of a prime power n = p^m.
+struct PrimePower {
+  std::int64_t p = 0;  ///< prime base
+  int m = 0;           ///< exponent, m >= 1
+};
+
+/// Returns {p, m} if n = p^m for a prime p and m >= 1, nullopt otherwise.
+std::optional<PrimePower> as_prime_power(std::int64_t n);
+
+/// (a * b) mod m without overflow for m < 2^31.
+std::int64_t mul_mod(std::int64_t a, std::int64_t b, std::int64_t m);
+
+/// (base ^ exp) mod m.
+std::int64_t pow_mod(std::int64_t base, std::int64_t exp, std::int64_t m);
+
+/// Multiplicative inverse of a modulo prime p (a != 0 mod p).
+std::int64_t inv_mod(std::int64_t a, std::int64_t p);
+
+/// Smallest primitive root modulo prime p (generator of Z_p^*).
+std::int64_t primitive_root(std::int64_t p);
+
+/// Greatest common divisor.
+std::int64_t gcd(std::int64_t a, std::int64_t b);
+
+}  // namespace slimfly

@@ -1,0 +1,67 @@
+#pragma once
+// Small, fast, reproducible random number generator (PCG32).
+//
+// The cycle simulator draws millions of random numbers per run; std::mt19937
+// is larger and slower than needed and its seeding is awkward to make
+// reproducible across platforms. PCG32 has a 64-bit state, passes BigCrush,
+// and produces an identical stream everywhere, which keeps simulation
+// results and tests deterministic.
+
+#include <cstdint>
+
+namespace slimfly {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL)
+      : state_(0), inc_((stream << 1u) | 1u) {
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  /// Uniform 32-bit value.
+  std::uint32_t next_u32() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform value in [0, bound) without modulo bias.
+  std::uint32_t next_below(std::uint32_t bound) {
+    if (bound <= 1) return 0;
+    std::uint32_t threshold = (0u - bound) % bound;
+    for (;;) {
+      std::uint32_t r = next_u32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int next_int(int lo, int hi) {
+    return lo + static_cast<int>(next_below(static_cast<std::uint32_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return (next_u32() >> 8) * (1.0 / 16777216.0);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return next_double() < p; }
+
+  // Interface required by std::shuffle and friends.
+  using result_type = std::uint32_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffu; }
+  result_type operator()() { return next_u32(); }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace slimfly

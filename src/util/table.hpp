@@ -1,0 +1,43 @@
+#pragma once
+// Aligned text-table and CSV printer for the bench harness.
+//
+// Every bench binary prints its figure/table as (a) a human-readable aligned
+// table and (b) machine-readable CSV prefixed lines, so results can be both
+// eyeballed against the paper and plotted.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace slimfly {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  // One integer overload per width so no call is ambiguous against the
+  // double overload (integral->floating and integral->integral conversions
+  // tie in overload rank).
+  static std::string num(int v) { return std::to_string(v); }
+  static std::string num(long v) { return std::to_string(v); }
+  static std::string num(long long v);
+
+  /// Aligned human-readable rendering.
+  void print(std::ostream& os) const;
+
+  /// CSV rendering, each line prefixed with "csv," for easy grepping.
+  void print_csv(std::ostream& os, const std::string& tag) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace slimfly

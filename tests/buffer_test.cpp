@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include "sim/buffer.hpp"
+
+namespace slimfly::sim {
+namespace {
+
+Packet make_packet(std::int64_t id) {
+  Packet p;
+  p.id = id;
+  return p;
+}
+
+TEST(VcBuffer, FifoOrder) {
+  VcBuffer buf(4);
+  for (int i = 0; i < 4; ++i) buf.push(make_packet(i));
+  EXPECT_TRUE(buf.full());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(buf.front().id, i);
+    EXPECT_EQ(buf.pop().id, i);
+  }
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(VcBuffer, OverflowThrows) {
+  VcBuffer buf(1);
+  buf.push(make_packet(0));
+  EXPECT_THROW(buf.push(make_packet(1)), std::logic_error);
+}
+
+TEST(VcBuffer, UnderflowThrows) {
+  VcBuffer buf(1);
+  EXPECT_THROW(buf.pop(), std::logic_error);
+  EXPECT_THROW(buf.front(), std::logic_error);
+}
+
+TEST(VcBuffer, ZeroCapacityAlwaysFull) {
+  VcBuffer buf(0);
+  EXPECT_TRUE(buf.full());
+  EXPECT_THROW(buf.push(make_packet(0)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace slimfly::sim

@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include "sim/channel.hpp"
+
+namespace slimfly::sim {
+namespace {
+
+TEST(DelayLine, NotReadyBeforeTime) {
+  DelayLine<int> line;
+  line.push(10, 42);
+  EXPECT_FALSE(line.pop_ready(9).has_value());
+  auto v = line.pop_ready(10);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(line.empty());
+}
+
+TEST(DelayLine, FifoWithConstantLatency) {
+  DelayLine<int> line;
+  line.push(5, 1);
+  line.push(6, 2);
+  line.push(7, 3);
+  EXPECT_EQ(line.size(), 3u);
+  EXPECT_EQ(*line.pop_ready(100), 1);
+  EXPECT_EQ(*line.pop_ready(100), 2);
+  EXPECT_EQ(*line.pop_ready(100), 3);
+  EXPECT_FALSE(line.pop_ready(100).has_value());
+}
+
+TEST(DelayLine, HeadOfLineBlocksLaterItems) {
+  // Constant latency means the head is always the earliest; a not-ready
+  // head implies nothing behind it is ready either.
+  DelayLine<int> line;
+  line.push(10, 1);
+  line.push(11, 2);
+  EXPECT_FALSE(line.pop_ready(9).has_value());
+  EXPECT_EQ(*line.pop_ready(10), 1);
+  EXPECT_FALSE(line.pop_ready(10).has_value());
+}
+
+}  // namespace
+}  // namespace slimfly::sim

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "analysis/channelload.hpp"
+#include "sf/mms.hpp"
+#include "topo/hypercube.hpp"
+
+namespace slimfly::analysis {
+namespace {
+
+TEST(ChannelLoad, AnalyticMatchesPaperBalance) {
+  // Section II-B2: balanced p makes l == Nr/p... i.e. injection rate p*Nr
+  // equals total sustainable throughput; here check p ~ ceil(k'/2).
+  for (int q : {5, 7, 11, 13, 17, 19}) {
+    sf::SlimFlyMMS topo(q);
+    int p = balanced_concentration_d2(topo.num_routers(), topo.k_net());
+    EXPECT_NEAR(p, (topo.k_net() + 1) / 2, 1.0) << "q=" << q;
+  }
+}
+
+TEST(ChannelLoad, AnalyticFormulaValue) {
+  // Direct evaluation for q=19: l = (2*722 - 29 - 2) * p^2 / 29.
+  double l = analytic_channel_load_d2(722, 29, 15);
+  EXPECT_NEAR(l, (2.0 * 722 - 31) * 225 / 29.0, 1e-9);
+}
+
+TEST(ChannelLoad, MeasuredMatchesAnalyticOnSlimFly) {
+  // The analytic model assumes uniform all-to-all with minimal routing;
+  // the measured Brandes-style count must agree closely (same assumptions,
+  // exact arithmetic) on a vertex-transitive diameter-2 graph.
+  sf::SlimFlyMMS topo(7);
+  auto measured = measured_channel_load(topo);
+  double analytic =
+      analytic_channel_load_d2(topo.num_routers(), topo.k_net(), topo.concentration());
+  EXPECT_NEAR(measured.average, analytic, analytic * 0.02);
+}
+
+TEST(ChannelLoad, MaxCloseToAverageOnSymmetricGraph) {
+  // MMS graphs are highly symmetric: no channel should carry far more than
+  // the mean under uniform traffic.
+  sf::SlimFlyMMS topo(5);
+  auto measured = measured_channel_load(topo);
+  EXPECT_LT(measured.maximum, measured.average * 1.6);
+}
+
+TEST(ChannelLoad, HypercubeUniform) {
+  // On the n-cube with p=1 every channel carries the same load by symmetry:
+  // average == maximum.
+  Hypercube hc(4);
+  auto measured = measured_channel_load(hc);
+  EXPECT_NEAR(measured.maximum, measured.average, measured.average * 0.01);
+}
+
+}  // namespace
+}  // namespace slimfly::analysis

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "cost/cables.hpp"
+#include "cost/costmodel.hpp"
+#include "cost/layout.hpp"
+#include "cost/power.hpp"
+#include "sf/mms.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/torus.hpp"
+
+namespace slimfly::cost {
+namespace {
+
+TEST(CableModel, PaperCoefficients) {
+  CableModel fdr = cable_fdr10();
+  // Section VI-B1 regression values at 40 Gb/s.
+  EXPECT_NEAR(fdr.electric_cost(1.0), (0.4079 + 0.5771) * 40.0, 1e-9);
+  EXPECT_NEAR(fdr.optical_cost(10.0), (0.919 + 2.7452) * 40.0, 1e-9);
+}
+
+TEST(CableModel, OpticalWinsAtLength) {
+  for (const CableModel& m : {cable_fdr10(), cable_qdr56(), cable_elpeus10()}) {
+    double cross = m.crossover_meters();
+    EXPECT_GT(cross, 1.0) << m.name;
+    EXPECT_LT(cross, 15.0) << m.name;
+    EXPECT_LT(m.electric_cost(1.0), m.optical_cost(1.0)) << m.name;
+    EXPECT_GT(m.electric_cost(30.0), m.optical_cost(30.0)) << m.name;
+  }
+}
+
+TEST(RouterCost, LinearWithFloor) {
+  RouterCostModel m;
+  EXPECT_NEAR(m.cost(43), 350.4 * 43 - 892.3, 1e-9);
+  EXPECT_GE(m.cost(1), 350.4);  // floored, never negative
+}
+
+TEST(RackGrid, NearSquare) {
+  RackGrid grid(19);
+  EXPECT_EQ(grid.cols, 5);
+  EXPECT_DOUBLE_EQ(grid.distance_m(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(grid.distance_m(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(grid.distance_m(0, 6), 2.0);  // (1,1)
+}
+
+TEST(Power, MatchesTableIVForSlimFly) {
+  // Table IV: SF q=19 at 8.02 W per endpoint with k=43 ports. Our port
+  // count is k'=29 + p=15 = 44 in-use ports, giving 722*44*2.8/10830 =
+  // 8.22 W — within 3% of the paper's value (which uses k=43).
+  sf::SlimFlyMMS topo(19);
+  PowerModel power;
+  EXPECT_NEAR(power.watts_per_endpoint(topo), 8.22, 0.15);
+}
+
+TEST(Power, DragonflyMatchesTableIV) {
+  // DF (p=11, a=22, h=11, g=45): Table IV reports 10.9 W per endpoint.
+  Dragonfly df(11, 22, 11, 45);
+  PowerModel power;
+  EXPECT_NEAR(power.watts_per_endpoint(df), 10.9, 0.4);
+}
+
+TEST(Cost, SlimFlyCheaperThanComparableDragonfly) {
+  // The headline claim: ~25% cost and power advantage over a Dragonfly of
+  // comparable N and identical k (Table IV's rightmost columns).
+  sf::SlimFlyMMS sf_topo(19);          // N=10830, k=44
+  Dragonfly df(11, 22, 11, 45);        // N=10890, k=43
+  auto cables = cable_fdr10();
+  auto sf_cost = evaluate_cost(sf_topo, cables);
+  auto df_cost = evaluate_cost(df, cables);
+  double advantage = 1.0 - sf_cost.cost_per_endpoint / df_cost.cost_per_endpoint;
+  EXPECT_GT(advantage, 0.10) << "SF=" << sf_cost.cost_per_endpoint
+                             << " DF=" << df_cost.cost_per_endpoint;
+  EXPECT_LT(advantage, 0.45);
+  // Power advantage ~25%.
+  double power_adv = 1.0 - sf_cost.watts_per_endpoint / df_cost.watts_per_endpoint;
+  EXPECT_GT(power_adv, 0.15);
+  EXPECT_LT(power_adv, 0.35);
+}
+
+TEST(Cost, ToriAreAllElectric) {
+  Torus t({4, 4, 4});
+  auto summary = enumerate_cables(t, cable_fdr10());
+  EXPECT_EQ(summary.fiber_count, 0);
+  EXPECT_EQ(summary.electric_count, t.graph().num_edges());
+}
+
+TEST(Cost, CableCountsConserveEdges) {
+  sf::SlimFlyMMS topo(7);
+  auto summary = enumerate_cables(topo, cable_fdr10());
+  EXPECT_EQ(summary.electric_count + summary.fiber_count,
+            topo.graph().num_edges());
+  EXPECT_EQ(summary.endpoint_count, topo.num_endpoints());
+  EXPECT_GT(summary.total_cost(), 0.0);
+}
+
+TEST(Cost, EvaluateCostFieldsConsistent) {
+  sf::SlimFlyMMS topo(5);
+  auto cost = evaluate_cost(topo, cable_fdr10());
+  EXPECT_EQ(cost.num_endpoints, topo.num_endpoints());
+  EXPECT_NEAR(cost.total_cost, cost.router_cost + cost.cable_cost, 1e-6);
+  EXPECT_NEAR(cost.cost_per_endpoint * cost.num_endpoints, cost.total_cost, 1e-6);
+}
+
+TEST(Cost, LowRadixTopologiesCostMorePerNode) {
+  // Table IV: tori/hypercubes cost far more per endpoint than SF because
+  // p = 1 means one router per endpoint.
+  sf::SlimFlyMMS sf_topo(5);   // N=200
+  Torus torus({6, 6, 6});      // N=216
+  auto cables = cable_fdr10();
+  auto sf_cost = evaluate_cost(sf_topo, cables);
+  auto torus_cost = evaluate_cost(torus, cables);
+  EXPECT_GT(torus_cost.cost_per_endpoint, sf_cost.cost_per_endpoint);
+}
+
+}  // namespace
+}  // namespace slimfly::cost

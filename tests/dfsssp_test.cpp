@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "sf/mms.hpp"
+#include "sim/routing/dfsssp.hpp"
+#include "topo/dln.hpp"
+#include "topo/fattree.hpp"
+#include "topo/hypercube.hpp"
+
+namespace slimfly::sim {
+namespace {
+
+TEST(Dfsssp, TreeNeedsOneVc) {
+  // A tree has no cycles in its channel dependency graph.
+  Graph g(7);
+  for (int i = 1; i < 7; ++i) g.add_edge(i, (i - 1) / 2);
+  g.finalize();
+  auto r = dfsssp_vc_count(g);
+  EXPECT_EQ(r.vcs_used, 1);
+  EXPECT_EQ(r.routes, 7 * 6);
+}
+
+TEST(Dfsssp, RingNeedsMoreThanOneVc) {
+  Graph g(8);
+  for (int i = 0; i < 8; ++i) g.add_edge(i, (i + 1) % 8);
+  g.finalize();
+  auto r = dfsssp_vc_count(g);
+  EXPECT_GE(r.vcs_used, 2);
+}
+
+TEST(Dfsssp, SlimFlyNeedsFewVcs) {
+  // Paper Section IV-D: OFED DFSSSP consistently needed 3 VCs on SF.
+  for (int q : {5, 7}) {
+    sf::SlimFlyMMS topo(q);
+    auto r = dfsssp_vc_count(topo.graph());
+    EXPECT_GE(r.vcs_used, 1) << "q=" << q;
+    EXPECT_LE(r.vcs_used, 4) << "q=" << q;
+  }
+}
+
+TEST(Dfsssp, DlnNeedsMoreVcsThanSlimFly) {
+  // The paper's comparison: DLN random topologies needed 8-15 VCs versus
+  // SF's 3. The paper's DLNs are much sparser relative to size than SF
+  // (ring + few shortcuts); compare at matched router count and realistic
+  // DLN radix. Absolute numbers are heuristic-dependent; the ordering must
+  // hold.
+  sf::SlimFlyMMS sf_topo(7);  // 98 routers, k' = 11
+  Dln dln(98, 5, 3);          // sparse shortcuts, diameter ~4-5
+  auto sf_r = dfsssp_vc_count(sf_topo.graph());
+  auto dln_r = dfsssp_vc_count(dln.graph());
+  EXPECT_GT(dln_r.vcs_used, 0);
+  EXPECT_GT(sf_r.vcs_used, 0);
+  EXPECT_LE(sf_r.vcs_used, 4);
+  EXPECT_GE(dln_r.vcs_used, sf_r.vcs_used);
+}
+
+TEST(Dfsssp, HypercubeDimensionOrderIsCheap) {
+  Hypercube hc(5);
+  auto r = dfsssp_vc_count(hc.graph());
+  EXPECT_GE(r.vcs_used, 1);
+  EXPECT_LE(r.vcs_used, 3);
+}
+
+TEST(Dfsssp, DisconnectedThrows) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.finalize();
+  EXPECT_THROW(dfsssp_vc_count(g), std::invalid_argument);
+}
+
+TEST(Dfsssp, MaxLayersExceededReportsZero) {
+  Graph g(12);
+  for (int i = 0; i < 12; ++i) g.add_edge(i, (i + 1) % 12);
+  g.finalize();
+  auto r = dfsssp_vc_count(g, 1);  // rings cannot fit in one layer
+  EXPECT_EQ(r.vcs_used, 0);
+}
+
+}  // namespace
+}  // namespace slimfly::sim

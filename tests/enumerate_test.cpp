@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "sf/enumerate.hpp"
+
+namespace slimfly::sf {
+namespace {
+
+TEST(Enumerate, ElevenBalancedSlimFliesUpTo20k) {
+  // Paper Section VII-A: "For network sizes up to 20,000, there are 11
+  // balanced SF variants ... DF offers only 8 such designs."
+  auto sfs = enumerate_slimfly(20000);
+  EXPECT_EQ(sfs.size(), 11u);
+  auto dfs = enumerate_dragonfly(20000);
+  EXPECT_EQ(dfs.size(), 8u);
+}
+
+TEST(Enumerate, SlimFlyEntriesConsistent) {
+  for (const auto& c : enumerate_slimfly(25000)) {
+    EXPECT_EQ(c.num_routers, 2 * c.q * c.q);
+    EXPECT_EQ(c.k_net, (3 * c.q - c.delta) / 2);
+    EXPECT_EQ(c.concentration, (c.k_net + 1) / 2);
+    EXPECT_EQ(c.router_radix, c.k_net + c.concentration);
+    EXPECT_EQ(c.num_endpoints, c.num_routers * c.concentration);
+  }
+}
+
+TEST(Enumerate, FlagshipAppears) {
+  auto sfs = enumerate_slimfly(20000);
+  bool found = false;
+  for (const auto& c : sfs) {
+    if (c.q == 19) {
+      found = true;
+      EXPECT_EQ(c.num_endpoints, 10830);
+      EXPECT_EQ(c.router_radix, 44);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Enumerate, SortedByEndpoints) {
+  auto sfs = enumerate_slimfly(50000);
+  for (std::size_t i = 1; i < sfs.size(); ++i) {
+    EXPECT_LE(sfs[i - 1].num_endpoints, sfs[i].num_endpoints);
+  }
+}
+
+TEST(Enumerate, DragonflyBalancedRelations) {
+  for (const auto& c : enumerate_dragonfly(20000)) {
+    EXPECT_EQ(c.a, 2 * c.p);
+    EXPECT_EQ(c.h, c.p);
+    EXPECT_EQ(c.g, c.a * c.h + 1);
+    EXPECT_EQ(c.router_radix, 4 * c.p - 1);
+  }
+}
+
+TEST(PickSlimFly, SmallestAboveThreshold) {
+  auto c = pick_slimfly(10000);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_GE(c->num_endpoints, 10000);
+  EXPECT_EQ(c->q, 19);  // 10830 is the smallest >= 10000
+}
+
+TEST(ClosestSlimFly, NearestByEndpointCount) {
+  auto c = closest_slimfly(10000);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->q, 19);
+  c = closest_slimfly(300);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->q, 5);  // N=200 vs q=7's 882
+}
+
+}  // namespace
+}  // namespace slimfly::sf

@@ -1,0 +1,123 @@
+// MMS generator sets: the diameter-2 conditions (A1/A2/B/S of DESIGN.md)
+// must hold for every supported q, and the delta = +1 canonical sets must
+// match the paper's quadratic-residue formula.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gf/gf.hpp"
+#include "sf/generators.hpp"
+
+namespace slimfly::sf {
+namespace {
+
+TEST(DeltaOfQ, ResidueClasses) {
+  EXPECT_EQ(delta_of_q(5), 1);    // 5 = 4*1 + 1
+  EXPECT_EQ(delta_of_q(7), -1);   // 7 = 4*2 - 1
+  EXPECT_EQ(delta_of_q(8), 0);    // 8 = 4*2
+  EXPECT_EQ(delta_of_q(19), -1);
+  EXPECT_EQ(delta_of_q(25), 1);
+  EXPECT_THROW(delta_of_q(6), std::invalid_argument);
+}
+
+TEST(IsValidMmsQ, AcceptsThePapersFamily) {
+  // The 11 balanced configs <= 20k endpoints (paper Section VII-A).
+  for (int q : {4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23}) {
+    EXPECT_TRUE(is_valid_mms_q(q)) << q;
+  }
+  EXPECT_FALSE(is_valid_mms_q(2));   // q = 2 (mod 4)
+  EXPECT_FALSE(is_valid_mms_q(6));   // not a prime power
+  EXPECT_FALSE(is_valid_mms_q(12));  // not a prime power
+  EXPECT_FALSE(is_valid_mms_q(15));  // not a prime power
+}
+
+class GeneratorConditions : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorConditions, VerifiedForAllSupportedQ) {
+  gf::Field field(GetParam());
+  GeneratorSets gens = make_generators(field);
+  EXPECT_TRUE(check_diameter2_conditions(field, gens));
+  // Size fixes the network radix k' = (3q - delta)/2.
+  int q = GetParam();
+  int delta = delta_of_q(q);
+  EXPECT_EQ(static_cast<int>(gens.x.size()), (q - delta) / 2);
+  EXPECT_EQ(static_cast<int>(gens.xprime.size()), (q - delta) / 2);
+}
+
+TEST_P(GeneratorConditions, SetsAreSymmetric) {
+  gf::Field field(GetParam());
+  GeneratorSets gens = make_generators(field);
+  EXPECT_TRUE(is_symmetric_set(field, gens.x));
+  EXPECT_TRUE(is_symmetric_set(field, gens.xprime));
+}
+
+INSTANTIATE_TEST_SUITE_P(SupportedQ, GeneratorConditions,
+                         ::testing::Values(3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19,
+                                           23, 25, 27, 29, 32, 37, 41, 43, 47,
+                                           49, 53, 59, 64));
+
+TEST(Generators, Delta1MatchesPaperFormula) {
+  // For q = 5: xi = 2, X = {1, 4} (even powers), X' = {2, 3} (odd powers) —
+  // the paper's worked example in Section II-B1d.
+  gf::Field field(5);
+  GeneratorSets gens = make_generators(field);
+  std::vector<int> x = gens.x, xp = gens.xprime;
+  std::sort(x.begin(), x.end());
+  std::sort(xp.begin(), xp.end());
+  EXPECT_EQ(x, (std::vector<int>{1, 4}));
+  EXPECT_EQ(xp, (std::vector<int>{2, 3}));
+}
+
+TEST(Generators, Delta1IsQuadraticResidues) {
+  // X must be exactly the nonzero squares for q = 1 (mod 4).
+  for (int q : {13, 17, 29}) {
+    gf::Field field(q);
+    GeneratorSets gens = make_generators(field);
+    std::vector<bool> is_square(static_cast<std::size_t>(q), false);
+    for (int a = 1; a < q; ++a) is_square[static_cast<std::size_t>(field.mul(a, a))] = true;
+    for (int e : gens.x) EXPECT_TRUE(is_square[static_cast<std::size_t>(e)]) << q;
+    for (int e : gens.xprime) EXPECT_FALSE(is_square[static_cast<std::size_t>(e)]) << q;
+  }
+}
+
+TEST(Generators, CoverageIsTightForDelta1) {
+  // delta = +1: X and X' partition GF(q)^* (no overlap).
+  gf::Field field(13);
+  GeneratorSets gens = make_generators(field);
+  std::vector<int> all = gens.x;
+  all.insert(all.end(), gens.xprime.begin(), gens.xprime.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+  EXPECT_EQ(static_cast<int>(all.size()), 12);
+}
+
+TEST(Generators, CoverageOverlapsByOnePairForDeltaMinus1) {
+  // delta = -1: |X| + |X'| = q + 1, so exactly one symmetric pair overlaps.
+  gf::Field field(19);
+  GeneratorSets gens = make_generators(field);
+  std::vector<int> overlap;
+  for (int e : gens.x) {
+    if (std::find(gens.xprime.begin(), gens.xprime.end(), e) != gens.xprime.end()) {
+      overlap.push_back(e);
+    }
+  }
+  EXPECT_EQ(overlap.size(), 2u);  // {t, -t}
+  if (overlap.size() == 2) {
+    EXPECT_EQ(field.neg(overlap[0]), overlap[1]);
+  }
+}
+
+TEST(Generators, RejectsUnsupportedQ) {
+  gf::Field f2(2);
+  EXPECT_THROW(make_generators(f2), std::invalid_argument);
+}
+
+TEST(CoversWithSums, DetectsNonCovering) {
+  gf::Field field(13);
+  // {1, 12} = {±1}: sums {2, 0, 11}; covered = {1,2,11,12} — far from all.
+  EXPECT_FALSE(covers_with_sums(field, {1, 12}));
+}
+
+}  // namespace
+}  // namespace slimfly::sf

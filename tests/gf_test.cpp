@@ -1,0 +1,137 @@
+// Field axioms and structure of GF(p^m) for every prime power up to 128 —
+// the foundation the MMS construction stands on.
+
+#include <gtest/gtest.h>
+
+#include "gf/gf.hpp"
+#include "util/numtheory.hpp"
+
+namespace slimfly::gf {
+namespace {
+
+class FieldAxioms : public ::testing::TestWithParam<int> {};
+
+TEST_P(FieldAxioms, AdditionGroup) {
+  Field f(GetParam());
+  int q = f.q();
+  for (int a = 0; a < q; ++a) {
+    EXPECT_EQ(f.add(a, 0), a);
+    EXPECT_EQ(f.add(a, f.neg(a)), 0);
+    for (int b = 0; b < q; ++b) {
+      EXPECT_EQ(f.add(a, b), f.add(b, a));
+    }
+  }
+}
+
+TEST_P(FieldAxioms, AdditionAssociative) {
+  Field f(GetParam());
+  int q = f.q();
+  // Sample triples for large fields, exhaustive for small ones.
+  int stride = q > 16 ? 5 : 1;
+  for (int a = 0; a < q; a += stride) {
+    for (int b = 0; b < q; b += stride) {
+      for (int c = 0; c < q; c += stride) {
+        EXPECT_EQ(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+      }
+    }
+  }
+}
+
+TEST_P(FieldAxioms, MultiplicationGroup) {
+  Field f(GetParam());
+  int q = f.q();
+  for (int a = 0; a < q; ++a) {
+    EXPECT_EQ(f.mul(a, 1), a);
+    EXPECT_EQ(f.mul(a, 0), 0);
+    if (a != 0) {
+      EXPECT_EQ(f.mul(a, f.inv(a)), 1) << "a=" << a;
+    }
+  }
+}
+
+TEST_P(FieldAxioms, Distributive) {
+  Field f(GetParam());
+  int q = f.q();
+  int stride = q > 16 ? 7 : 1;
+  for (int a = 0; a < q; a += stride) {
+    for (int b = 0; b < q; b += stride) {
+      for (int c = 0; c < q; c += stride) {
+        EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+      }
+    }
+  }
+}
+
+TEST_P(FieldAxioms, PrimitiveElementGeneratesUnits) {
+  Field f(GetParam());
+  int q = f.q();
+  int xi = f.primitive_element();
+  std::vector<bool> seen(static_cast<std::size_t>(q), false);
+  int x = 1;
+  for (int i = 0; i < q - 1; ++i) {
+    EXPECT_FALSE(seen[static_cast<std::size_t>(x)]) << "xi has order < q-1";
+    seen[static_cast<std::size_t>(x)] = true;
+    x = f.mul(x, xi);
+  }
+  EXPECT_EQ(x, 1) << "xi^(q-1) != 1";
+  for (int e = 1; e < q; ++e) EXPECT_TRUE(seen[static_cast<std::size_t>(e)]);
+}
+
+TEST_P(FieldAxioms, FrobeniusIsAdditive) {
+  // (a + b)^p == a^p + b^p in characteristic p.
+  Field f(GetParam());
+  int q = f.q();
+  int stride = q > 32 ? 3 : 1;
+  for (int a = 0; a < q; a += stride) {
+    for (int b = 0; b < q; b += stride) {
+      EXPECT_EQ(f.pow(f.add(a, b), f.p()),
+                f.add(f.pow(a, f.p()), f.pow(b, f.p())));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrimePowers, FieldAxioms,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17,
+                                           19, 23, 25, 27, 29, 32, 37, 49, 64,
+                                           81, 121, 125, 128));
+
+TEST(Field, RejectsNonPrimePowers) {
+  EXPECT_THROW(Field(0), std::invalid_argument);
+  EXPECT_THROW(Field(1), std::invalid_argument);
+  EXPECT_THROW(Field(6), std::invalid_argument);
+  EXPECT_THROW(Field(12), std::invalid_argument);
+  EXPECT_THROW(Field(100), std::invalid_argument);
+  EXPECT_THROW(Field(4097), std::invalid_argument);
+}
+
+TEST(Field, InverseOfZeroThrows) {
+  Field f(7);
+  EXPECT_THROW(f.inv(0), std::domain_error);
+  EXPECT_THROW(f.div(3, 0), std::domain_error);
+}
+
+TEST(Field, ElementRangeChecked) {
+  Field f(9);
+  EXPECT_THROW(f.add(0, 9), std::out_of_range);
+  EXPECT_THROW(f.mul(-1, 0), std::out_of_range);
+}
+
+TEST(Field, ExtensionFieldHasCorrectCharacteristic) {
+  Field f(27);
+  EXPECT_EQ(f.p(), 3);
+  EXPECT_EQ(f.degree(), 3);
+  // char 3: x + x + x == 0
+  for (int a = 0; a < 27; ++a) {
+    EXPECT_EQ(f.add(f.add(a, a), a), 0);
+  }
+}
+
+TEST(Field, OrderDividesGroupOrder) {
+  Field f(25);
+  for (int a = 1; a < 25; ++a) {
+    EXPECT_EQ((f.q() - 1) % f.order(a), 0);
+  }
+}
+
+}  // namespace
+}  // namespace slimfly::gf

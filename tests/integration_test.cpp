@@ -1,0 +1,162 @@
+// Cross-module integration: end-to-end reproductions of the paper's
+// qualitative claims at test-friendly scale.
+
+#include <gtest/gtest.h>
+
+#include "slimfly.hpp"
+
+namespace slimfly {
+namespace {
+
+TEST(Integration, SlimFlyHasLowestAverageDistance) {
+  // Figure 1's ordering at ~200-900 endpoints: SF < DF < FT.
+  sf::SlimFlyMMS sf_topo(5);                        // N = 200
+  auto df = Dragonfly::balanced(2);                 // N = 144
+  FatTree3 ft(6, FatTreeVariant::PaperSlim);        // N = 216
+  double sf_avg = analysis::average_endpoint_distance(sf_topo);
+  double df_avg = analysis::average_endpoint_distance(*df);
+  double ft_avg = analysis::average_endpoint_distance(ft);
+  EXPECT_LT(sf_avg, df_avg);
+  EXPECT_LT(df_avg, ft_avg);
+  EXPECT_LT(sf_avg, 2.0);
+}
+
+TEST(Integration, MinCollapsesEarlyOnWorstCase) {
+  // Section V-C / Figure 6d: minimal routing saturates at a small fraction
+  // of injection on the worst-case pattern. On the Hoffman-Singleton
+  // network every attacked link carries (k'-1)*p = 24 flows, so the MIN
+  // saturation point is ~1/24 — tiny — while it runs fine at 2%.
+  sf::SlimFlyMMS topo(5);
+  auto routing = sim::make_routing(sim::RoutingKind::Minimal, topo);
+  sim::SimConfig cfg;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 800;
+  cfg.drain_cycles = 4000;
+  auto traffic = sim::make_worst_case_sf(topo);
+  auto low = sim::simulate(topo, *routing.algorithm, *traffic, cfg, 0.02);
+  EXPECT_FALSE(low.saturated);
+  traffic = sim::make_worst_case_sf(topo);
+  auto high = sim::simulate(topo, *routing.algorithm, *traffic, cfg, 0.55);
+  EXPECT_TRUE(high.saturated);
+  // Accepted bandwidth stays far below offered at the high point.
+  EXPECT_LT(high.accepted_load, 0.35);
+}
+
+TEST(Integration, ValiantRescuesWorstCase) {
+  // Figure 6d: VAL sustains several times the load at which MIN collapses
+  // (the paper shows 40% at q=19; the tiny q=5 network's worst case is
+  // relatively harsher, shifting both saturation points down).
+  sf::SlimFlyMMS topo(5);
+  sim::SimConfig cfg;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 800;
+  cfg.drain_cycles = 8000;
+  double load = 0.15;
+  auto val = sim::make_routing(sim::RoutingKind::Valiant, topo);
+  auto traffic = sim::make_worst_case_sf(topo);
+  auto rval = sim::simulate(topo, *val.algorithm, *traffic, cfg, load);
+  EXPECT_FALSE(rval.saturated) << "VAL should sustain 15% on worst-case";
+  EXPECT_GT(rval.accepted_load, 0.12);
+  auto min = sim::make_routing(sim::RoutingKind::Minimal, topo);
+  traffic = sim::make_worst_case_sf(topo);
+  auto rmin = sim::simulate(topo, *min.algorithm, *traffic, cfg, load);
+  EXPECT_TRUE(rmin.saturated) << "MIN must collapse at the same load";
+  EXPECT_LT(rmin.accepted_load, rval.accepted_load);
+}
+
+TEST(Integration, UgalMatchesMinOnUniform) {
+  // Figure 6a: UGAL-G tracks MIN on uniform traffic at moderate load.
+  sf::SlimFlyMMS topo(5);
+  sim::SimConfig cfg;
+  cfg.warmup_cycles = 400;
+  cfg.measure_cycles = 600;
+  auto min_r = sim::make_routing(sim::RoutingKind::Minimal, topo);
+  auto ugal_r = sim::make_routing(sim::RoutingKind::UgalG, topo);
+  auto ta = sim::make_uniform(topo.num_endpoints());
+  auto tb = sim::make_uniform(topo.num_endpoints());
+  auto rmin = sim::simulate(topo, *min_r.algorithm, *ta, cfg, 0.4);
+  auto rugal = sim::simulate(topo, *ugal_r.algorithm, *tb, cfg, 0.4);
+  EXPECT_FALSE(rmin.saturated);
+  EXPECT_FALSE(rugal.saturated);
+  EXPECT_LT(std::abs(rugal.avg_latency - rmin.avg_latency),
+            0.5 * rmin.avg_latency + 5.0);
+}
+
+TEST(Integration, SmallBuffersLowerLatencyNearSaturation) {
+  // Figure 8a: smaller buffers mean stiffer backpressure and lower queueing
+  // latency near saturation (big buffers instead buy bandwidth). Uniform
+  // traffic at high load shows the effect cleanly.
+  sf::SlimFlyMMS topo(5);
+  auto routing = sim::make_routing(sim::RoutingKind::Minimal, topo);
+  sim::SimConfig small_cfg;
+  small_cfg.buffer_per_port = 16;
+  small_cfg.warmup_cycles = 600;
+  small_cfg.measure_cycles = 800;
+  small_cfg.drain_cycles = 20000;
+  sim::SimConfig big_cfg = small_cfg;
+  big_cfg.buffer_per_port = 256;
+  auto ta = sim::make_uniform(topo.num_endpoints());
+  auto tb = sim::make_uniform(topo.num_endpoints());
+  auto rs = sim::simulate(topo, *routing.algorithm, *ta, small_cfg, 0.9);
+  auto rb = sim::simulate(topo, *routing.algorithm, *tb, big_cfg, 0.9);
+  // In-network latency (the Figure 8a metric): with small buffers queued
+  // packets wait at the source instead of inside the network.
+  EXPECT_LT(rs.avg_network_latency, rb.avg_network_latency);
+}
+
+TEST(Integration, BisectionOrderingMatchesFigure5c) {
+  // SF > DF in links/endpoint; FT-3 at full bisection.
+  sf::SlimFlyMMS sf_topo(5);
+  auto df = Dragonfly::balanced(2);
+  double sf_bb = analysis::bisection_bandwidth_gbps(sf_topo) /
+                 sf_topo.num_endpoints();
+  double df_bb = analysis::bisection_bandwidth_gbps(*df) / df->num_endpoints();
+  EXPECT_GT(sf_bb, df_bb);
+}
+
+TEST(Integration, OversubscriptionDegradesGracefully) {
+  // Section V-E: p = 16 vs 15 loses a little accepted bandwidth, not much.
+  sf::SlimFlyMMS balanced(5);           // p = 4
+  sf::SlimFlyMMS oversub(5, 6);         // 50% oversubscribed
+  sim::SimConfig cfg;
+  cfg.warmup_cycles = 400;
+  cfg.measure_cycles = 600;
+  cfg.drain_cycles = 4000;
+  auto ra = sim::make_routing(sim::RoutingKind::Minimal, balanced);
+  auto rb = sim::make_routing(sim::RoutingKind::Minimal, oversub);
+  auto ta = sim::make_uniform(balanced.num_endpoints());
+  auto tb = sim::make_uniform(oversub.num_endpoints());
+  auto res_a = sim::simulate(balanced, *ra.algorithm, *ta, cfg, 0.5);
+  auto res_b = sim::simulate(oversub, *rb.algorithm, *tb, cfg, 0.5);
+  EXPECT_FALSE(res_a.saturated);
+  // The oversubscribed network still moves a large fraction of traffic.
+  EXPECT_GT(res_b.accepted_load, 0.3);
+}
+
+TEST(Integration, CostAndPowerAdvantageHoldsAcrossCableFamilies) {
+  // Section VI-B1: the cable choice moves relative costs by only a few %.
+  sf::SlimFlyMMS sf_topo(11);
+  Dragonfly df(5, 10, 5, 51);  // comparable scale
+  for (const auto& cables :
+       {cost::cable_fdr10(), cost::cable_qdr56(), cost::cable_elpeus10()}) {
+    auto sf_cost = cost::evaluate_cost(sf_topo, cables);
+    auto df_cost = cost::evaluate_cost(df, cables);
+    EXPECT_LT(sf_cost.cost_per_endpoint, df_cost.cost_per_endpoint)
+        << cables.name;
+  }
+}
+
+TEST(Integration, QuickstartApiCompiles) {
+  // The README quickstart, as a test.
+  sf::SlimFlyMMS sf_topo(5);
+  auto routing = sim::make_routing(sim::RoutingKind::UgalL, sf_topo);
+  auto traffic = sim::make_uniform(sf_topo.num_endpoints());
+  sim::SimConfig cfg;
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 300;
+  auto result = sim::simulate(sf_topo, *routing.algorithm, *traffic, cfg, 0.2);
+  EXPECT_GT(result.delivered, 0);
+}
+
+}  // namespace
+}  // namespace slimfly

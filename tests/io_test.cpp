@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sf/mms.hpp"
+#include "topo/io.hpp"
+
+namespace slimfly {
+namespace {
+
+TEST(EdgeList, RoundTrip) {
+  sf::SlimFlyMMS topo(5);
+  std::stringstream buffer;
+  write_edge_list(buffer, topo.graph());
+  Graph loaded = read_edge_list(buffer);
+  EXPECT_EQ(loaded.num_vertices(), topo.num_routers());
+  EXPECT_EQ(loaded.num_edges(), topo.graph().num_edges());
+  EXPECT_EQ(loaded.edges(), topo.graph().edges());
+}
+
+TEST(EdgeList, HeaderCarriesIsolatedVertices) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.finalize();
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  Graph loaded = read_edge_list(buffer);
+  EXPECT_EQ(loaded.num_vertices(), 5);  // vertices 2-4 isolated but preserved
+}
+
+TEST(EdgeList, HeaderlessInputInfersSize) {
+  std::stringstream buffer("0 1\n1 2\n");
+  Graph g = read_edge_list(buffer);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(EdgeList, MalformedLineThrows) {
+  std::stringstream buffer("0 x\n");
+  EXPECT_THROW(read_edge_list(buffer), std::invalid_argument);
+}
+
+TEST(EdgeList, FileRoundTrip) {
+  sf::SlimFlyMMS topo(5);
+  const std::string path = "/tmp/slimfly_io_test.edges";
+  save_edge_list(path, topo.graph());
+  Graph loaded = load_edge_list(path);
+  EXPECT_EQ(loaded.edges(), topo.graph().edges());
+}
+
+TEST(EdgeList, MissingFileThrows) {
+  EXPECT_THROW(load_edge_list("/nonexistent/nope.edges"), std::runtime_error);
+}
+
+TEST(Dot, ContainsAllRoutersAndEdges) {
+  sf::SlimFlyMMS topo(5);
+  std::stringstream buffer;
+  write_dot(buffer, topo);
+  std::string out = buffer.str();
+  EXPECT_NE(out.find("graph"), std::string::npos);
+  EXPECT_NE(out.find("r49"), std::string::npos);
+  EXPECT_NE(out.find("(+4 ep)"), std::string::npos);  // concentration label
+  // One line per edge.
+  std::size_t count = 0;
+  for (std::size_t pos = 0; (pos = out.find(" -- ", pos)) != std::string::npos; ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, static_cast<std::size_t>(topo.graph().num_edges()));
+}
+
+}  // namespace
+}  // namespace slimfly

@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "analysis/moore.hpp"
+#include "sf/mms.hpp"
+
+namespace slimfly::analysis {
+namespace {
+
+TEST(MooreBound, ClosedForms) {
+  // D=2: 1 + k' + k'(k'-1) = k'^2 + 1.
+  EXPECT_EQ(moore_bound(7, 2), 50);     // Hoffman-Singleton is tight
+  EXPECT_EQ(moore_bound(57, 2), 3250);  // the open Moore graph case
+  EXPECT_EQ(moore_bound(3, 2), 10);     // Petersen graph
+  // D=1: complete graph.
+  EXPECT_EQ(moore_bound(5, 1), 6);
+  // D=3: 1 + k'(1 + (k'-1) + (k'-1)^2).
+  EXPECT_EQ(moore_bound(3, 3), 1 + 3 * (1 + 2 + 4));
+}
+
+TEST(MooreBound, PaperFigure5aAnchor) {
+  // "For k' = 96, MMS has 8192 routers, only 12% worse than the upper
+  // bound (9217)" — Section II-B3.
+  EXPECT_EQ(moore_bound(96, 2), 9217);
+  EXPECT_NEAR(moore_fraction(8192, 96, 2), 0.888, 0.01);
+}
+
+TEST(MooreBound, HoffmanSingletonIsOptimal) {
+  sf::SlimFlyMMS topo(5);
+  EXPECT_DOUBLE_EQ(moore_fraction(topo.num_routers(), topo.k_net(), 2), 1.0);
+}
+
+TEST(MooreBound, SlimFlyStaysNearOptimal) {
+  // All supported q keep >= 2/3 of the Moore bound (the 2q^2 / (k'^2+1)
+  // ratio tends to 8/9 for delta = 0).
+  for (int q : {5, 7, 9, 11, 13, 17, 19, 23}) {
+    sf::SlimFlyMMS topo(q);
+    double f = moore_fraction(topo.num_routers(), topo.k_net(), 2);
+    EXPECT_GT(f, 0.66) << "q=" << q;
+    EXPECT_LE(f, 1.0) << "q=" << q;
+  }
+}
+
+TEST(MooreBound, InvalidArguments) {
+  EXPECT_THROW(moore_bound(0, 2), std::invalid_argument);
+  EXPECT_THROW(moore_bound(5, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace slimfly::analysis

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "util/numtheory.hpp"
+
+namespace slimfly {
+namespace {
+
+TEST(IsPrime, SmallValues) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(19));
+  EXPECT_FALSE(is_prime(91));  // 7 * 13
+  EXPECT_TRUE(is_prime(7919));
+}
+
+TEST(AsPrimePower, RecognizesPrimePowers) {
+  auto pp = as_prime_power(8);
+  ASSERT_TRUE(pp);
+  EXPECT_EQ(pp->p, 2);
+  EXPECT_EQ(pp->m, 3);
+
+  pp = as_prime_power(125);
+  ASSERT_TRUE(pp);
+  EXPECT_EQ(pp->p, 5);
+  EXPECT_EQ(pp->m, 3);
+
+  pp = as_prime_power(17);
+  ASSERT_TRUE(pp);
+  EXPECT_EQ(pp->p, 17);
+  EXPECT_EQ(pp->m, 1);
+}
+
+TEST(AsPrimePower, RejectsComposites) {
+  EXPECT_FALSE(as_prime_power(1));
+  EXPECT_FALSE(as_prime_power(6));
+  EXPECT_FALSE(as_prime_power(12));
+  EXPECT_FALSE(as_prime_power(100));  // 2^2 * 5^2
+  EXPECT_FALSE(as_prime_power(0));
+}
+
+TEST(PowMod, Basics) {
+  EXPECT_EQ(pow_mod(2, 10, 1000), 24);
+  EXPECT_EQ(pow_mod(3, 0, 7), 1);
+  EXPECT_EQ(pow_mod(5, 3, 7), 6);
+  EXPECT_EQ(pow_mod(0, 5, 7), 0);
+}
+
+TEST(InvMod, FermatInverse) {
+  for (int a = 1; a < 19; ++a) {
+    EXPECT_EQ(mul_mod(a, inv_mod(a, 19), 19), 1);
+  }
+  EXPECT_THROW(inv_mod(0, 7), std::invalid_argument);
+}
+
+TEST(PrimitiveRoot, GeneratesFullGroup) {
+  for (std::int64_t p : {3, 5, 7, 11, 13, 17, 19, 23}) {
+    std::int64_t g = primitive_root(p);
+    std::vector<bool> seen(static_cast<std::size_t>(p), false);
+    std::int64_t x = 1;
+    for (int i = 0; i < p - 1; ++i) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(x)]);
+      seen[static_cast<std::size_t>(x)] = true;
+      x = mul_mod(x, g, p);
+    }
+    EXPECT_EQ(x, 1);
+  }
+}
+
+TEST(PrimitiveRoot, KnownValueForQ5) {
+  EXPECT_EQ(primitive_root(5), 2);  // the paper's worked example uses xi = 2
+}
+
+TEST(Gcd, Basics) {
+  EXPECT_EQ(gcd(12, 18), 6);
+  EXPECT_EQ(gcd(17, 5), 1);
+  EXPECT_EQ(gcd(0, 7), 7);
+  EXPECT_EQ(gcd(-12, 18), 6);
+}
+
+}  // namespace
+}  // namespace slimfly

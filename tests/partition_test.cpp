@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "analysis/partition.hpp"
+#include "sf/mms.hpp"
+#include "topo/fattree.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/torus.hpp"
+
+namespace slimfly::analysis {
+namespace {
+
+TEST(Bisect, SidesBalanced) {
+  Hypercube hc(6);
+  auto result = bisect(hc.graph());
+  int side0 = 0;
+  for (int s : result.side) side0 += (s == 0);
+  EXPECT_NEAR(side0, 32, 1);
+  EXPECT_EQ(cut_of(hc.graph(), result.side), result.cut_edges);
+}
+
+TEST(Bisect, HypercubeClosedForm) {
+  // Minimum bisection of an n-cube is 2^(n-1) (cut one dimension).
+  for (int n : {4, 5, 6, 7}) {
+    Hypercube hc(n);
+    auto result = bisect(hc.graph(), 8, 3);
+    EXPECT_EQ(result.cut_edges, 1 << (n - 1)) << "n=" << n;
+  }
+}
+
+TEST(Bisect, Torus2DNearClosedForm) {
+  // 8x8 torus: the optimal bisection cuts 2 columns of 8 wrap pairs = 16
+  // links. Flat FM can stall in a 20-cut local optimum from blob-shaped
+  // seeds; with enough multi-starts it must land within 25% of optimal.
+  Torus t({8, 8});
+  auto result = bisect(t.graph(), 24, 5);
+  EXPECT_GE(result.cut_edges, 16);
+  EXPECT_LE(result.cut_edges, 20);
+}
+
+TEST(Bisect, RingIsTwo) {
+  Graph ring(16);
+  for (int i = 0; i < 16; ++i) ring.add_edge(i, (i + 1) % 16);
+  ring.finalize();
+  EXPECT_EQ(bisect(ring).cut_edges, 2);
+}
+
+TEST(Bisect, TooSmallThrows) {
+  Graph g(1);
+  g.finalize();
+  EXPECT_THROW(bisect(g), std::invalid_argument);
+}
+
+TEST(BisectionBandwidth, SlimFlyBeatsQuarterBandwidth) {
+  // Paper Fig. 5c: SF clearly exceeds the N/4-links class (DF, FBF) —
+  // its relative bisection is over 0.3 links/endpoint at 10 Gb/s each.
+  sf::SlimFlyMMS topo(7);  // N = 588
+  double bb = bisection_bandwidth_gbps(topo, 10.0, 8);
+  double full = topo.num_endpoints() / 2.0 * 10.0;
+  // Paper Fig. 5c: SF sits well above the N/4 class (DF, FBF-3); measured
+  // ~0.59 of full bisection at this scale.
+  EXPECT_GT(bb, 0.5 * full);
+  EXPECT_LE(bb, 1.2 * full);
+}
+
+TEST(BisectionBandwidth, FatTreeIsFull) {
+  // FT-3 has full bisection: N/2 links * 10 Gb/s. The FM bound must come
+  // out at or above it (transit cores give the partitioner slack, so allow
+  // a modest overshoot but not a huge one).
+  FatTree3 ft(4, FatTreeVariant::PaperSlim);
+  double bb = bisection_bandwidth_gbps(ft, 10.0, 8);
+  double full = ft.num_endpoints() / 2.0 * 10.0;
+  EXPECT_GE(bb, 0.9 * full);
+}
+
+TEST(BisectionBandwidth, HypercubeExact) {
+  Hypercube hc(6);  // p = 1: BB = N/2 links
+  double bb = bisection_bandwidth_gbps(hc, 10.0, 8, 3);
+  EXPECT_DOUBLE_EQ(bb, 32 * 10.0);
+}
+
+}  // namespace
+}  // namespace slimfly::analysis

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "gf/poly.hpp"
+
+namespace slimfly::gf {
+namespace {
+
+TEST(Poly, NormalizeDropsTrailingZeros) {
+  Poly a{{1, 2, 0, 0}};
+  EXPECT_EQ(normalize(a).degree(), 1);
+  EXPECT_EQ(normalize(Poly{{0, 0}}).degree(), -1);
+}
+
+TEST(Poly, AddSubRoundTrip) {
+  int p = 5;
+  Poly a{{1, 2, 3}};
+  Poly b{{4, 0, 2}};
+  Poly s = add(a, b, p);
+  EXPECT_EQ(sub(s, b, p), normalize(a));
+  EXPECT_EQ(sub(s, a, p), normalize(b));
+}
+
+TEST(Poly, AddCancellationReducesDegree) {
+  int p = 3;
+  Poly a{{1, 2}};
+  Poly b{{1, 1}};
+  EXPECT_EQ(add(a, b, p).degree(), 0);  // (2x) + (x) = 3x = 0 mod 3
+}
+
+TEST(Poly, MulDegreesAdd) {
+  int p = 7;
+  Poly a{{1, 1}};      // 1 + x
+  Poly b{{2, 0, 1}};   // 2 + x^2
+  Poly c = mul(a, b, p);
+  EXPECT_EQ(c.degree(), 3);
+  // (1+x)(2+x^2) = 2 + 2x + x^2 + x^3
+  EXPECT_EQ(c.coeffs, (std::vector<int>{2, 2, 1, 1}));
+}
+
+TEST(Poly, MulByZeroIsZero) {
+  EXPECT_TRUE(mul(Poly{{1, 2}}, Poly{}, 5).is_zero());
+}
+
+TEST(Poly, ModReducesBelowDivisorDegree) {
+  int p = 2;
+  Poly f{{1, 1, 0, 1}};  // 1 + x + x^3 (irreducible over GF(2))
+  Poly a{{0, 0, 0, 0, 0, 1}};  // x^5
+  Poly r = mod(a, f, p);
+  EXPECT_LT(r.degree(), f.degree());
+}
+
+TEST(Poly, ModRequiresMonic) {
+  EXPECT_THROW(mod(Poly{{1}}, Poly{{1, 2}}, 5), std::invalid_argument);
+  EXPECT_THROW(mod(Poly{{1}}, Poly{}, 5), std::invalid_argument);
+}
+
+TEST(IsIrreducible, KnownPolynomials) {
+  // x^2 + 1 over GF(3) is irreducible (-1 is not a square mod 3).
+  EXPECT_TRUE(is_irreducible(Poly{{1, 0, 1}}, 3));
+  // x^2 + 1 over GF(5) factors: (x+2)(x+3) = x^2 + 5x + 6 = x^2 + 1 mod 5.
+  EXPECT_FALSE(is_irreducible(Poly{{1, 0, 1}}, 5));
+  // x^2 + x + 1 over GF(2) is the classic irreducible.
+  EXPECT_TRUE(is_irreducible(Poly{{1, 1, 1}}, 2));
+  // x^2 + x over GF(2) = x(x+1).
+  EXPECT_FALSE(is_irreducible(Poly{{0, 1, 1}}, 2));
+}
+
+TEST(FindIrreducible, ProducesIrreducibleOfRightDegree) {
+  for (auto [p, m] : std::vector<std::pair<int, int>>{
+           {2, 2}, {2, 3}, {2, 5}, {3, 2}, {3, 3}, {5, 2}, {7, 2}}) {
+    Poly f = find_irreducible(p, m);
+    EXPECT_EQ(f.degree(), m);
+    EXPECT_EQ(f.coeffs.back(), 1);  // monic
+    EXPECT_TRUE(is_irreducible(f, p));
+  }
+}
+
+}  // namespace
+}  // namespace slimfly::gf

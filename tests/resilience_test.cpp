@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.hpp"
+#include "analysis/resilience.hpp"
+#include "sf/mms.hpp"
+#include "topo/torus.hpp"
+
+namespace slimfly::analysis {
+namespace {
+
+Graph ring(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+  g.finalize();
+  return g;
+}
+
+TEST(RemoveRandomLinks, RemovesExactCount) {
+  Graph g = ring(20);
+  Graph damaged = remove_random_links(g, 5, 1);
+  EXPECT_EQ(damaged.num_edges(), 15);
+  EXPECT_EQ(damaged.num_vertices(), 20);
+}
+
+TEST(RemoveRandomLinks, CapAtTotal) {
+  Graph g = ring(10);
+  Graph damaged = remove_random_links(g, 100, 1);
+  EXPECT_EQ(damaged.num_edges(), 0);
+}
+
+TEST(RemoveRandomLinks, Deterministic) {
+  Graph g = ring(20);
+  auto a = remove_random_links(g, 7, 42).edges();
+  auto b = remove_random_links(g, 7, 42).edges();
+  EXPECT_EQ(a, b);
+}
+
+TEST(MaxFailures, RingIsFragile) {
+  // Removing 10% of a 40-link ring (4 links) almost surely disconnects it.
+  ResilienceOptions opts;
+  opts.trials = 10;
+  EXPECT_LE(max_failures_connected(ring(40), opts), 5);
+}
+
+TEST(MaxFailures, SlimFlyIsHighlyResilient) {
+  // Table III: SF tolerates ~45% at N=256-class sizes; q=5 is smaller but
+  // must clearly beat the torus.
+  sf::SlimFlyMMS topo(5);
+  ResilienceOptions opts;
+  opts.trials = 8;
+  int sf_level = max_failures_connected(topo.graph(), opts);
+  Torus torus({4, 4, 4});
+  int torus_level = max_failures_connected(torus.graph(), opts);
+  EXPECT_GT(sf_level, torus_level);
+  EXPECT_GE(sf_level, 30);
+}
+
+TEST(MaxFailuresDiameter, ZeroBudgetIsStrict) {
+  // With budget 0 and a Moore graph, any removal that stretches a distance
+  // fails: the tolerated fraction collapses to (near) zero.
+  sf::SlimFlyMMS topo(5);
+  ResilienceOptions opts;
+  opts.trials = 6;
+  int level = max_failures_diameter(topo.graph(), 0, opts);
+  EXPECT_LE(level, 10);
+}
+
+TEST(MaxFailuresDiameter, BudgetTwoMatchesPaperSetup) {
+  sf::SlimFlyMMS topo(5);
+  ResilienceOptions opts;
+  opts.trials = 6;
+  int level = max_failures_diameter(topo.graph(), 2, opts);
+  EXPECT_GE(level, 15);  // Section III-D2 reports ~40% at larger scale
+  EXPECT_LT(level, 100);
+}
+
+TEST(MaxFailuresAvgDistance, MonotoneInBudget) {
+  sf::SlimFlyMMS topo(5);
+  ResilienceOptions opts;
+  opts.trials = 6;
+  int tight = max_failures_avg_distance(topo.graph(), 0.1, opts);
+  int loose = max_failures_avg_distance(topo.graph(), 1.0, opts);
+  EXPECT_LE(tight, loose);
+}
+
+TEST(MaxFailures, CustomPredicate) {
+  // Survives iff at least 90% of vertices stay in one component.
+  Graph g = ring(30);
+  ResilienceOptions opts;
+  opts.trials = 6;
+  int level = max_failures(
+      g, [](const Graph& damaged) { return largest_component(damaged) >= 27; },
+      opts);
+  EXPECT_GE(level, 0);
+  EXPECT_LT(level, 100);
+}
+
+}  // namespace
+}  // namespace slimfly::analysis

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.hpp"
+#include "sf/sfgrouped.hpp"
+
+namespace slimfly::sf {
+namespace {
+
+TEST(SfGrouped, StructureSmall) {
+  SfGroupedDragonfly topo(5, 1, 4);  // 4 groups of Hoffman-Singleton
+  EXPECT_EQ(topo.num_routers(), 200);
+  EXPECT_EQ(topo.groups(), 4);
+  EXPECT_EQ(topo.group_size(), 50);
+  // Network radix: k' (intra) + h (global) on every router.
+  EXPECT_EQ(topo.graph().max_degree(), 7 + 1);
+  EXPECT_TRUE(topo.graph().is_regular());
+}
+
+TEST(SfGrouped, DiameterWithinBound) {
+  SfGroupedDragonfly topo(5, 1, 4);
+  int d = analysis::diameter(topo.graph());
+  EXPECT_GE(d, 3);
+  EXPECT_LE(d, SfGroupedDragonfly::kDiameterBound);
+}
+
+TEST(SfGrouped, GlobalLinksBalanced) {
+  SfGroupedDragonfly topo(5, 1, 4);
+  // Every group must spend exactly a*h = 50 global ports.
+  for (int grp = 0; grp < 4; ++grp) {
+    int global = 0;
+    for (int r = grp * 50; r < (grp + 1) * 50; ++r) {
+      for (int n : topo.graph().neighbors(r)) {
+        if (topo.group_of(n) != grp) ++global;
+      }
+    }
+    EXPECT_EQ(global, 50) << "group " << grp;
+  }
+}
+
+TEST(SfGrouped, RacksFollowSfStructure) {
+  SfGroupedDragonfly topo(5, 1, 3);
+  EXPECT_EQ(topo.num_racks(), 15);  // g * q
+  std::vector<int> count(15, 0);
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    ++count[static_cast<std::size_t>(topo.rack_of_router(r))];
+  }
+  for (int c : count) EXPECT_EQ(c, 10);  // 2q per rack
+}
+
+TEST(SfGrouped, MuchLargerGroupsThanDragonflyPerRadix) {
+  // The point of Section VII-B: a Slim Fly group of radix k'=7 holds 50
+  // routers where a Dragonfly clique of the same local radix holds 8.
+  SfGroupedDragonfly topo(5, 1, 3);
+  EXPECT_EQ(topo.group_size(), 50);
+  // Dragonfly local clique with degree 7 would have a = 8 routers.
+  EXPECT_GT(topo.group_size(), 8 * 4);
+}
+
+TEST(SfGrouped, RejectsBadParameters) {
+  EXPECT_THROW(SfGroupedDragonfly(5, 0, 3), std::invalid_argument);
+  EXPECT_THROW(SfGroupedDragonfly(5, 1, 1), std::invalid_argument);
+  EXPECT_THROW(SfGroupedDragonfly(5, 1, 52), std::invalid_argument);  // > a*h+1
+}
+
+TEST(SfGrouped, ConcentrationDefaultsToSfBalanced) {
+  SfGroupedDragonfly topo(5, 1, 3);
+  EXPECT_EQ(topo.concentration(), 4);  // ceil(7/2)
+  EXPECT_EQ(topo.num_endpoints(), 150 * 4);
+}
+
+}  // namespace
+}  // namespace slimfly::sf

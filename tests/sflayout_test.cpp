@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "sf/layout.hpp"
+
+namespace slimfly::sf {
+namespace {
+
+TEST(MmsLayout, PaperExampleQ19) {
+  // Section VI-A: q=19 racks, each 38 routers / 570 endpoints, 2q = 38
+  // cables between every pair of racks.
+  SlimFlyMMS topo(19);
+  MmsLayout layout = compute_layout(topo);
+  EXPECT_EQ(layout.num_racks, 19);
+  EXPECT_EQ(layout.routers_per_rack, 38);
+  EXPECT_EQ(layout.endpoints_per_rack, 570);
+  EXPECT_EQ(layout.inter_rack_cables, 38);
+}
+
+TEST(MmsLayout, InterRackCablesAre2q) {
+  for (int q : {5, 7, 9, 11}) {
+    SlimFlyMMS topo(q);
+    MmsLayout layout = compute_layout(topo);
+    EXPECT_EQ(layout.inter_rack_cables, 2 * q) << "q=" << q;
+    EXPECT_EQ(cables_between_racks(topo, 0, 1), 2 * q) << "q=" << q;
+  }
+}
+
+TEST(MmsLayout, CableConservation) {
+  SlimFlyMMS topo(7);
+  MmsLayout layout = compute_layout(topo);
+  long long pairs = static_cast<long long>(layout.num_racks) *
+                    (layout.num_racks - 1) / 2;
+  EXPECT_EQ(layout.total_electric + layout.total_fiber, topo.graph().num_edges());
+  EXPECT_EQ(layout.total_fiber, pairs * layout.inter_rack_cables);
+  EXPECT_EQ(layout.total_electric,
+            static_cast<long long>(layout.num_racks) * layout.intra_rack_cables);
+}
+
+TEST(MmsLayout, IntraRackStructure) {
+  // Per rack: q|X|/2 + q|X'|/2 intra-subgroup + q cross-subgroup cables.
+  SlimFlyMMS topo(5);
+  MmsLayout layout = compute_layout(topo);
+  int x_size = static_cast<int>(topo.generators().x.size());
+  int xp_size = static_cast<int>(topo.generators().xprime.size());
+  EXPECT_EQ(layout.intra_rack_cables, 5 * x_size / 2 + 5 * xp_size / 2 + 5);
+}
+
+TEST(MmsLayout, SymmetricAcrossAllRackPairs) {
+  SlimFlyMMS topo(7);
+  for (int i = 0; i < 7; ++i) {
+    for (int j = 0; j < 7; ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(cables_between_racks(topo, i, j), 14);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slimfly::sf

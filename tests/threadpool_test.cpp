@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "util/rng.hpp"
+#include "util/threadpool.hpp"
+
+namespace slimfly {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterations) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelFor, SingleWorkerFallsBackSequential) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  parallel_for(pool, 10, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(1), b(1), c(2);
+  EXPECT_EQ(a.next_u32(), b.next_u32());
+  // Different seeds diverge (overwhelmingly likely on first draws).
+  bool diverged = false;
+  for (int i = 0; i < 4; ++i) {
+    if (a.next_u32() != c.next_u32()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(3);
+  for (int bound : {1, 2, 7, 100}) {
+    for (int t = 0; t < 200; ++t) {
+      auto v = rng.next_below(static_cast<std::uint32_t>(bound));
+      EXPECT_LT(v, static_cast<std::uint32_t>(bound));
+    }
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(4);
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, UniformityRoughCheck) {
+  Rng rng(5);
+  int buckets[10] = {};
+  for (int t = 0; t < 10000; ++t) {
+    ++buckets[static_cast<int>(rng.next_double() * 10)];
+  }
+  for (int b : buckets) {
+    EXPECT_GT(b, 800);
+    EXPECT_LT(b, 1200);
+  }
+}
+
+}  // namespace
+}  // namespace slimfly

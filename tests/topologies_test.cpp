@@ -1,0 +1,205 @@
+// Structural invariants of every comparison topology: size, degree,
+// diameter (Table II formulas), and packaging.
+
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.hpp"
+#include "topo/dln.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/fattree.hpp"
+#include "topo/flatbutterfly.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/longhop.hpp"
+#include "topo/torus.hpp"
+
+namespace slimfly {
+namespace {
+
+TEST(Torus, Structure3D) {
+  Torus t({4, 4, 4});
+  EXPECT_EQ(t.num_routers(), 64);
+  EXPECT_TRUE(t.graph().is_regular());
+  EXPECT_EQ(t.graph().max_degree(), 6);
+  EXPECT_EQ(analysis::diameter(t.graph()), t.diameter());
+  EXPECT_EQ(t.diameter(), 6);  // 3 * floor(4/2)
+  EXPECT_TRUE(t.folded_electrical());
+}
+
+TEST(Torus, Structure5D) {
+  Torus t({3, 3, 3, 3, 3});
+  EXPECT_EQ(t.num_routers(), 243);
+  EXPECT_EQ(t.graph().max_degree(), 10);
+  EXPECT_EQ(analysis::diameter(t.graph()), 5);  // 5 * floor(3/2)
+}
+
+TEST(Torus, MakeCubicMeetsMinimum) {
+  auto t = Torus::make_cubic(3, 500);
+  EXPECT_GE(t->num_routers(), 500);
+  EXPECT_EQ(t->dims().size(), 3u);
+}
+
+TEST(Torus, RejectsTinyExtent) {
+  EXPECT_THROW(Torus({2, 4, 4}), std::invalid_argument);
+}
+
+TEST(Hypercube, Structure) {
+  Hypercube hc(6);
+  EXPECT_EQ(hc.num_routers(), 64);
+  EXPECT_TRUE(hc.graph().is_regular());
+  EXPECT_EQ(hc.graph().max_degree(), 6);
+  EXPECT_EQ(analysis::diameter(hc.graph()), 6);
+}
+
+TEST(FatTree3, PaperSlimMatchesTableIV) {
+  // k = 44, p = 22: Nr = 3p^2 = 1452, N = p^3 = 10648 (paper Section V).
+  FatTree3 ft(22, FatTreeVariant::PaperSlim);
+  EXPECT_EQ(ft.num_routers(), 1452);
+  EXPECT_EQ(ft.num_endpoints(), 10648);
+  EXPECT_EQ(ft.router_radix(), 44);
+}
+
+TEST(FatTree3, ClassicMatchesPaperText) {
+  // Section VI-B3c: 5p^2 routers, 2p^3 endpoints.
+  FatTree3 ft(4, FatTreeVariant::Classic);
+  EXPECT_EQ(ft.num_routers(), 5 * 16);
+  EXPECT_EQ(ft.num_endpoints(), 2 * 64);
+}
+
+TEST(FatTree3, DiameterIsFour) {
+  FatTree3 ft(4, FatTreeVariant::PaperSlim);
+  EXPECT_EQ(analysis::diameter(ft.graph()), 4);
+}
+
+TEST(FatTree3, LevelsAndPods) {
+  FatTree3 ft(3, FatTreeVariant::PaperSlim);
+  int edge = 0, agg = 0, core = 0;
+  for (int r = 0; r < ft.num_routers(); ++r) {
+    switch (ft.level(r)) {
+      case 0: ++edge; EXPECT_GE(ft.pod(r), 0); break;
+      case 1: ++agg; EXPECT_GE(ft.pod(r), 0); break;
+      case 2: ++core; EXPECT_EQ(ft.pod(r), -1); break;
+    }
+  }
+  EXPECT_EQ(edge, 9);
+  EXPECT_EQ(agg, 9);
+  EXPECT_EQ(core, 9);
+  // Only edge switches carry endpoints.
+  for (int r = 0; r < ft.num_routers(); ++r) {
+    EXPECT_EQ(ft.endpoints_at(r) > 0, ft.level(r) == 0);
+  }
+}
+
+TEST(FlattenedButterfly, Structure3Level) {
+  FlattenedButterfly fbf(3, 4);
+  EXPECT_EQ(fbf.num_routers(), 64);
+  EXPECT_TRUE(fbf.graph().is_regular());
+  EXPECT_EQ(fbf.graph().max_degree(), 9);  // 3 * (4-1)
+  EXPECT_EQ(analysis::diameter(fbf.graph()), 3);
+  EXPECT_EQ(fbf.concentration(), 4);  // balanced p = c
+  EXPECT_EQ(fbf.num_endpoints(), 256);
+}
+
+TEST(FlattenedButterfly, TwoLevelIsClique) {
+  FlattenedButterfly fbf(1, 8);
+  EXPECT_EQ(analysis::diameter(fbf.graph()), 1);
+  EXPECT_EQ(fbf.graph().max_degree(), 7);
+}
+
+TEST(Dragonfly, BalancedPalmtree) {
+  auto df = Dragonfly::balanced(3);  // a=6, h=3, g=19
+  EXPECT_EQ(df->groups(), 19);
+  EXPECT_EQ(df->num_routers(), 114);
+  EXPECT_TRUE(df->graph().is_regular());
+  EXPECT_EQ(df->graph().max_degree(), 8);  // (a-1) + h
+  EXPECT_EQ(analysis::diameter(df->graph()), 3);
+  EXPECT_EQ(df->router_radix(), 11);  // k = 4p - 1
+  // Exactly one global link between every pair of groups.
+  for (int gi = 0; gi < df->groups(); ++gi) {
+    int global_links = 0;
+    for (int r = gi * df->a(); r < (gi + 1) * df->a(); ++r) {
+      for (int n : df->graph().neighbors(r)) {
+        if (df->group_of(n) != gi) ++global_links;
+      }
+    }
+    EXPECT_EQ(global_links, df->a() * df->h());
+  }
+}
+
+TEST(Dragonfly, PaperEvaluationConfig) {
+  // Section V: k = 27, p = 7, Nr = 1386, N = 9702 (a=14, h=7, g=99).
+  Dragonfly df(7, 14, 7, 99);
+  EXPECT_EQ(df.num_routers(), 1386);
+  EXPECT_EQ(df.num_endpoints(), 9702);
+  EXPECT_EQ(df.router_radix(), 27);
+}
+
+TEST(Dragonfly, SubscaledKeepsRouterDegreeBounded) {
+  // Table IV case study: a=22, h=11, g=45 (N=10890, k=43).
+  Dragonfly df(11, 22, 11, 45);
+  EXPECT_EQ(df.num_routers(), 990);
+  EXPECT_EQ(df.num_endpoints(), 10890);
+  // Degree can fall slightly short of (a-1)+h when parallel router pairs
+  // are deduplicated, but must never exceed it.
+  EXPECT_LE(df.graph().max_degree(), 32);
+  EXPECT_GE(df.graph().num_edges(),
+            static_cast<std::int64_t>(990) * 32 / 2 * 95 / 100);
+  EXPECT_EQ(analysis::diameter(df.graph()), 3);
+}
+
+TEST(Dragonfly, RejectsOversizedGroupCount) {
+  EXPECT_THROW(Dragonfly(2, 4, 2, 10), std::invalid_argument);  // g > a*h+1
+}
+
+TEST(Dln, RingPlusShortcuts) {
+  Dln dln(100, 8, 3);
+  EXPECT_EQ(dln.num_routers(), 100);
+  EXPECT_LE(dln.graph().max_degree(), 8);
+  // Near-regular: average degree within 5% of target.
+  double avg = 2.0 * static_cast<double>(dln.graph().num_edges()) / 100.0;
+  EXPECT_GT(avg, 8.0 * 0.95);
+  // Ring edges present.
+  for (int v = 0; v < 100; ++v) {
+    EXPECT_TRUE(dln.graph().has_edge(v, (v + 1) % 100));
+  }
+  EXPECT_TRUE(analysis::is_connected(dln.graph()));
+}
+
+TEST(Dln, LowDiameterLikeThePaper) {
+  Dln dln(338, 14, 3);  // the paper's 338-endpoint-class DLN
+  int d = analysis::diameter(dln.graph());
+  EXPECT_GE(d, 3);
+  EXPECT_LE(d, 10);  // Table II range
+}
+
+TEST(LongHop, AugmentedHypercube) {
+  LongHop lh(8, 4);  // 256 routers, degree 12
+  EXPECT_EQ(lh.num_routers(), 256);
+  EXPECT_TRUE(lh.graph().is_regular());
+  EXPECT_EQ(lh.graph().max_degree(), 12);
+  // Diameter must be well below the hypercube's 8.
+  int d = analysis::diameter(lh.graph());
+  EXPECT_LE(d, 5);
+  EXPECT_GE(d, 2);
+}
+
+TEST(LongHop, GeneratorsIncludeBasis) {
+  LongHop lh(6, 2);
+  const auto& gens = lh.generators();
+  ASSERT_GE(gens.size(), 6u);
+  for (int b = 0; b < 6; ++b) {
+    EXPECT_EQ(gens[static_cast<std::size_t>(b)], 1u << b);
+  }
+}
+
+TEST(Topology, EndpointMappingConsistent) {
+  Hypercube hc(4, 3);  // p = 3
+  EXPECT_EQ(hc.num_endpoints(), 48);
+  for (int e = 0; e < hc.num_endpoints(); ++e) {
+    int r = hc.endpoint_router(e);
+    EXPECT_GE(e, hc.first_endpoint(r));
+    EXPECT_LT(e, hc.first_endpoint(r) + hc.endpoints_at(r));
+  }
+}
+
+}  // namespace
+}  // namespace slimfly
