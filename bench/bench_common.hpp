@@ -6,18 +6,26 @@
 // ~10K-endpoint configurations (q=19 Slim Fly, k=27 Dragonfly, k=44 fat
 // tree). The paper reports that 1K-10K networks agree within 10%
 // (Section V), so the small scale preserves every qualitative conclusion.
+//
+// Figure sweeps are declarative: bench binaries build an
+// exp::ExperimentSpec (registry strings for every axis) and hand it to the
+// ExperimentEngine, which runs all points in parallel (SF_THREADS workers,
+// 0/unset = all cores) and drops BENCH_<tag>.json next to the binary's cwd.
 
 #include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "exp/experiment.hpp"
 #include "sf/mms.hpp"
 #include "sim/simulation.hpp"
 #include "topo/dragonfly.hpp"
 #include "topo/fattree.hpp"
+#include "topo/registry.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -28,25 +36,42 @@ inline bool paper_scale() {
   return env && std::string(env) == "paper";
 }
 
-/// The Section V evaluation trio (Slim Fly / Dragonfly / fat tree) in
-/// balanced full-bandwidth configurations of comparable size.
+/// Topology registry specs for the Section V evaluation trio
+/// (Slim Fly / Dragonfly / fat tree), balanced and of comparable size.
+/// Index 0 = SF, 1 = DF, 2 = FT.
+inline std::vector<std::string> eval_trio_specs() {
+  if (paper_scale()) {
+    return {"slimfly:q=19",               // N=10830, k=44
+            "dragonfly:p=7,a=14,h=7,g=99",// N=9702,  k=27
+            "fattree:k=22"};              // N=10648, k=44
+  }
+  return {"slimfly:q=7",                  // N=588,  k=17
+          "dragonfly:p=4,a=8,h=4,g=33",   // N=1056, k=15
+          "fattree:k=8"};                 // N=512,  k=16
+}
+
+/// The trio as typed topology objects, for benches that need member access
+/// (buffer studies, cost model). Thin wrapper over the topology registry.
 struct EvalTrio {
   std::unique_ptr<sf::SlimFlyMMS> sf;
   std::unique_ptr<Dragonfly> df;
   std::unique_ptr<FatTree3> ft;
 };
 
+template <class T>
+std::unique_ptr<T> topo_cast(std::unique_ptr<Topology> topo) {
+  auto* typed = dynamic_cast<T*>(topo.get());
+  if (!typed) throw std::logic_error("eval trio spec built unexpected type");
+  topo.release();
+  return std::unique_ptr<T>(typed);
+}
+
 inline EvalTrio make_eval_trio() {
+  auto specs = eval_trio_specs();
   EvalTrio trio;
-  if (paper_scale()) {
-    trio.sf = std::make_unique<sf::SlimFlyMMS>(19);     // N=10830, k=44
-    trio.df = std::make_unique<Dragonfly>(7, 14, 7, 99);// N=9702,  k=27
-    trio.ft = std::make_unique<FatTree3>(22);           // N=10648, k=44
-  } else {
-    trio.sf = std::make_unique<sf::SlimFlyMMS>(7);      // N=588, k=17
-    trio.df = std::make_unique<Dragonfly>(4, 8, 4, 33); // N=1056, k=15
-    trio.ft = std::make_unique<FatTree3>(8);            // N=512, k=16
-  }
+  trio.sf = topo_cast<sf::SlimFlyMMS>(topo::make(specs[0]));
+  trio.df = topo_cast<Dragonfly>(topo::make(specs[1]));
+  trio.ft = topo_cast<FatTree3>(topo::make(specs[2]));
   return trio;
 }
 
@@ -77,7 +102,40 @@ inline void print_table(const std::string& tag, const std::string& title,
   std::cout.flush();
 }
 
+/// Runs a spec on the engine, prints the table + CSV, writes
+/// BENCH_<spec.name>.json, and reports points/threads/wall time.
+inline void run_experiment(const exp::ExperimentSpec& spec,
+                           const std::string& title) {
+  exp::ExperimentEngine engine;
+  Timer timer;
+  // Progress heartbeat: paper-scale runs take hours, so echo each finished
+  // point (matches the old per-series "done" lines, at finer grain).
+  auto results = engine.run(
+      spec, [&spec](const exp::PreparedSeries& series,
+                    const exp::RunResult& point) {
+        // Saturated points may be dropped from the final table/JSON when
+        // the spec truncates at saturation, hence the marker: more "done"
+        // lines than kept points is expected in parallel runs.
+        std::cout << "  [" << spec.name << "] " << series.label << " @ "
+                  << Table::num(point.load, 2) << " done ("
+                  << Table::num(point.wall_seconds, 1) << "s)"
+                  << (point.result.saturated ? " [saturated]" : "") << "\n"
+                  << std::flush;
+      });
+  double wall = timer.seconds();
+  print_table(spec.name, title, exp::to_table(spec, results));
+  std::string json = exp::write_json_file(spec, results, engine.threads());
+  std::string csv = exp::write_csv_file(spec, results);
+  std::cout << "[" << spec.name << "] " << results.size() << " points kept on "
+            << engine.threads() << " threads in " << Table::num(wall, 2)
+            << "s" << (json.empty() ? "" : ", wrote " + json)
+            << (csv.empty() ? "" : " + " + csv) << "\n"
+            << std::flush;
+}
+
 /// Runs one routing curve of a latency-vs-load figure and appends rows.
+/// (Sequential compatibility path for benches that sweep hand-built
+/// objects; the load sweep itself goes through the engine.)
 inline void sweep_into_table(
     Table& table, const std::string& series, const Topology& topo,
     sim::RoutingAlgorithm& routing,
@@ -98,36 +156,29 @@ inline Table latency_table() {
   return Table({"series", "offered", "latency", "net_latency", "accepted", "saturated"});
 }
 
-/// The Figure 6 comparison: SF under MIN/VAL/UGAL-L/UGAL-G, DF under
-/// DF-UGAL-L, FT under ANCA — each with its own traffic instance (the
-/// worst-case figure uses per-topology adversarial patterns).
-inline void run_fig6(
-    const std::string& tag, const std::string& title,
-    const std::function<std::unique_ptr<sim::TrafficPattern>(const Topology&)>&
-        traffic_for) {
-  EvalTrio trio = make_eval_trio();
-  sim::SimConfig cfg = make_sim_config();
-  Table table = latency_table();
+/// The Figure 6 comparison as data: SF under MIN/VAL/UGAL-L/UGAL-G, DF
+/// under DF-UGAL-L, FT under ANCA, one traffic registry name shared by all
+/// (the worst-case figure passes "worstcase", which resolves to each
+/// topology's own adversarial pattern).
+inline exp::ExperimentSpec fig6_spec(const std::string& tag,
+                                     const std::string& traffic) {
+  auto topos = eval_trio_specs();
+  exp::ExperimentSpec spec;
+  spec.name = tag;
+  spec.loads = bench_loads();
+  spec.config = make_sim_config();
+  for (const char* routing : {"MIN", "VAL", "UGAL-L", "UGAL-G"}) {
+    spec.series.push_back(
+        {topos[0], routing, traffic, "SF-" + std::string(routing)});
+  }
+  spec.series.push_back({topos[1], "DF-UGAL-L", traffic, "DF-UGAL-L"});
+  spec.series.push_back({topos[2], "FT-ANCA", traffic, "FT-ANCA"});
+  return spec;
+}
 
-  auto sweep = [&](const std::string& series, const Topology& topo,
-                   sim::RoutingKind kind,
-                   std::shared_ptr<sim::DistanceTable> dist = nullptr)
-      -> std::shared_ptr<sim::DistanceTable> {
-    auto bundle = sim::make_routing(kind, topo, std::move(dist));
-    sweep_into_table(table, series, topo, *bundle.algorithm,
-                     [&] { return traffic_for(topo); }, cfg);
-    std::cout << "  [" << tag << "] " << series << " done\n" << std::flush;
-    return bundle.distances;
-  };
-
-  auto sf_dist = sweep("SF-MIN", *trio.sf, sim::RoutingKind::Minimal);
-  sweep("SF-VAL", *trio.sf, sim::RoutingKind::Valiant, sf_dist);
-  sweep("SF-UGAL-L", *trio.sf, sim::RoutingKind::UgalL, sf_dist);
-  sweep("SF-UGAL-G", *trio.sf, sim::RoutingKind::UgalG, sf_dist);
-  sweep("DF-UGAL-L", *trio.df, sim::RoutingKind::DragonflyUgalL);
-  sweep("FT-ANCA", *trio.ft, sim::RoutingKind::FatTreeAnca);
-
-  print_table(tag, title, table);
+inline void run_fig6(const std::string& tag, const std::string& title,
+                     const std::string& traffic) {
+  run_experiment(fig6_spec(tag, traffic), title);
 }
 
 }  // namespace slimfly::bench

@@ -6,10 +6,7 @@
 #include "bench_common.hpp"
 
 int main() {
-  using namespace slimfly;
-  bench::run_fig6("fig06a", "Uniform random traffic (Figure 6a)",
-                  [](const Topology& topo) {
-                    return sim::make_uniform(topo.num_endpoints());
-                  });
+  slimfly::bench::run_fig6("fig06a", "Uniform random traffic (Figure 6a)",
+                           "uniform");
   return 0;
 }

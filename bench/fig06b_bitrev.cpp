@@ -4,10 +4,7 @@
 #include "bench_common.hpp"
 
 int main() {
-  using namespace slimfly;
-  bench::run_fig6("fig06b", "Bit reversal traffic (Figure 6b)",
-                  [](const Topology& topo) {
-                    return sim::make_bit_reversal(topo.num_endpoints());
-                  });
+  slimfly::bench::run_fig6("fig06b", "Bit reversal traffic (Figure 6b)",
+                           "bitrev");
   return 0;
 }

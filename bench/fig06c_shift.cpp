@@ -4,10 +4,6 @@
 #include "bench_common.hpp"
 
 int main() {
-  using namespace slimfly;
-  bench::run_fig6("fig06c", "Shift traffic (Figure 6c)",
-                  [](const Topology& topo) {
-                    return sim::make_shift(topo.num_endpoints());
-                  });
+  slimfly::bench::run_fig6("fig06c", "Shift traffic (Figure 6c)", "shift");
   return 0;
 }

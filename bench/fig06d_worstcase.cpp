@@ -1,21 +1,14 @@
 // Figure 6d: latency vs offered load under adversarial traffic — each
 // topology gets its own worst case (Fig. 9 pattern for SF, +1-group for
-// DF, forced core crossing for FT). Expected: SF-MIN collapses early;
-// VAL/UGAL disperse the load; FT sustains the most (full bisection).
+// DF, forced core crossing for FT; the "worstcase" registry entry
+// dispatches per topology). Expected: SF-MIN collapses early; VAL/UGAL
+// disperse the load; FT sustains the most (full bisection).
 
 #include "bench_common.hpp"
 
 int main() {
-  using namespace slimfly;
-  bench::run_fig6("fig06d", "Worst-case adversarial traffic (Figure 6d)",
-                  [](const Topology& topo) -> std::unique_ptr<sim::TrafficPattern> {
-                    if (const auto* df = dynamic_cast<const Dragonfly*>(&topo)) {
-                      return sim::make_worst_case_df(*df);
-                    }
-                    if (const auto* ft = dynamic_cast<const FatTree3*>(&topo)) {
-                      return sim::make_worst_case_ft(*ft);
-                    }
-                    return sim::make_worst_case_sf(topo);
-                  });
+  slimfly::bench::run_fig6("fig06d",
+                           "Worst-case adversarial traffic (Figure 6d)",
+                           "worstcase");
   return 0;
 }

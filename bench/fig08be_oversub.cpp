@@ -6,40 +6,25 @@
 
 #include "bench_common.hpp"
 
-namespace slimfly::bench {
-namespace {
+int main() {
+  using namespace slimfly;
+  const int q = bench::paper_scale() ? 19 : 7;
+  const int balanced_p = sf::SlimFlyMMS::balanced_concentration(q);
 
-void run() {
-  int q = paper_scale() ? 19 : 7;
-  int balanced_p = sf::SlimFlyMMS::balanced_concentration(q);
-  sim::SimConfig cfg = make_sim_config();
-  Table table = latency_table();
-
+  exp::ExperimentSpec spec;
+  spec.name = "fig08be";
+  spec.loads = {0.1, 0.3, 0.5, 0.7, 0.8, 0.9};
+  spec.config = bench::make_sim_config();
   for (int p : {balanced_p, balanced_p + 1, balanced_p + 3}) {
-    sf::SlimFlyMMS topo(q, p);
-    auto dist = std::make_shared<sim::DistanceTable>(topo.graph());
-    for (auto kind : {sim::RoutingKind::Minimal, sim::RoutingKind::Valiant,
-                      sim::RoutingKind::UgalL, sim::RoutingKind::UgalG}) {
-      auto bundle = sim::make_routing(kind, topo, dist);
-      std::string tag = "p" + std::to_string(p) + "-" + sim::to_string(kind);
-      std::vector<double> loads = {0.1, 0.3, 0.5, 0.7, 0.8, 0.9};
-      sweep_into_table(table, tag + "-rand", topo, *bundle.algorithm,
-                       [&] { return sim::make_uniform(topo.num_endpoints()); },
-                       cfg, loads);
-      sweep_into_table(table, tag + "-worst", topo, *bundle.algorithm,
-                       [&] { return sim::make_worst_case_sf(topo); }, cfg,
-                       loads);
-      std::cout << "  [fig08be] " << tag << " done\n" << std::flush;
+    std::string topo =
+        "slimfly:q=" + std::to_string(q) + ",p=" + std::to_string(p);
+    for (const char* routing : {"MIN", "VAL", "UGAL-L", "UGAL-G"}) {
+      std::string tag = "p" + std::to_string(p) + "-" + routing;
+      spec.series.push_back({topo, routing, "uniform", tag + "-rand"});
+      spec.series.push_back({topo, routing, "worst-sf", tag + "-worst"});
     }
   }
 
-  print_table("fig08be", "Oversubscribed Slim Fly (Figures 8b-8e)", table);
-}
-
-}  // namespace
-}  // namespace slimfly::bench
-
-int main() {
-  slimfly::bench::run();
+  bench::run_experiment(spec, "Oversubscribed Slim Fly (Figures 8b-8e)");
   return 0;
 }

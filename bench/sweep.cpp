@@ -1,0 +1,126 @@
+// Generic spec-driven sweep driver: any (topology x routing x traffic x
+// load) scenario from the command line, no new binary required.
+//
+//   sweep --topo torus:dims=8x8x8 --traffic stencil3d
+//   sweep --topo slimfly:q=7 --topo hypercube:n=9 \
+//         --routing MIN --routing UGAL-L --traffic uniform --loads 0.2,0.5,0.8
+//   sweep --list
+//
+// Axes repeat; the engine runs the compatible cross-product over all cores
+// (SF_THREADS to override) and writes BENCH_<name>.json.
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+std::vector<double> parse_loads(const std::string& csv) {
+  std::vector<double> loads;
+  std::stringstream ss(csv);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    std::size_t pos = 0;
+    double v = std::stod(part, &pos);
+    if (pos != part.size() || v <= 0.0) {
+      throw std::invalid_argument("malformed load \"" + part +
+                                  "\" (must be a positive number)");
+    }
+    loads.push_back(v);
+  }
+  if (loads.empty()) throw std::invalid_argument("empty load list");
+  // The engine's saturation truncation assumes an ascending grid; a
+  // descending list would silently drop valid low-load points.
+  std::sort(loads.begin(), loads.end());
+  return loads;
+}
+
+void print_registries() {
+  using namespace slimfly;
+  std::cout << "topologies (topo::make specs):\n";
+  for (const auto& spec : topo::example_specs())
+    std::cout << "  " << spec << "  (family "
+              << topo::parse_spec(spec).family << ")\n";
+  std::cout << "routings:\n ";
+  for (const auto& name : sim::routing_names()) std::cout << " " << name;
+  std::cout << "\ntraffics:\n ";
+  for (const auto& name : sim::traffic_names()) std::cout << " " << name;
+  std::cout << "\n";
+}
+
+int usage(const char* argv0) {
+  std::cout
+      << "usage: " << argv0
+      << " [--name TAG] [--topo SPEC]... [--routing NAME]...\n"
+         "       [--traffic NAME]... [--loads L1,L2,...] [--seed N]\n"
+         "       [--no-truncate] [--list]\n"
+         "defaults: the Section V evaluation trio, MIN routing, uniform\n"
+         "traffic, the Figure 6 load grid, SF_BENCH_SCALE-dependent cycles.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace slimfly;
+
+  std::string name = "sweep";
+  std::vector<std::string> topos, routings, traffics;
+  std::vector<double> loads = bench::bench_loads();
+  sim::SimConfig cfg = bench::make_sim_config();
+  bool truncate = true;
+
+  auto next_arg = [&](int& i) -> const char* {
+    if (i + 1 >= argc) throw std::invalid_argument("missing value for flag");
+    return argv[++i];
+  };
+  try {
+    for (int i = 1; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--list")) {
+        print_registries();
+        return 0;
+      } else if (!std::strcmp(argv[i], "--name")) {
+        name = next_arg(i);
+      } else if (!std::strcmp(argv[i], "--topo")) {
+        topos.push_back(next_arg(i));
+      } else if (!std::strcmp(argv[i], "--routing")) {
+        routings.push_back(next_arg(i));
+      } else if (!std::strcmp(argv[i], "--traffic")) {
+        traffics.push_back(next_arg(i));
+      } else if (!std::strcmp(argv[i], "--loads")) {
+        loads = parse_loads(next_arg(i));
+      } else if (!std::strcmp(argv[i], "--seed")) {
+        std::string value = next_arg(i);
+        // Digits only: stoull would silently wrap a negative to a huge seed.
+        if (value.empty() ||
+            value.find_first_not_of("0123456789") != std::string::npos) {
+          throw std::invalid_argument("malformed seed \"" + value + "\"");
+        }
+        cfg.seed = std::stoull(value);
+      } else if (!std::strcmp(argv[i], "--no-truncate")) {
+        truncate = false;
+      } else {
+        return usage(argv[0]);
+      }
+    }
+
+    if (topos.empty()) topos = bench::eval_trio_specs();
+    if (routings.empty()) routings = {"MIN"};
+    if (traffics.empty()) traffics = {"uniform"};
+
+    auto spec = exp::ExperimentSpec::cross(name, topos, routings, traffics,
+                                           loads, cfg);
+    spec.truncate_at_saturation = truncate;
+    if (spec.series.empty()) {
+      std::cerr << "no compatible (topology, routing, traffic) combination\n";
+      return 1;
+    }
+    bench::run_experiment(spec, "command-line sweep");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

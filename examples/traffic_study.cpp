@@ -1,8 +1,10 @@
 // Traffic study: compare the four Slim Fly routing algorithms across the
 // paper's workload classes (graph-computation-style uniform traffic,
-// stencil/collective permutations, adversarial worst case) on one network.
+// stencil/collective permutations, adversarial worst case) on one network —
+// expressed as a single ExperimentSpec and run in parallel by the
+// ExperimentEngine (SF_THREADS workers, 0/unset = all cores).
 //
-//   ./build/examples/traffic_study [q] [load]
+//   ./build/traffic_study [q] [load]
 
 #include <cstdlib>
 #include <iostream>
@@ -14,39 +16,31 @@ int main(int argc, char** argv) {
 
   int q = argc > 1 ? std::atoi(argv[1]) : 7;
   double load = argc > 2 ? std::atof(argv[2]) : 0.3;
-  sf::SlimFlyMMS topo(q);
-  std::cout << topo.name() << " @ offered load " << load << "\n\n";
 
   sim::SimConfig cfg;
   cfg.warmup_cycles = 1000;
   cfg.measure_cycles = 1200;
 
-  auto dist = std::make_shared<sim::DistanceTable>(topo.graph());
+  // The whole study is one declarative cross product; the engine builds the
+  // topology and its distance table once and fans the points out.
+  auto spec = exp::ExperimentSpec::cross(
+      "traffic_study", {"slimfly:q=" + std::to_string(q)},
+      {"MIN", "VAL", "UGAL-L", "UGAL-G"},
+      {"uniform", "shuffle", "bitrev", "bitcomp", "shift", "worst-sf"},
+      {load}, cfg);
+
+  exp::ExperimentEngine engine;
+  auto results = engine.run(spec);
+
+  std::cout << "slimfly:q=" << q << " @ offered load " << load << " ("
+            << engine.threads() << " threads)\n\n";
   Table table({"traffic", "routing", "latency", "accepted", "saturated"});
-
-  struct NamedTraffic {
-    std::string name;
-    std::function<std::unique_ptr<sim::TrafficPattern>()> make;
-  };
-  std::vector<NamedTraffic> patterns = {
-      {"uniform", [&] { return sim::make_uniform(topo.num_endpoints()); }},
-      {"shuffle", [&] { return sim::make_shuffle(topo.num_endpoints()); }},
-      {"bit-reversal", [&] { return sim::make_bit_reversal(topo.num_endpoints()); }},
-      {"bit-complement", [&] { return sim::make_bit_complement(topo.num_endpoints()); }},
-      {"shift", [&] { return sim::make_shift(topo.num_endpoints()); }},
-      {"worst-case", [&] { return sim::make_worst_case_sf(topo); }},
-  };
-
-  for (const auto& pattern : patterns) {
-    for (auto kind : {sim::RoutingKind::Minimal, sim::RoutingKind::Valiant,
-                      sim::RoutingKind::UgalL, sim::RoutingKind::UgalG}) {
-      auto routing = sim::make_routing(kind, topo, dist);
-      auto traffic = pattern.make();
-      auto r = sim::simulate(topo, *routing.algorithm, *traffic, cfg, load);
-      table.add_row({pattern.name, sim::to_string(kind),
-                     Table::num(r.avg_latency, 1), Table::num(r.accepted_load, 3),
-                     r.saturated ? "yes" : "no"});
-    }
+  for (const auto& r : results) {
+    const auto& series = spec.series[r.series_index];
+    table.add_row({series.traffic, series.routing,
+                   Table::num(r.result.avg_latency, 1),
+                   Table::num(r.result.accepted_load, 3),
+                   r.result.saturated ? "yes" : "no"});
   }
   table.print(std::cout);
   std::cout << "\nReading guide: MIN wins on uniform; VAL pays double hops;\n"

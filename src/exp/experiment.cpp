@@ -1,0 +1,403 @@
+#include "exp/experiment.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <iostream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sim/simulation.hpp"
+#include "topo/registry.hpp"
+#include "topo/topology.hpp"
+#include "util/threadpool.hpp"
+#include "util/timer.hpp"
+
+namespace slimfly::exp {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s, std::uint64_t h) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char raw : s) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {  // RFC 8259 forbids raw control characters
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(raw);
+        }
+    }
+  }
+  return out;
+}
+
+std::string csv_field(const std::string& s) { return Table::csv_quote(s); }
+
+std::string json_num(double v) {
+  std::ostringstream ss;
+  ss.precision(12);
+  ss << v;
+  return ss.str();
+}
+
+}  // namespace
+
+std::string SeriesSpec::display_label() const {
+  if (!label.empty()) return label;
+  return topology + "|" + routing + "|" + traffic;
+}
+
+ExperimentSpec ExperimentSpec::cross(std::string name,
+                                     const std::vector<std::string>& topologies,
+                                     const std::vector<std::string>& routings,
+                                     const std::vector<std::string>& traffics,
+                                     std::vector<double> loads,
+                                     sim::SimConfig config) {
+  ExperimentSpec spec;
+  spec.name = std::move(name);
+  spec.loads = std::move(loads);
+  spec.config = config;
+  for (const auto& topo_spec : topologies) {
+    const std::string family = topo::parse_spec(topo_spec).family;
+    for (const auto& routing : routings) {
+      const std::string need =
+          sim::routing_requirement(sim::routing_kind_from_string(routing));
+      if (!need.empty() && need != family) continue;
+      for (const auto& traffic : traffics) {
+        const std::string tneed = sim::traffic_requirement(traffic);
+        if (!tneed.empty() && tneed != family) continue;
+        spec.series.push_back({topo_spec, routing, traffic, ""});
+      }
+    }
+  }
+  return spec;
+}
+
+std::uint64_t point_seed(const ExperimentSpec& spec, std::size_t series_index,
+                         std::size_t load_index) {
+  const SeriesSpec& s = spec.series.at(series_index);
+  std::uint64_t h = fnv1a(s.topology, 1469598103934665603ULL);
+  h = fnv1a("|" + s.routing + "|" + s.traffic, h);
+  h = splitmix64(h ^ spec.config.seed);
+  return splitmix64(h + load_index);
+}
+
+std::size_t threads_from_env() {
+  const char* env = std::getenv("SF_THREADS");
+  if (!env || !*env) return 0;
+  // Digits only: negatives, signs, and junk all mean "auto", never a
+  // wrapped-around astronomical worker count.
+  for (const char* p = env; *p; ++p) {
+    if (*p < '0' || *p > '9') return 0;
+  }
+  unsigned long v = std::strtoul(env, nullptr, 10);
+  if (v > 4096) return 0;  // nonsensical request; fall back to auto
+  return static_cast<std::size_t>(v);
+}
+
+ExperimentEngine::ExperimentEngine(std::size_t threads) {
+  if (threads == 0) threads = threads_from_env();
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_ = threads;
+}
+
+ExperimentEngine::~ExperimentEngine() = default;
+
+std::size_t ExperimentEngine::threads() const { return threads_; }
+
+void ExperimentEngine::for_indices(
+    std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (threads_ <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // The pool is created on first parallel use, so single-threaded wrappers
+  // (sim::load_sweep) never spawn a worker they won't use.
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(threads_);
+  parallel_for_checked(*pool_, n, body);
+}
+
+std::vector<RunResult> ExperimentEngine::run(const ExperimentSpec& spec,
+                                             const ProgressFn& on_point) {
+  // One shared, immutable (Topology, DistanceTable) per distinct topology
+  // spec string; run points only ever read them.
+  struct TopoEntry {
+    std::string spec;
+    bool needs_distances = false;  // any non-FT-ANCA routing rides this topo
+    std::unique_ptr<Topology> topo;
+    std::shared_ptr<const sim::DistanceTable> distances;
+  };
+  std::vector<TopoEntry> topos;
+  std::unordered_map<std::string, std::size_t> topo_index;
+  std::vector<std::size_t> series_topo;
+  std::vector<sim::RoutingKind> series_kind;
+  series_topo.reserve(spec.series.size());
+  const auto known_traffics = sim::traffic_names();
+  for (const auto& s : spec.series) {
+    // Fail fast on unknown names and incompatible combinations using the
+    // spec strings alone — before any topology or distance-table build
+    // (minutes at paper scale). Routing typos throw from
+    // routing_kind_from_string below.
+    if (std::find(known_traffics.begin(), known_traffics.end(), s.traffic) ==
+        known_traffics.end()) {
+      throw std::invalid_argument("experiment \"" + spec.name +
+                                  "\": unknown traffic \"" + s.traffic + "\"");
+    }
+    topo::validate_spec(s.topology);
+    const std::string family = topo::parse_spec(s.topology).family;
+    sim::RoutingKind kind = sim::routing_kind_from_string(s.routing);
+    const std::string need = sim::routing_requirement(kind);
+    if (!need.empty() && need != family) {
+      throw std::invalid_argument("experiment \"" + spec.name +
+                                  "\": routing " + s.routing +
+                                  " cannot run on topology " + s.topology);
+    }
+    const std::string tneed = sim::traffic_requirement(s.traffic);
+    if (!tneed.empty() && tneed != family) {
+      throw std::invalid_argument("experiment \"" + spec.name +
+                                  "\": traffic " + s.traffic +
+                                  " cannot run on topology " + s.topology);
+    }
+    auto [it, inserted] = topo_index.emplace(s.topology, topos.size());
+    if (inserted) topos.push_back({s.topology, false, nullptr, nullptr});
+    if (kind != sim::RoutingKind::FatTreeAnca)
+      topos[it->second].needs_distances = true;
+    series_topo.push_back(it->second);
+    series_kind.push_back(kind);
+  }
+
+  for_indices(topos.size(), [&](std::size_t i) {
+    topos[i].topo = topo::make(topos[i].spec);
+    if (topos[i].needs_distances) {
+      topos[i].distances =
+          std::make_shared<sim::DistanceTable>(topos[i].topo->graph());
+    }
+  });
+
+  PreparedExperiment prepared;
+  prepared.loads = spec.loads;
+  prepared.config = spec.config;
+  prepared.truncate_at_saturation = spec.truncate_at_saturation;
+  prepared.seed_fn = [&spec](std::size_t s, std::size_t l) {
+    return point_seed(spec, s, l);
+  };
+  for (std::size_t i = 0; i < spec.series.size(); ++i) {
+    const TopoEntry& entry = topos[series_topo[i]];
+    PreparedSeries ps;
+    ps.topo = entry.topo.get();
+    ps.label = spec.series[i].display_label();
+    ps.make_routing = [kind = series_kind[i], topo = entry.topo.get(),
+                       dist = entry.distances]() {
+      auto bundle = sim::make_routing(kind, *topo, dist);
+      // The closure's `dist` copy outlives every point, so the algorithm's
+      // reference into the shared table stays valid.
+      return std::shared_ptr<sim::RoutingAlgorithm>(std::move(bundle.algorithm));
+    };
+    ps.make_traffic = [name = spec.series[i].traffic,
+                       topo = entry.topo.get()]() {
+      return sim::make_traffic(name, *topo);
+    };
+    prepared.series.push_back(std::move(ps));
+  }
+  return run_prepared(prepared, on_point);
+}
+
+std::vector<RunResult> ExperimentEngine::run_prepared(
+    const PreparedExperiment& prepared, const ProgressFn& on_point) {
+  const std::size_t n_loads = prepared.loads.size();
+  std::mutex progress_mutex;
+  auto run_point = [&](std::size_t s, std::size_t l) {
+    const PreparedSeries& series = prepared.series[s];
+    sim::SimConfig cfg = prepared.config;
+    if (prepared.seed_fn) cfg.seed = prepared.seed_fn(s, l);
+    auto routing = series.make_routing();
+    auto traffic = series.make_traffic();
+    RunResult out;
+    out.series_index = s;
+    out.load = prepared.loads[l];
+    out.seed = cfg.seed;
+    Timer timer;
+    out.result = sim::simulate(*series.topo, *routing, *traffic, cfg,
+                               prepared.loads[l]);
+    out.wall_seconds = timer.seconds();
+    if (on_point) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      on_point(series, out);
+    }
+    return out;
+  };
+
+  std::vector<RunResult> out;
+  if (threads_ == 1 && prepared.truncate_at_saturation) {
+    // Sequential early stop: never simulate past a series' saturation point.
+    for (std::size_t s = 0; s < prepared.series.size(); ++s) {
+      for (std::size_t l = 0; l < n_loads; ++l) {
+        out.push_back(run_point(s, l));
+        if (out.back().result.saturated) break;
+      }
+    }
+    return out;
+  }
+
+  const std::size_t n_points = prepared.series.size() * n_loads;
+  std::vector<RunResult> all(n_points);
+  // Per-series lowest load index already observed saturated: truncation
+  // drops everything past it, so such points can be skipped outright
+  // without changing the kept output (they're the slowest points, too —
+  // saturated networks churn maximum traffic until the drain cap).
+  std::vector<std::atomic<std::size_t>> first_saturated(prepared.series.size());
+  for (auto& f : first_saturated) f.store(n_loads, std::memory_order_relaxed);
+  for_indices(n_points, [&](std::size_t i) {
+    const std::size_t s = i / n_loads;
+    const std::size_t l = i % n_loads;
+    if (prepared.truncate_at_saturation &&
+        l > first_saturated[s].load(std::memory_order_relaxed)) {
+      return;  // guaranteed to be truncated; leave the slot empty
+    }
+    all[i] = run_point(s, l);
+    if (all[i].result.saturated) {
+      std::size_t seen = first_saturated[s].load(std::memory_order_relaxed);
+      while (l < seen && !first_saturated[s].compare_exchange_weak(
+                             seen, l, std::memory_order_relaxed)) {
+      }
+    }
+  });
+  for (std::size_t s = 0; s < prepared.series.size(); ++s) {
+    for (std::size_t l = 0; l < n_loads; ++l) {
+      out.push_back(all[s * n_loads + l]);
+      if (prepared.truncate_at_saturation && out.back().result.saturated) break;
+    }
+  }
+  return out;
+}
+
+Table to_table(const ExperimentSpec& spec,
+               const std::vector<RunResult>& results) {
+  Table table({"series", "offered", "latency", "net_latency", "accepted",
+               "saturated"});
+  for (const auto& r : results) {
+    table.add_row({spec.series.at(r.series_index).display_label(),
+                   Table::num(r.load, 2), Table::num(r.result.avg_latency, 1),
+                   Table::num(r.result.avg_network_latency, 1),
+                   Table::num(r.result.accepted_load, 3),
+                   r.result.saturated ? "yes" : "no"});
+  }
+  return table;
+}
+
+void write_json(std::ostream& os, const ExperimentSpec& spec,
+                const std::vector<RunResult>& results, std::size_t threads) {
+  os << "{\n";
+  os << "  \"experiment\": \"" << json_escape(spec.name) << "\",\n";
+  os << "  \"threads\": " << threads << ",\n";
+  os << "  \"config\": {\"warmup_cycles\": " << spec.config.warmup_cycles
+     << ", \"measure_cycles\": " << spec.config.measure_cycles
+     << ", \"drain_cycles\": " << spec.config.drain_cycles
+     << ", \"num_vcs\": " << spec.config.num_vcs
+     << ", \"buffer_per_port\": " << spec.config.buffer_per_port
+     << ", \"seed\": " << spec.config.seed << "},\n";
+  os << "  \"series\": [\n";
+  for (std::size_t s = 0; s < spec.series.size(); ++s) {
+    const SeriesSpec& series = spec.series[s];
+    os << "    {\"label\": \"" << json_escape(series.display_label())
+       << "\", \"topology\": \"" << json_escape(series.topology)
+       << "\", \"routing\": \"" << json_escape(series.routing)
+       << "\", \"traffic\": \"" << json_escape(series.traffic)
+       << "\", \"points\": [\n";
+    bool first = true;
+    for (const auto& r : results) {
+      if (r.series_index != s) continue;
+      os << (first ? "" : ",\n");
+      first = false;
+      os << "      {\"load\": " << json_num(r.load) << ", \"seed\": " << r.seed
+         << ", \"wall_seconds\": " << json_num(r.wall_seconds)
+         << ", \"latency\": " << json_num(r.result.avg_latency)
+         << ", \"network_latency\": " << json_num(r.result.avg_network_latency)
+         << ", \"p99_latency\": " << json_num(r.result.p99_latency)
+         << ", \"accepted\": " << json_num(r.result.accepted_load)
+         << ", \"delivered\": " << r.result.delivered
+         << ", \"saturated\": " << (r.result.saturated ? "true" : "false")
+         << "}";
+    }
+    os << "\n    ]}" << (s + 1 < spec.series.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+std::string write_json_file(const ExperimentSpec& spec,
+                            const std::vector<RunResult>& results,
+                            std::size_t threads, const std::string& dir) {
+  std::string path = dir + "/BENCH_" + spec.name + ".json";
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return "";
+  }
+  write_json(os, spec, results, threads);
+  return path;
+}
+
+void write_csv(std::ostream& os, const ExperimentSpec& spec,
+               const std::vector<RunResult>& results) {
+  os << "label,topology,routing,traffic,load,seed,wall_seconds,latency,"
+        "network_latency,p99_latency,accepted,delivered,saturated\n";
+  for (const auto& r : results) {
+    const SeriesSpec& s = spec.series.at(r.series_index);
+    os << csv_field(s.display_label()) << ',' << csv_field(s.topology) << ','
+       << csv_field(s.routing) << ',' << csv_field(s.traffic) << ','
+       << json_num(r.load) << ',' << r.seed << ','
+       << json_num(r.wall_seconds) << ',' << json_num(r.result.avg_latency)
+       << ',' << json_num(r.result.avg_network_latency) << ','
+       << json_num(r.result.p99_latency) << ','
+       << json_num(r.result.accepted_load) << ',' << r.result.delivered << ','
+       << (r.result.saturated ? "yes" : "no") << '\n';
+  }
+}
+
+std::string write_csv_file(const ExperimentSpec& spec,
+                           const std::vector<RunResult>& results,
+                           const std::string& dir) {
+  std::string path = dir + "/BENCH_" + spec.name + ".csv";
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return "";
+  }
+  write_csv(os, spec, results);
+  return path;
+}
+
+}  // namespace slimfly::exp

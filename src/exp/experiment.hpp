@@ -1,0 +1,179 @@
+#pragma once
+// ExperimentEngine — the paper's evaluation as data (Section V cross-product
+// of topologies x routings x traffics x offered loads).
+//
+// An ExperimentSpec names every axis with registry strings (topo::make
+// specs, sim::routing_names(), sim::traffic_names()); the engine expands it
+// into independent run points and executes them over a ThreadPool.
+//
+// Thread-safety contract (audited; keep it when touching the simulator):
+//   * Each run point owns its Network, its Rng (seeded deterministically
+//     from the spec and the point, never from thread identity), its
+//     RoutingAlgorithm instance, and its TrafficPattern instance.
+//   * Topology and DistanceTable are built once per topology spec and
+//     shared across points strictly read-only (const references /
+//     shared_ptr<const>-style usage; DistanceTable::sample_minimal_path is
+//     const and draws from the caller's Rng).
+// Consequently a parallel run is bit-identical to a single-threaded run of
+// the same spec (covered by tests/experiment_test.cpp).
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/routing/routing.hpp"
+#include "sim/stats.hpp"
+#include "sim/traffic.hpp"
+#include "util/table.hpp"
+
+namespace slimfly {
+class ThreadPool;
+class Topology;
+}  // namespace slimfly
+
+namespace slimfly::exp {
+
+/// One latency-vs-load curve, every axis a registry string.
+struct SeriesSpec {
+  std::string topology;  ///< topo::make spec, e.g. "slimfly:q=19"
+  std::string routing;   ///< routing name, e.g. "UGAL-L"
+  std::string traffic;   ///< traffic name, e.g. "uniform"
+  std::string label;     ///< row label; "" means topology|routing|traffic
+  std::string display_label() const;
+};
+
+struct ExperimentSpec {
+  std::string name;                 ///< tag used for tables and BENCH_*.json
+  std::vector<SeriesSpec> series;
+  std::vector<double> loads;        ///< offered loads, ascending
+  sim::SimConfig config;            ///< config.seed is the base seed
+  /// Drop a series' points after its first saturated load, matching the
+  /// sequential sweep methodology (a parallel run still executes them).
+  bool truncate_at_saturation = true;
+
+  /// Cross-product helper: one series per compatible combination;
+  /// topology-specific routings/traffics silently skip non-matching
+  /// topologies (DF-UGAL-L only rides Dragonfly specs, worst-ft only
+  /// fat-tree specs, ...).
+  static ExperimentSpec cross(std::string name,
+                              const std::vector<std::string>& topologies,
+                              const std::vector<std::string>& routings,
+                              const std::vector<std::string>& traffics,
+                              std::vector<double> loads,
+                              sim::SimConfig config);
+};
+
+/// Outcome of one expanded run point.
+struct RunResult {
+  std::size_t series_index = 0;
+  double load = 0.0;
+  std::uint64_t seed = 0;      ///< per-point seed actually used
+  double wall_seconds = 0.0;   ///< wall time of this point on its worker
+  sim::SimResult result;
+};
+
+/// Deterministic per-point seed: a hash of the base seed, the series'
+/// identity strings, and the load index — independent of thread schedule.
+std::uint64_t point_seed(const ExperimentSpec& spec, std::size_t series_index,
+                         std::size_t load_index);
+
+/// Worker count policy: SF_THREADS env var when set and > 0;
+/// SF_THREADS=0, unset, or unparsable means hardware_concurrency().
+std::size_t threads_from_env();
+
+// ---- prepared (non-registry) form ------------------------------------------
+// The compatibility path for callers that already hold topology / routing /
+// traffic objects (sim::load_sweep). The registry path lowers onto this.
+
+struct PreparedSeries {
+  const Topology* topo = nullptr;  ///< shared read-only across points
+  /// Fresh routing instance per point (may close over a shared const
+  /// DistanceTable; a single-threaded run may return the same instance).
+  std::function<std::shared_ptr<sim::RoutingAlgorithm>()> make_routing;
+  /// Fresh traffic instance per point (patterns carry per-run state).
+  std::function<std::unique_ptr<sim::TrafficPattern>()> make_traffic;
+  std::string label;
+};
+
+struct PreparedExperiment {
+  std::vector<PreparedSeries> series;
+  std::vector<double> loads;
+  sim::SimConfig config;
+  bool truncate_at_saturation = true;
+  /// Per-point seed; nullptr keeps config.seed for every point (the legacy
+  /// load_sweep behaviour).
+  std::function<std::uint64_t(std::size_t series_idx, std::size_t load_idx)>
+      seed_fn;
+};
+
+class ExperimentEngine {
+ public:
+  /// threads == 0 defers to threads_from_env().
+  explicit ExperimentEngine(std::size_t threads = 0);
+  ~ExperimentEngine();
+
+  std::size_t threads() const;
+
+  /// Completion hook for long runs: called once per finished point, from
+  /// worker threads but never concurrently (the engine serializes calls).
+  using ProgressFn = std::function<void(const PreparedSeries& series,
+                                        const RunResult& point)>;
+
+  /// Expands and runs a registry-keyed spec. Topologies and distance tables
+  /// are built once per distinct topology string (in parallel), then all
+  /// points run over the pool. Results are ordered by (series, load).
+  std::vector<RunResult> run(const ExperimentSpec& spec,
+                             const ProgressFn& on_point = {});
+
+  /// Runs an already-prepared experiment. With one worker and
+  /// truncate_at_saturation set, loads past a series' first saturated point
+  /// are skipped entirely (the sequential early-stop of the original
+  /// load_sweep); a parallel run skips a point once a lower load of its
+  /// series is known saturated and drops the rest after the fact — either
+  /// way the returned points are identical.
+  std::vector<RunResult> run_prepared(const PreparedExperiment& prepared,
+                                      const ProgressFn& on_point = {});
+
+ private:
+  /// Inline loop when single-threaded; otherwise parallel_for_checked over
+  /// a lazily-created pool (so sequential wrappers never spawn workers).
+  void for_indices(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  std::size_t threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+// ---- result sinks ----------------------------------------------------------
+
+/// Rows in the bench latency-table shape:
+/// series | offered | latency | net_latency | accepted | saturated.
+Table to_table(const ExperimentSpec& spec,
+               const std::vector<RunResult>& results);
+
+/// Machine-readable dump: spec, per-series points with seed, wall time and
+/// every SimResult field.
+void write_json(std::ostream& os, const ExperimentSpec& spec,
+                const std::vector<RunResult>& results, std::size_t threads);
+
+/// Writes write_json() output to `dir`/BENCH_<spec.name>.json; returns the
+/// path ("" and a stderr note when the file cannot be opened).
+std::string write_json_file(const ExperimentSpec& spec,
+                            const std::vector<RunResult>& results,
+                            std::size_t threads, const std::string& dir = ".");
+
+/// CSV with one line per point: label,topology,routing,traffic,load,...
+/// (fields carrying separators are RFC 4180-quoted).
+void write_csv(std::ostream& os, const ExperimentSpec& spec,
+               const std::vector<RunResult>& results);
+
+/// Writes write_csv() output to `dir`/BENCH_<spec.name>.csv; returns the
+/// path ("" and a stderr note when the file cannot be opened).
+std::string write_csv_file(const ExperimentSpec& spec,
+                           const std::vector<RunResult>& results,
+                           const std::string& dir = ".");
+
+}  // namespace slimfly::exp

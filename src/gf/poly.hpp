@@ -16,7 +16,8 @@ struct Poly {
   /// Degree; the zero polynomial has degree -1.
   int degree() const { return static_cast<int>(coeffs.size()) - 1; }
   bool is_zero() const { return coeffs.empty(); }
-  bool operator==(const Poly& other) const = default;
+  bool operator==(const Poly& other) const { return coeffs == other.coeffs; }
+  bool operator!=(const Poly& other) const { return !(*this == other); }
 };
 
 /// Drops trailing zero coefficients (normal form).

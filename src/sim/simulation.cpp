@@ -2,13 +2,22 @@
 
 #include <stdexcept>
 
+#include "exp/experiment.hpp"
 #include "sim/routing/dragonfly_routing.hpp"
 #include "sim/routing/fattree_routing.hpp"
 #include "sim/routing/minimal.hpp"
 #include "sim/routing/ugal.hpp"
 #include "sim/routing/valiant.hpp"
+#include "topo/registry.hpp"
 
 namespace slimfly::sim {
+
+namespace {
+constexpr RoutingKind kAllRoutingKinds[] = {
+    RoutingKind::Minimal,        RoutingKind::Valiant,
+    RoutingKind::UgalL,          RoutingKind::UgalG,
+    RoutingKind::DragonflyUgalL, RoutingKind::FatTreeAnca};
+}  // namespace
 
 std::string to_string(RoutingKind kind) {
   switch (kind) {
@@ -22,8 +31,36 @@ std::string to_string(RoutingKind kind) {
   return "?";
 }
 
+RoutingKind routing_kind_from_string(const std::string& name) {
+  for (RoutingKind kind : kAllRoutingKinds) {
+    if (to_string(kind) == name) return kind;
+  }
+  throw std::invalid_argument("unknown routing \"" + name + "\"");
+}
+
+std::vector<std::string> routing_names() {
+  std::vector<std::string> names;
+  for (RoutingKind kind : kAllRoutingKinds) names.push_back(to_string(kind));
+  return names;
+}
+
+std::string routing_requirement(RoutingKind kind) {
+  switch (kind) {
+    case RoutingKind::DragonflyUgalL: return "dragonfly";
+    case RoutingKind::FatTreeAnca: return "fattree";
+    default: return "";
+  }
+}
+
+bool routing_supported(RoutingKind kind, const Topology& topo) {
+  // Derived from routing_requirement so the restriction lives in one place;
+  // family_of uses the same dynamic_casts make_routing relies on.
+  const std::string need = routing_requirement(kind);
+  return need.empty() || need == topo::family_of(topo);
+}
+
 RoutingBundle make_routing(RoutingKind kind, const Topology& topo,
-                           std::shared_ptr<DistanceTable> distances) {
+                           std::shared_ptr<const DistanceTable> distances) {
   RoutingBundle bundle;
   if (kind != RoutingKind::FatTreeAnca) {
     bundle.distances = distances ? std::move(distances)
@@ -60,6 +97,12 @@ RoutingBundle make_routing(RoutingKind kind, const Topology& topo,
   return bundle;
 }
 
+RoutingBundle make_routing(const std::string& name, const Topology& topo,
+                           std::shared_ptr<const DistanceTable> distances) {
+  return make_routing(routing_kind_from_string(name), topo,
+                      std::move(distances));
+}
+
 SimResult simulate(const Topology& topo, RoutingAlgorithm& routing,
                    TrafficPattern& traffic, SimConfig config, double load) {
   if (config.num_vcs < routing.max_hops()) config.num_vcs = routing.max_hops();
@@ -71,14 +114,26 @@ std::vector<SweepPoint> load_sweep(
     const Topology& topo, RoutingAlgorithm& routing,
     const std::function<std::unique_ptr<TrafficPattern>()>& traffic_factory,
     SimConfig config, const std::vector<double>& loads, bool stop_at_saturation) {
+  // Thin compatibility wrapper over the experiment engine's sequential
+  // path: one prepared series sharing the caller's routing instance, the
+  // fixed config seed at every point, and early stop at saturation.
+  exp::PreparedExperiment prepared;
+  exp::PreparedSeries series;
+  series.topo = &topo;
+  series.make_routing = [&routing] {
+    return std::shared_ptr<RoutingAlgorithm>(&routing,
+                                             [](RoutingAlgorithm*) {});
+  };
+  series.make_traffic = traffic_factory;
+  prepared.series.push_back(std::move(series));
+  prepared.loads = loads;
+  prepared.config = config;
+  prepared.truncate_at_saturation = stop_at_saturation;
+
+  exp::ExperimentEngine engine(1);
   std::vector<SweepPoint> points;
-  for (double load : loads) {
-    auto traffic = traffic_factory();
-    SweepPoint point;
-    point.load = load;
-    point.result = simulate(topo, routing, *traffic, config, load);
-    points.push_back(point);
-    if (stop_at_saturation && point.result.saturated) break;
+  for (const auto& r : engine.run_prepared(prepared)) {
+    points.push_back({r.load, r.result});
   }
   return points;
 }

@@ -20,9 +20,28 @@ enum class RoutingKind { Minimal, Valiant, UgalL, UgalG, DragonflyUgalL, FatTree
 
 std::string to_string(RoutingKind kind);
 
+// ---- string-keyed routing registry ----------------------------------------
+// The experiment layer identifies routings by the same names the paper's
+// figures use: "MIN", "VAL", "UGAL-L", "UGAL-G", "DF-UGAL-L", "FT-ANCA".
+
+/// Inverse of to_string(); throws std::invalid_argument on unknown names.
+RoutingKind routing_kind_from_string(const std::string& name);
+
+/// All registered routing names, in enum order.
+std::vector<std::string> routing_names();
+
+/// Topology-registry family this routing is restricted to ("dragonfly" for
+/// DF-UGAL-L, "fattree" for FT-ANCA), or "" when it runs on any topology.
+std::string routing_requirement(RoutingKind kind);
+
+/// True when make_routing(kind, topo) would succeed.
+bool routing_supported(RoutingKind kind, const Topology& topo);
+
 /// Routing algorithm plus the distance table it borrows (kept alive here).
+/// The table is const so one instance can be shared read-only across
+/// concurrently-running simulation points (see exp/experiment.hpp).
 struct RoutingBundle {
-  std::shared_ptr<DistanceTable> distances;
+  std::shared_ptr<const DistanceTable> distances;
   std::unique_ptr<RoutingAlgorithm> algorithm;
 };
 
@@ -30,7 +49,11 @@ struct RoutingBundle {
 /// Dragonfly topology and FatTreeAnca a FatTree3 (checked at runtime).
 /// An existing distance table may be shared to avoid recomputation.
 RoutingBundle make_routing(RoutingKind kind, const Topology& topo,
-                           std::shared_ptr<DistanceTable> distances = nullptr);
+                           std::shared_ptr<const DistanceTable> distances = nullptr);
+
+/// String-keyed wrapper: make_routing(routing_kind_from_string(name), ...).
+RoutingBundle make_routing(const std::string& name, const Topology& topo,
+                           std::shared_ptr<const DistanceTable> distances = nullptr);
 
 /// Runs one (topology, routing, traffic, load) point.
 SimResult simulate(const Topology& topo, RoutingAlgorithm& routing,

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "analysis/metrics.hpp"
+#include "topo/registry.hpp"
 
 namespace slimfly::sim {
 
@@ -312,6 +313,82 @@ std::unique_ptr<TrafficPattern> make_worst_case_df(const Dragonfly& topo) {
 }
 std::unique_ptr<TrafficPattern> make_worst_case_ft(const FatTree3& topo) {
   return std::make_unique<WorstCaseFtTraffic>(topo);
+}
+
+namespace {
+
+/// Single source of truth for the traffic registry: name, the topology
+/// family it is restricted to ("" = any), and the factory. make_traffic,
+/// traffic_names and traffic_requirement all derive from this table.
+struct TrafficEntry {
+  const char* name;
+  const char* requirement;
+  std::unique_ptr<TrafficPattern> (*make)(const Topology&);
+};
+
+constexpr TrafficEntry kTrafficRegistry[] = {
+    {"bitcomp", "",
+     [](const Topology& t) { return make_bit_complement(t.num_endpoints()); }},
+    {"bitrev", "",
+     [](const Topology& t) { return make_bit_reversal(t.num_endpoints()); }},
+    {"shift", "",
+     [](const Topology& t) { return make_shift(t.num_endpoints()); }},
+    {"shuffle", "",
+     [](const Topology& t) { return make_shuffle(t.num_endpoints()); }},
+    {"stencil3d", "",
+     [](const Topology& t) { return make_stencil3d(t.num_endpoints()); }},
+    {"uniform", "",
+     [](const Topology& t) { return make_uniform(t.num_endpoints()); }},
+    {"worst-df", "dragonfly",
+     [](const Topology& t) {
+       // make_traffic has already enforced `requirement`
+       return make_worst_case_df(dynamic_cast<const Dragonfly&>(t));
+     }},
+    {"worst-ft", "fattree",
+     [](const Topology& t) {
+       return make_worst_case_ft(dynamic_cast<const FatTree3&>(t));
+     }},
+    {"worst-sf", "",
+     [](const Topology& t) { return make_worst_case_sf(t); }},
+    {"worstcase", "",
+     [](const Topology& t) -> std::unique_ptr<TrafficPattern> {
+       if (const auto* df = dynamic_cast<const Dragonfly*>(&t))
+         return make_worst_case_df(*df);
+       if (const auto* ft = dynamic_cast<const FatTree3*>(&t))
+         return make_worst_case_ft(*ft);
+       return make_worst_case_sf(t);
+     }},
+};
+
+}  // namespace
+
+std::unique_ptr<TrafficPattern> make_traffic(const std::string& name,
+                                             const Topology& topo) {
+  for (const auto& entry : kTrafficRegistry) {
+    if (name != entry.name) continue;
+    // Central requirement check, driven by the same column cross() filters
+    // on, so the factories can downcast unconditionally.
+    if (*entry.requirement &&
+        entry.requirement != topo::family_of(topo)) {
+      throw std::invalid_argument("traffic \"" + name + "\" requires a " +
+                                  entry.requirement + " topology");
+    }
+    return entry.make(topo);
+  }
+  throw std::invalid_argument("unknown traffic pattern \"" + name + "\"");
+}
+
+std::vector<std::string> traffic_names() {
+  std::vector<std::string> names;
+  for (const auto& entry : kTrafficRegistry) names.push_back(entry.name);
+  return names;
+}
+
+std::string traffic_requirement(const std::string& name) {
+  for (const auto& entry : kTrafficRegistry) {
+    if (name == entry.name) return entry.requirement;
+  }
+  return "";
 }
 
 }  // namespace slimfly::sim

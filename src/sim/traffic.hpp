@@ -64,4 +64,23 @@ std::unique_ptr<TrafficPattern> make_stencil3d(int num_endpoints);
 std::unique_ptr<TrafficPattern> make_trace(
     int num_endpoints, const std::vector<std::pair<int, int>>& flows);
 
+// ---- string-keyed traffic registry -----------------------------------------
+// Names match TrafficPattern::name(): "uniform", "shuffle", "bitrev",
+// "bitcomp", "shift", "stencil3d", "worst-sf", "worst-df", "worst-ft" —
+// plus "worstcase", which picks the adversarial pattern matching the
+// topology's type (worst-df on Dragonfly, worst-ft on FatTree3, worst-sf
+// otherwise).
+
+/// Builds a fresh pattern instance for `topo`. Throws std::invalid_argument
+/// on unknown names or topology-specific patterns on the wrong topology.
+std::unique_ptr<TrafficPattern> make_traffic(const std::string& name,
+                                             const Topology& topo);
+
+/// All registered traffic names, sorted.
+std::vector<std::string> traffic_names();
+
+/// Topology-registry family this traffic is restricted to ("dragonfly" for
+/// worst-df, "fattree" for worst-ft), or "" when it runs on any topology.
+std::string traffic_requirement(const std::string& name);
+
 }  // namespace slimfly::sim

@@ -9,6 +9,13 @@
 //   auto traffic = slimfly::sim::make_uniform(sf.num_endpoints());
 //   auto result  = slimfly::sim::simulate(sf, *routing.algorithm, *traffic,
 //                                         {}, 0.5);
+//
+// Whole evaluations as data (all cores, deterministic):
+//
+//   slimfly::exp::ExperimentSpec spec = slimfly::exp::ExperimentSpec::cross(
+//       "study", {"slimfly:q=19", "torus:dims=8x8x8"}, {"MIN", "UGAL-L"},
+//       {"uniform", "stencil3d"}, {0.1, 0.5, 0.9}, {});
+//   auto results = slimfly::exp::ExperimentEngine().run(spec);
 
 #include "analysis/channelload.hpp"
 #include "analysis/metrics.hpp"
@@ -21,6 +28,7 @@
 #include "cost/layout.hpp"
 #include "cost/power.hpp"
 #include "cost/routers.hpp"
+#include "exp/experiment.hpp"
 #include "gf/gf.hpp"
 #include "sf/bdf.hpp"
 #include "sf/delorme.hpp"
@@ -38,6 +46,7 @@
 #include "topo/hypercube.hpp"
 #include "topo/io.hpp"
 #include "topo/longhop.hpp"
+#include "topo/registry.hpp"
 #include "topo/torus.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"

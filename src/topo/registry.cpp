@@ -1,0 +1,250 @@
+#include "topo/registry.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+#include "sf/mms.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/fattree.hpp"
+#include "topo/flatbutterfly.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/torus.hpp"
+
+namespace slimfly::topo {
+namespace {
+
+[[noreturn]] void fail(const std::string& spec, const std::string& why) {
+  throw std::invalid_argument("topology spec \"" + spec + "\": " + why);
+}
+
+int to_int(const std::string& spec, const std::string& key,
+           const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    int v = std::stoi(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    fail(spec, "key \"" + key + "\" needs an integer, got \"" + value + "\"");
+  }
+}
+
+/// Consumes params[key]; spec strings must not carry unknown keys, so every
+/// factory pulls what it understands and then calls reject_leftovers().
+class Params {
+ public:
+  Params(const std::string& spec, SpecParams params)
+      : spec_(spec), params_(std::move(params)) {}
+
+  int require_int(const std::string& key) {
+    auto it = params_.find(key);
+    if (it == params_.end()) fail(spec_, "missing required key \"" + key + "\"");
+    int v = to_int(spec_, key, it->second);
+    params_.erase(it);
+    return v;
+  }
+
+  int optional_int(const std::string& key, int fallback) {
+    auto it = params_.find(key);
+    if (it == params_.end()) return fallback;
+    int v = to_int(spec_, key, it->second);
+    params_.erase(it);
+    return v;
+  }
+
+  std::string optional_str(const std::string& key, std::string fallback) {
+    auto it = params_.find(key);
+    if (it == params_.end()) return fallback;
+    std::string v = it->second;
+    params_.erase(it);
+    return v;
+  }
+
+  /// "8x8x8" -> {8, 8, 8}.
+  std::vector<int> require_dims(const std::string& key) {
+    auto it = params_.find(key);
+    if (it == params_.end()) fail(spec_, "missing required key \"" + key + "\"");
+    const std::string& value = it->second;
+    std::vector<int> dims;
+    std::size_t start = 0;
+    while (true) {
+      std::size_t sep = value.find('x', start);
+      std::string part = value.substr(start, sep - start);
+      if (part.empty()) fail(spec_, "malformed dims \"" + value + "\"");
+      dims.push_back(to_int(spec_, key, part));
+      if (sep == std::string::npos) break;
+      start = sep + 1;
+    }
+    params_.erase(it);
+    return dims;
+  }
+
+  void reject_leftovers() const {
+    if (params_.empty()) return;
+    fail(spec_, "unknown key \"" + params_.begin()->first + "\"");
+  }
+
+ private:
+  const std::string& spec_;
+  SpecParams params_;
+};
+
+using Factory =
+    std::function<std::unique_ptr<Topology>(const std::string& spec, Params&)>;
+
+/// Factory plus the key names it understands, so specs can be structurally
+/// validated without paying for construction (validate_spec below).
+struct FamilyInfo {
+  std::vector<const char*> required;
+  std::vector<const char*> optional;
+  Factory make;
+};
+
+const std::map<std::string, FamilyInfo>& factories() {
+  static const std::map<std::string, FamilyInfo> table = {
+      {"slimfly",
+       {{"q"},
+        {"p"},
+        [](const std::string&, Params& p) -> std::unique_ptr<Topology> {
+          int q = p.require_int("q");
+          int conc = p.optional_int("p", 0);
+          return std::make_unique<sf::SlimFlyMMS>(q, conc);
+        }}},
+      {"dragonfly",
+       {{"p", "a", "h"},
+        {"g"},
+        [](const std::string&, Params& p) -> std::unique_ptr<Topology> {
+          int conc = p.require_int("p");
+          int a = p.require_int("a");
+          int h = p.require_int("h");
+          int g = p.optional_int("g", a * h + 1);
+          return std::make_unique<Dragonfly>(conc, a, h, g);
+        }}},
+      {"fattree",
+       {{"k"},
+        {"variant"},
+        [](const std::string& spec, Params& p) -> std::unique_ptr<Topology> {
+          int k = p.require_int("k");
+          std::string variant = p.optional_str("variant", "paperslim");
+          if (variant == "paperslim")
+            return std::make_unique<FatTree3>(k, FatTreeVariant::PaperSlim);
+          if (variant == "classic")
+            return std::make_unique<FatTree3>(k, FatTreeVariant::Classic);
+          fail(spec, "variant must be classic or paperslim, got \"" + variant +
+                         "\"");
+        }}},
+      {"torus",
+       {{"dims"},
+        {"c"},
+        [](const std::string&, Params& p) -> std::unique_ptr<Topology> {
+          auto dims = p.require_dims("dims");
+          int conc = p.optional_int("c", 1);
+          return std::make_unique<Torus>(std::move(dims), conc);
+        }}},
+      {"hypercube",
+       {{"n"},
+        {"c"},
+        [](const std::string&, Params& p) -> std::unique_ptr<Topology> {
+          int n = p.require_int("n");
+          int conc = p.optional_int("c", 1);
+          return std::make_unique<Hypercube>(n, conc);
+        }}},
+      {"flatbutterfly",
+       {{"n", "extent"},
+        {"c"},
+        [](const std::string&, Params& p) -> std::unique_ptr<Topology> {
+          int n = p.require_int("n");
+          int extent = p.require_int("extent");
+          int conc = p.optional_int("c", 0);
+          return std::make_unique<FlattenedButterfly>(n, extent, conc);
+        }}},
+  };
+  return table;
+}
+
+}  // namespace
+
+ParsedSpec parse_spec(const std::string& spec) {
+  ParsedSpec parsed;
+  auto colon = spec.find(':');
+  parsed.family = spec.substr(0, colon);
+  if (parsed.family.empty()) fail(spec, "empty family name");
+  if (colon == std::string::npos) return parsed;
+
+  std::stringstream ss(spec.substr(colon + 1));
+  std::string pair;
+  while (std::getline(ss, pair, ',')) {
+    auto eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == pair.size()) {
+      fail(spec, "malformed key=value pair \"" + pair + "\"");
+    }
+    std::string key = pair.substr(0, eq);
+    if (parsed.params.count(key)) {
+      fail(spec, "duplicate key \"" + key + "\"");
+    }
+    parsed.params[key] = pair.substr(eq + 1);
+  }
+  return parsed;
+}
+
+std::unique_ptr<Topology> make(const std::string& spec) {
+  validate_spec(spec);  // catch structural errors before the (possibly
+                        // minutes-long) construction below
+  ParsedSpec parsed = parse_spec(spec);
+  auto it = factories().find(parsed.family);
+  Params params(spec, std::move(parsed.params));
+  auto topo = it->second.make(spec, params);
+  params.reject_leftovers();
+  return topo;
+}
+
+void validate_spec(const std::string& spec) {
+  ParsedSpec parsed = parse_spec(spec);
+  auto it = factories().find(parsed.family);
+  if (it == factories().end()) fail(spec, "unknown topology family");
+  const FamilyInfo& info = it->second;
+  for (const char* key : info.required) {
+    if (!parsed.params.count(key)) {
+      fail(spec, "missing required key \"" + std::string(key) + "\"");
+    }
+  }
+  for (const auto& [key, value] : parsed.params) {
+    auto known = [&](const std::vector<const char*>& keys) {
+      return std::any_of(keys.begin(), keys.end(),
+                         [&](const char* k) { return key == k; });
+    };
+    if (!known(info.required) && !known(info.optional)) {
+      fail(spec, "unknown key \"" + key + "\"");
+    }
+  }
+}
+
+bool is_registered(const std::string& family) {
+  return factories().count(family) != 0;
+}
+
+std::vector<std::string> registry_names() {
+  std::vector<std::string> names;
+  for (const auto& [name, factory] : factories()) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> example_specs() {
+  return {"slimfly:q=5",         "dragonfly:p=2,a=4,h=2",
+          "fattree:k=4",         "torus:dims=4x4x4",
+          "hypercube:n=6",       "flatbutterfly:n=2,extent=4"};
+}
+
+std::string family_of(const Topology& topo) {
+  if (dynamic_cast<const sf::SlimFlyMMS*>(&topo)) return "slimfly";
+  if (dynamic_cast<const Dragonfly*>(&topo)) return "dragonfly";
+  if (dynamic_cast<const FatTree3*>(&topo)) return "fattree";
+  if (dynamic_cast<const Torus*>(&topo)) return "torus";
+  if (dynamic_cast<const Hypercube*>(&topo)) return "hypercube";
+  if (dynamic_cast<const FlattenedButterfly*>(&topo)) return "flatbutterfly";
+  return "";
+}
+
+}  // namespace slimfly::topo

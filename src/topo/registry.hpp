@@ -1,0 +1,64 @@
+#pragma once
+// String-keyed topology registry: builds any topology in the evaluation from
+// a declarative spec string, so experiments can be data instead of code.
+//
+// Spec grammar:  family[:key=value[,key=value...]]
+//   "slimfly:q=19"            Slim Fly MMS, balanced concentration
+//   "slimfly:q=19,p=18"       oversubscribed variant (Section V-E)
+//   "dragonfly:p=7,a=14,h=7"  g defaults to a*h+1 (maximum palmtree size)
+//   "dragonfly:a=7,p=7,h=7,g=50"
+//   "fattree:k=22"            three-level fat tree (k == p, endpoints/edge
+//                             switch); variant=classic|paperslim
+//   "torus:dims=8x8x8"        k-ary n-D torus; optional c=<concentration>
+//   "hypercube:n=10"          binary n-cube; optional c=<concentration>
+//   "flatbutterfly:n=3,extent=8"  optional c (0 = balanced = extent)
+//
+// Unknown families and unknown or missing keys throw std::invalid_argument
+// with a message naming the offending spec.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace slimfly::topo {
+
+/// key=value parameters of a parsed spec string.
+using SpecParams = std::map<std::string, std::string>;
+
+struct ParsedSpec {
+  std::string family;
+  SpecParams params;
+};
+
+/// Splits "family:k=v,..." without validating the family or keys.
+ParsedSpec parse_spec(const std::string& spec);
+
+/// Builds the topology a spec describes. Throws std::invalid_argument on an
+/// unknown family, a malformed/unknown key, or parameters the topology
+/// constructor rejects.
+std::unique_ptr<Topology> make(const std::string& spec);
+
+/// Cheap structural validation without constructing anything: the family is
+/// registered, every required key is present, and no unknown keys appear.
+/// Lets callers fail fast before a minutes-long paper-scale build; value
+/// errors (non-integers, out-of-range parameters) still surface at make().
+/// Throws std::invalid_argument on violation.
+void validate_spec(const std::string& spec);
+
+/// True when `family` names a registered topology family.
+bool is_registered(const std::string& family);
+
+/// All registered family names, sorted.
+std::vector<std::string> registry_names();
+
+/// One small, valid example spec per registered family (test/help fodder).
+std::vector<std::string> example_specs();
+
+/// Registry family name for a constructed topology ("slimfly", "torus", ...),
+/// or "" for types outside the registry.
+std::string family_of(const Topology& topo);
+
+}  // namespace slimfly::topo

@@ -48,10 +48,22 @@ void Table::print(std::ostream& os) const {
   for (const auto& row : rows_) line(row);
 }
 
+std::string Table::csv_quote(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  return out += "\"";
+}
+
 void Table::print_csv(std::ostream& os, const std::string& tag) const {
+  // Quoting matters here: registry-derived series labels carry commas
+  // ("dragonfly:p=4,a=8,...|MIN"), which would otherwise shift columns.
   auto csv_line = [&](const std::vector<std::string>& cells) {
-    os << "csv," << tag;
-    for (const auto& cell : cells) os << ',' << cell;
+    os << "csv," << csv_quote(tag);
+    for (const auto& cell : cells) os << ',' << csv_quote(cell);
     os << '\n';
   };
   csv_line(header_);

@@ -33,6 +33,10 @@ class Table {
   /// CSV rendering, each line prefixed with "csv," for easy grepping.
   void print_csv(std::ostream& os, const std::string& tag) const;
 
+  /// RFC 4180 field quoting: wraps fields carrying separators/quotes and
+  /// doubles embedded quotes. Shared by every CSV emitter in the project.
+  static std::string csv_quote(const std::string& field);
+
   std::size_t rows() const { return rows_.size(); }
 
  private:

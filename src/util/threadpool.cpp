@@ -1,6 +1,7 @@
 #include "util/threadpool.hpp"
 
 #include <algorithm>
+#include <exception>
 
 namespace slimfly {
 
@@ -76,6 +77,21 @@ void parallel_for(ThreadPool& pool, std::size_t n,
     });
   }
   pool.wait_idle();
+}
+
+void parallel_for_checked(ThreadPool& pool, std::size_t n,
+                          const std::function<void(std::size_t)>& body) {
+  std::vector<std::exception_ptr> errors(n);
+  parallel_for(pool, n, [&](std::size_t i) {
+    try {
+      body(i);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  });
+  for (auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
 }
 
 }  // namespace slimfly

@@ -46,7 +46,15 @@ class ThreadPool {
 
 /// Runs body(i) for i in [0, n), distributing chunks over the pool.
 /// Falls back to a plain loop when the pool has a single worker.
+/// The body must not throw (an escaping exception terminates the worker
+/// thread and the process); use parallel_for_checked for throwing bodies.
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& body);
+
+/// parallel_for with exception transport: every index runs (a throwing
+/// index poisons only itself), then the first captured exception — in index
+/// order — is rethrown on the calling thread.
+void parallel_for_checked(ThreadPool& pool, std::size_t n,
+                          const std::function<void(std::size_t)>& body);
 
 }  // namespace slimfly

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "sf/mms.hpp"
+#include "sim/simulation.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/fattree.hpp"
+#include "topo/registry.hpp"
+
+namespace slimfly {
+namespace {
+
+sim::SimConfig tiny_config() {
+  sim::SimConfig cfg;
+  cfg.warmup_cycles = 50;
+  cfg.measure_cycles = 100;
+  cfg.drain_cycles = 2000;
+  cfg.seed = 7;
+  return cfg;
+}
+
+exp::ExperimentSpec tiny_spec() {
+  exp::ExperimentSpec spec;
+  spec.name = "tiny";
+  spec.loads = {0.1, 0.3};
+  spec.config = tiny_config();
+  spec.series = {{"slimfly:q=5", "MIN", "uniform", "SF-MIN"},
+                 {"slimfly:q=5", "VAL", "uniform", "SF-VAL"},
+                 {"fattree:k=4", "FT-ANCA", "uniform", "FT"}};
+  return spec;
+}
+
+void expect_identical(const std::vector<exp::RunResult>& a,
+                      const std::vector<exp::RunResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].series_index, b[i].series_index);
+    EXPECT_EQ(a[i].load, b[i].load);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    // Bit-identical simulation, not approximately equal: every point owns
+    // its Network/Rng/traffic, so the thread schedule must not matter.
+    EXPECT_EQ(a[i].result.avg_latency, b[i].result.avg_latency);
+    EXPECT_EQ(a[i].result.avg_network_latency, b[i].result.avg_network_latency);
+    EXPECT_EQ(a[i].result.p99_latency, b[i].result.p99_latency);
+    EXPECT_EQ(a[i].result.accepted_load, b[i].result.accepted_load);
+    EXPECT_EQ(a[i].result.delivered, b[i].result.delivered);
+    EXPECT_EQ(a[i].result.saturated, b[i].result.saturated);
+  }
+}
+
+TEST(ExperimentEngine, ParallelMatchesSequentialBitIdentical) {
+  auto spec = tiny_spec();
+  exp::ExperimentEngine sequential(1);
+  exp::ExperimentEngine parallel(4);
+  auto seq = sequential.run(spec);
+  auto par = parallel.run(spec);
+  ASSERT_FALSE(seq.empty());
+  expect_identical(seq, par);
+}
+
+TEST(ExperimentEngine, RepeatedRunsIdentical) {
+  auto spec = tiny_spec();
+  exp::ExperimentEngine engine(2);
+  expect_identical(engine.run(spec), engine.run(spec));
+}
+
+TEST(ExperimentEngine, ResultsOrderedBySeriesThenLoad) {
+  auto spec = tiny_spec();
+  exp::ExperimentEngine engine(4);
+  auto results = engine.run(spec);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    bool ordered = results[i - 1].series_index < results[i].series_index ||
+                   (results[i - 1].series_index == results[i].series_index &&
+                    results[i - 1].load < results[i].load);
+    EXPECT_TRUE(ordered) << "result " << i << " out of order";
+  }
+}
+
+TEST(ExperimentEngine, PerPointWallTimeRecorded) {
+  auto spec = tiny_spec();
+  exp::ExperimentEngine engine(2);
+  for (const auto& r : engine.run(spec)) {
+    EXPECT_GT(r.wall_seconds, 0.0);
+  }
+}
+
+TEST(ExperimentEngine, IncompatibleSeriesThrows) {
+  auto spec = tiny_spec();
+  spec.series.push_back({"slimfly:q=5", "FT-ANCA", "uniform", "bad"});
+  exp::ExperimentEngine engine(1);
+  EXPECT_THROW(engine.run(spec), std::invalid_argument);
+}
+
+TEST(ExperimentSpec, CrossFiltersIncompatibleCombos) {
+  auto spec = exp::ExperimentSpec::cross(
+      "x", {"slimfly:q=5", "dragonfly:p=2,a=4,h=2", "fattree:k=4"},
+      sim::routing_names(), {"uniform", "worstcase", "worst-ft"}, {0.1},
+      tiny_config());
+  ASSERT_FALSE(spec.series.empty());
+  for (const auto& s : spec.series) {
+    const std::string family = topo::parse_spec(s.topology).family;
+    const std::string need =
+        sim::routing_requirement(sim::routing_kind_from_string(s.routing));
+    EXPECT_TRUE(need.empty() || need == family)
+        << s.routing << " on " << s.topology;
+    const std::string tneed = sim::traffic_requirement(s.traffic);
+    EXPECT_TRUE(tneed.empty() || tneed == family)
+        << s.traffic << " on " << s.topology;
+  }
+  // DF-UGAL-L appears exactly once per Dragonfly traffic combo, never on
+  // the other topologies.
+  for (const auto& s : spec.series) {
+    if (s.routing == "DF-UGAL-L") EXPECT_EQ("dragonfly",
+                                            topo::parse_spec(s.topology).family);
+    if (s.routing == "FT-ANCA") EXPECT_EQ("fattree",
+                                          topo::parse_spec(s.topology).family);
+  }
+}
+
+TEST(ExperimentSpec, PointSeedDeterministicAndSpread) {
+  auto spec = tiny_spec();
+  EXPECT_EQ(exp::point_seed(spec, 0, 0), exp::point_seed(spec, 0, 0));
+  EXPECT_NE(exp::point_seed(spec, 0, 0), exp::point_seed(spec, 0, 1));
+  EXPECT_NE(exp::point_seed(spec, 0, 0), exp::point_seed(spec, 1, 0));
+  auto other = spec;
+  other.config.seed = 8;
+  EXPECT_NE(exp::point_seed(spec, 0, 0), exp::point_seed(other, 0, 0));
+}
+
+TEST(ExperimentEngine, ThreadsFromEnv) {
+  setenv("SF_THREADS", "3", 1);
+  EXPECT_EQ(exp::threads_from_env(), 3u);
+  exp::ExperimentEngine engine;
+  EXPECT_EQ(engine.threads(), 3u);
+  setenv("SF_THREADS", "0", 1);
+  EXPECT_EQ(exp::threads_from_env(), 0u);
+  // Negatives, junk, and absurd counts all mean "auto", never a
+  // wrapped-around or astronomical worker count.
+  setenv("SF_THREADS", "-1", 1);
+  EXPECT_EQ(exp::threads_from_env(), 0u);
+  setenv("SF_THREADS", "lots", 1);
+  EXPECT_EQ(exp::threads_from_env(), 0u);
+  setenv("SF_THREADS", "99999", 1);
+  EXPECT_EQ(exp::threads_from_env(), 0u);
+  unsetenv("SF_THREADS");
+  EXPECT_EQ(exp::threads_from_env(), 0u);
+  exp::ExperimentEngine defaulted;
+  EXPECT_GE(defaulted.threads(), 1u);
+}
+
+// ---- registry round-trips ---------------------------------------------------
+
+TEST(TopologyRegistry, RoundTripEveryFamily) {
+  auto examples = topo::example_specs();
+  ASSERT_EQ(examples.size(), topo::registry_names().size());
+  for (const auto& spec : examples) {
+    auto parsed = topo::parse_spec(spec);
+    EXPECT_TRUE(topo::is_registered(parsed.family)) << spec;
+    auto topo = topo::make(spec);
+    ASSERT_NE(topo, nullptr) << spec;
+    EXPECT_EQ(topo::family_of(*topo), parsed.family) << spec;
+    EXPECT_FALSE(topo->name().empty()) << spec;
+    EXPECT_GT(topo->num_endpoints(), 0) << spec;
+  }
+}
+
+TEST(TopologyRegistry, RejectsMalformedSpecs) {
+  EXPECT_THROW(topo::make("nosuch:q=5"), std::invalid_argument);
+  EXPECT_THROW(topo::make("slimfly"), std::invalid_argument);        // missing q
+  EXPECT_THROW(topo::make("slimfly:q=x"), std::invalid_argument);    // not an int
+  EXPECT_THROW(topo::make("slimfly:q=5,zz=1"), std::invalid_argument);
+  EXPECT_THROW(topo::make("torus:dims=4x"), std::invalid_argument);
+  EXPECT_THROW(topo::make(":q=5"), std::invalid_argument);
+}
+
+TEST(RoutingRegistry, RoundTripEveryName) {
+  auto names = sim::routing_names();
+  EXPECT_EQ(names.size(), 6u);
+  for (const auto& name : names) {
+    EXPECT_EQ(sim::to_string(sim::routing_kind_from_string(name)), name);
+  }
+  EXPECT_THROW(sim::routing_kind_from_string("NOPE"), std::invalid_argument);
+}
+
+TEST(RoutingRegistry, SupportMatchesRequirement) {
+  sf::SlimFlyMMS sf(5);
+  Dragonfly df(2, 4, 2, 9);
+  FatTree3 ft(4);
+  EXPECT_TRUE(sim::routing_supported(sim::RoutingKind::Minimal, sf));
+  EXPECT_TRUE(sim::routing_supported(sim::RoutingKind::DragonflyUgalL, df));
+  EXPECT_FALSE(sim::routing_supported(sim::RoutingKind::DragonflyUgalL, sf));
+  EXPECT_TRUE(sim::routing_supported(sim::RoutingKind::FatTreeAnca, ft));
+  EXPECT_FALSE(sim::routing_supported(sim::RoutingKind::FatTreeAnca, df));
+  // String-keyed make_routing round-trips through the kind.
+  auto bundle = sim::make_routing("UGAL-G", sf);
+  EXPECT_EQ(bundle.algorithm->name(), "UGAL-G");
+}
+
+TEST(TrafficRegistry, RoundTripEveryName) {
+  sf::SlimFlyMMS sf(5);
+  Dragonfly df(2, 4, 2, 9);
+  FatTree3 ft(4);
+  for (const auto& name : sim::traffic_names()) {
+    const std::string need = sim::traffic_requirement(name);
+    const Topology& topo = need == "dragonfly"
+                               ? static_cast<const Topology&>(df)
+                               : need == "fattree"
+                                     ? static_cast<const Topology&>(ft)
+                                     : static_cast<const Topology&>(sf);
+    auto pattern = sim::make_traffic(name, topo);
+    ASSERT_NE(pattern, nullptr) << name;
+    // name() maps back into the registry ("worstcase" dispatches onto the
+    // concrete worst-* entry; every other name round-trips exactly).
+    auto again = sim::make_traffic(pattern->name(), topo);
+    EXPECT_EQ(again->name(), pattern->name()) << name;
+    if (name != "worstcase") EXPECT_EQ(pattern->name(), name);
+  }
+  EXPECT_THROW(sim::make_traffic("nosuch", sf), std::invalid_argument);
+  EXPECT_THROW(sim::make_traffic("worst-df", sf), std::invalid_argument);
+  EXPECT_THROW(sim::make_traffic("worst-ft", df), std::invalid_argument);
+}
+
+TEST(LoadSweep, LegacySeedSemanticsPreserved) {
+  // load_sweep is now a wrapper over the engine's sequential path; it must
+  // still run every point with the caller's config seed and a fresh traffic
+  // instance, exactly like a hand-written simulate() loop.
+  sf::SlimFlyMMS topo(5);
+  auto cfg = tiny_config();
+  auto bundle = sim::make_routing(sim::RoutingKind::Minimal, topo);
+  auto points = sim::load_sweep(
+      topo, *bundle.algorithm,
+      [&] { return sim::make_uniform(topo.num_endpoints()); }, cfg,
+      {0.1, 0.3}, true);
+  ASSERT_GE(points.size(), 1u);
+  for (const auto& pt : points) {
+    auto traffic = sim::make_uniform(topo.num_endpoints());
+    auto direct = sim::simulate(topo, *bundle.algorithm, *traffic, cfg, pt.load);
+    EXPECT_EQ(pt.result.avg_latency, direct.avg_latency);
+    EXPECT_EQ(pt.result.accepted_load, direct.accepted_load);
+    EXPECT_EQ(pt.result.delivered, direct.delivered);
+  }
+}
+
+}  // namespace
+}  // namespace slimfly

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <vector>
 
 #include "util/rng.hpp"
 #include "util/threadpool.hpp"
@@ -44,6 +46,26 @@ TEST(ParallelFor, SingleWorkerFallsBackSequential) {
   std::vector<int> expected(10);
   std::iota(expected.begin(), expected.end(), 0);
   EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForChecked, RethrowsFirstExceptionAfterRunningAll) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(
+      parallel_for_checked(pool, hits.size(),
+                           [&](std::size_t i) {
+                             hits[i].fetch_add(1);
+                             if (i == 13) throw std::runtime_error("boom");
+                           }),
+      std::runtime_error);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);  // the throw poisons only i=13
+}
+
+TEST(ParallelForChecked, NoThrowBehavesLikeParallelFor) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  parallel_for_checked(pool, 100, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 100);
 }
 
 TEST(Rng, DeterministicStreams) {
