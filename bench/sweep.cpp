@@ -4,10 +4,13 @@
 //   sweep --topo torus:dims=8x8x8 --traffic stencil3d
 //   sweep --topo slimfly:q=7 --topo hypercube:n=9 \
 //         --routing MIN --routing UGAL-L --traffic uniform --loads 0.2,0.5,0.8
+//   sweep --topo slimfly:q=19 --loads 0.5 --intra 0   # one big point,
+//                                                     # router-parallel
 //   sweep --list
 //
 // Axes repeat; the engine runs the compatible cross-product over all cores
-// (SF_THREADS to override) and writes BENCH_<name>.json.
+// (SF_THREADS to override) and writes BENCH_<name>.json. The spec-string
+// grammar for every axis is documented in docs/SPEC_GRAMMAR.md.
 
 #include <algorithm>
 #include <cstring>
@@ -50,15 +53,22 @@ void print_registries() {
   std::cout << "\n";
 }
 
-int usage(const char* argv0) {
+int usage(const char* argv0, int exit_code) {
   std::cout
       << "usage: " << argv0
       << " [--name TAG] [--topo SPEC]... [--routing NAME]...\n"
          "       [--traffic NAME]... [--loads L1,L2,...] [--seed N]\n"
-         "       [--no-truncate] [--list]\n"
+         "       [--intra N] [--no-truncate] [--list] [--help]\n"
          "defaults: the Section V evaluation trio, MIN routing, uniform\n"
-         "traffic, the Figure 6 load grid, SF_BENCH_SCALE-dependent cycles.\n";
-  return 2;
+         "traffic, the Figure 6 load grid, SF_BENCH_SCALE-dependent cycles.\n"
+         "--intra N: router-parallel workers inside each point (0 = auto\n"
+         "  split with the across-point level; default SF_INTRA_THREADS or\n"
+         "  1). Results are bit-identical for every worker count.\n"
+         "env: SF_THREADS (across-point workers, 0/unset = all cores),\n"
+         "  SF_INTRA_THREADS (as --intra), SF_BENCH_SCALE (small|paper).\n"
+         "Spec-string grammar for every axis: docs/SPEC_GRAMMAR.md;\n"
+         "paper->code map and engine internals: docs/ARCHITECTURE.md.\n";
+  return exit_code;
 }
 
 }  // namespace
@@ -81,6 +91,8 @@ int main(int argc, char** argv) {
       if (!std::strcmp(argv[i], "--list")) {
         print_registries();
         return 0;
+      } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+        return usage(argv[0], 0);
       } else if (!std::strcmp(argv[i], "--name")) {
         name = next_arg(i);
       } else if (!std::strcmp(argv[i], "--topo")) {
@@ -99,10 +111,21 @@ int main(int argc, char** argv) {
           throw std::invalid_argument("malformed seed \"" + value + "\"");
         }
         cfg.seed = std::stoull(value);
+      } else if (!std::strcmp(argv[i], "--intra")) {
+        std::string value = next_arg(i);
+        // Same bounds as the SF_INTRA_THREADS policy: digits only, and a
+        // cap that keeps absurd counts from wrapping through the int cast.
+        if (value.empty() || value.size() > 4 ||
+            value.find_first_not_of("0123456789") != std::string::npos ||
+            std::stoul(value) > 4096) {
+          throw std::invalid_argument("malformed --intra \"" + value +
+                                      "\" (want 0..4096; 0 = auto)");
+        }
+        cfg.intra_threads = static_cast<int>(std::stoul(value));
       } else if (!std::strcmp(argv[i], "--no-truncate")) {
         truncate = false;
       } else {
-        return usage(argv[0]);
+        return usage(argv[0], 2);
       }
     }
 

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in markdown files.
+
+Usage: check_links.py FILE.md [FILE.md ...]
+
+Checks every inline markdown link/image whose target is not an absolute
+URL, mailto, or pure fragment: the referenced path must exist relative to
+the file containing the link (fragments are stripped, not resolved).
+Exits 1 listing every dead link, 0 when all resolve.
+"""
+
+import os
+import re
+import sys
+
+# Inline links and images: [text](target) / ![alt](target). Reference-style
+# definitions are rare in this repo and intentionally out of scope.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def dead_links(md_path):
+    base = os.path.dirname(os.path.abspath(md_path))
+    dead = []
+    with open(md_path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                if not os.path.exists(os.path.join(base, path)):
+                    dead.append((lineno, target))
+    return dead
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for md_path in argv[1:]:
+        if not os.path.exists(md_path):
+            print(f"{md_path}: file not found", file=sys.stderr)
+            failures += 1
+            continue
+        for lineno, target in dead_links(md_path):
+            print(f"{md_path}:{lineno}: dead link -> {target}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"{failures} dead link(s)", file=sys.stderr)
+        return 1
+    print(f"all relative links resolve in {len(argv) - 1} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

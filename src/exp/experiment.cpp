@@ -16,6 +16,7 @@
 #include "sim/simulation.hpp"
 #include "topo/registry.hpp"
 #include "topo/topology.hpp"
+#include "util/rng.hpp"
 #include "util/threadpool.hpp"
 #include "util/timer.hpp"
 
@@ -30,11 +31,18 @@ std::uint64_t fnv1a(const std::string& s, std::uint64_t h) {
   return h;
 }
 
-std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
+// Digits-only parse shared by the SF_THREADS / SF_INTRA_THREADS policies:
+// negatives, signs, junk, and absurd counts all map to `fallback`, never a
+// wrapped-around astronomical worker count.
+unsigned long parse_worker_env(const char* name, unsigned long fallback) {
+  const char* env = std::getenv(name);
+  if (!env || !*env) return fallback;
+  for (const char* p = env; *p; ++p) {
+    if (*p < '0' || *p > '9') return fallback;
+  }
+  unsigned long v = std::strtoul(env, nullptr, 10);
+  if (v > 4096) return fallback;
+  return v;
 }
 
 std::string json_escape(const std::string& s) {
@@ -114,16 +122,11 @@ std::uint64_t point_seed(const ExperimentSpec& spec, std::size_t series_index,
 }
 
 std::size_t threads_from_env() {
-  const char* env = std::getenv("SF_THREADS");
-  if (!env || !*env) return 0;
-  // Digits only: negatives, signs, and junk all mean "auto", never a
-  // wrapped-around astronomical worker count.
-  for (const char* p = env; *p; ++p) {
-    if (*p < '0' || *p > '9') return 0;
-  }
-  unsigned long v = std::strtoul(env, nullptr, 10);
-  if (v > 4096) return 0;  // nonsensical request; fall back to auto
-  return static_cast<std::size_t>(v);
+  return static_cast<std::size_t>(parse_worker_env("SF_THREADS", 0));
+}
+
+int intra_threads_from_env() {
+  return static_cast<int>(parse_worker_env("SF_INTRA_THREADS", 1));
 }
 
 ExperimentEngine::ExperimentEngine(std::size_t threads) {
@@ -139,15 +142,47 @@ ExperimentEngine::~ExperimentEngine() = default;
 std::size_t ExperimentEngine::threads() const { return threads_; }
 
 void ExperimentEngine::for_indices(
-    std::size_t n, const std::function<void(std::size_t)>& body) {
-  if (threads_ <= 1) {
+    std::size_t n, std::size_t width,
+    const std::function<void(std::size_t)>& body) {
+  if (width <= 1) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
   // The pool is created on first parallel use, so single-threaded wrappers
-  // (sim::load_sweep) never spawn a worker they won't use.
-  if (!pool_) pool_ = std::make_unique<ThreadPool>(threads_);
+  // (sim::load_sweep) never spawn a worker they won't use. It is resized
+  // when the schedule narrows the across-point width (intra-point workers
+  // claiming part of the budget) so the two levels never oversubscribe.
+  if (!pool_ || pool_width_ != width) {
+    pool_.reset();
+    pool_ = std::make_unique<ThreadPool>(width);
+    pool_width_ = width;
+  }
   parallel_for_checked(*pool_, n, body);
+}
+
+std::pair<std::size_t, int> ExperimentEngine::schedule(
+    std::size_t n_points, int requested_intra) const {
+  // Negatives are treated as sequential, matching the Network-level
+  // resolution of the same SimConfig field.
+  if (requested_intra != 0 && requested_intra <= 1) return {threads_, 1};
+  if (n_points == 0) return {threads_, 1};
+  if (requested_intra > 1) {
+    // Explicit intra count: across-point width shrinks so that
+    // across * intra stays within the engine's worker budget — which also
+    // caps intra itself (requesting more stepping workers than the engine
+    // owns would oversubscribe every point).
+    int intra = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(requested_intra), std::max<std::size_t>(1, threads_)));
+    std::size_t across =
+        std::max<std::size_t>(1, threads_ / static_cast<std::size_t>(intra));
+    return {across, intra};
+  }
+  // Auto (0): wide grids keep every worker busy across points; narrow grids
+  // (fewer points than workers — the paper-scale regime) split the budget
+  // so each concurrent point steps router-parallel with the spare workers.
+  if (n_points >= threads_) return {threads_, 1};
+  std::size_t across = std::max<std::size_t>(1, n_points);
+  return {across, static_cast<int>(std::max<std::size_t>(1, threads_ / across))};
 }
 
 std::vector<RunResult> ExperimentEngine::run(const ExperimentSpec& spec,
@@ -199,7 +234,7 @@ std::vector<RunResult> ExperimentEngine::run(const ExperimentSpec& spec,
     series_kind.push_back(kind);
   }
 
-  for_indices(topos.size(), [&](std::size_t i) {
+  for_indices(topos.size(), threads_, [&](std::size_t i) {
     topos[i].topo = topo::make(topos[i].spec);
     if (topos[i].needs_distances) {
       topos[i].distances =
@@ -238,10 +273,16 @@ std::vector<RunResult> ExperimentEngine::run(const ExperimentSpec& spec,
 std::vector<RunResult> ExperimentEngine::run_prepared(
     const PreparedExperiment& prepared, const ProgressFn& on_point) {
   const std::size_t n_loads = prepared.loads.size();
+  const std::size_t n_points = prepared.series.size() * n_loads;
+  const std::pair<std::size_t, int> sched =
+      schedule(n_points, prepared.config.intra_threads);
+  const std::size_t across = sched.first;
+  const int intra = sched.second;
   std::mutex progress_mutex;
   auto run_point = [&](std::size_t s, std::size_t l) {
     const PreparedSeries& series = prepared.series[s];
     sim::SimConfig cfg = prepared.config;
+    cfg.intra_threads = intra;  // resolved by schedule(), never 0 here
     if (prepared.seed_fn) cfg.seed = prepared.seed_fn(s, l);
     auto routing = series.make_routing();
     auto traffic = series.make_traffic();
@@ -261,7 +302,7 @@ std::vector<RunResult> ExperimentEngine::run_prepared(
   };
 
   std::vector<RunResult> out;
-  if (threads_ == 1 && prepared.truncate_at_saturation) {
+  if (across == 1 && prepared.truncate_at_saturation) {
     // Sequential early stop: never simulate past a series' saturation point.
     for (std::size_t s = 0; s < prepared.series.size(); ++s) {
       for (std::size_t l = 0; l < n_loads; ++l) {
@@ -272,7 +313,6 @@ std::vector<RunResult> ExperimentEngine::run_prepared(
     return out;
   }
 
-  const std::size_t n_points = prepared.series.size() * n_loads;
   std::vector<RunResult> all(n_points);
   // Per-series lowest load index already observed saturated: truncation
   // drops everything past it, so such points can be skipped outright
@@ -280,7 +320,7 @@ std::vector<RunResult> ExperimentEngine::run_prepared(
   // saturated networks churn maximum traffic until the drain cap).
   std::vector<std::atomic<std::size_t>> first_saturated(prepared.series.size());
   for (auto& f : first_saturated) f.store(n_loads, std::memory_order_relaxed);
-  for_indices(n_points, [&](std::size_t i) {
+  for_indices(n_points, across, [&](std::size_t i) {
     const std::size_t s = i / n_loads;
     const std::size_t l = i % n_loads;
     if (prepared.truncate_at_saturation &&
@@ -328,6 +368,7 @@ void write_json(std::ostream& os, const ExperimentSpec& spec,
      << ", \"drain_cycles\": " << spec.config.drain_cycles
      << ", \"num_vcs\": " << spec.config.num_vcs
      << ", \"buffer_per_port\": " << spec.config.buffer_per_port
+     << ", \"intra_threads\": " << spec.config.intra_threads
      << ", \"seed\": " << spec.config.seed << "},\n";
   os << "  \"series\": [\n";
   for (std::size_t s = 0; s < spec.series.size(); ++s) {

@@ -7,15 +7,30 @@
 // into independent run points and executes them over a ThreadPool.
 //
 // Thread-safety contract (audited; keep it when touching the simulator):
-//   * Each run point owns its Network, its Rng (seeded deterministically
-//     from the spec and the point, never from thread identity), its
-//     RoutingAlgorithm instance, and its TrafficPattern instance.
+//   * Each run point owns its Network, its RNG streams (seeded
+//     deterministically from the spec and the point, never from thread
+//     identity), its RoutingAlgorithm instance, and its TrafficPattern
+//     instance.
 //   * Topology and DistanceTable are built once per topology spec and
 //     shared across points strictly read-only (const references /
 //     shared_ptr<const>-style usage; DistanceTable::sample_minimal_path is
 //     const and draws from the caller's Rng).
 // Consequently a parallel run is bit-identical to a single-threaded run of
 // the same spec (covered by tests/experiment_test.cpp).
+//
+// Two composable parallelism levels (docs/ARCHITECTURE.md has the full
+// decision guide):
+//   * across points — independent run points over the engine's ThreadPool
+//     (SF_THREADS workers); ideal for wide grids of small/medium points.
+//   * within a point — SimConfig::intra_threads router-parallel stepping
+//     workers inside each Network (SF_INTRA_THREADS / sweep --intra);
+//     ideal for a few paper-scale points that would otherwise serialize.
+// run_prepared() composes them without oversubscription: with
+// intra_threads == 1 every engine worker runs whole points; with
+// intra_threads == N > 1 the across-point width shrinks to threads/N; with
+// intra_threads == 0 ("auto") wide grids (points >= threads) go fully
+// across-point and narrow grids split the workers across the few points.
+// Neither level affects results — only wall-clock time.
 
 #include <cstdint>
 #include <functional>
@@ -85,6 +100,11 @@ std::uint64_t point_seed(const ExperimentSpec& spec, std::size_t series_index,
 /// SF_THREADS=0, unset, or unparsable means hardware_concurrency().
 std::size_t threads_from_env();
 
+/// Intra-point worker policy: SF_INTRA_THREADS env var when set and a
+/// plausible digit string (0 = let the engine's scheduler decide); unset or
+/// unparsable means 1 (sequential stepping), the SimConfig default.
+int intra_threads_from_env();
+
 // ---- prepared (non-registry) form ------------------------------------------
 // The compatibility path for callers that already hold topology / routing /
 // traffic objects (sim::load_sweep). The registry path lowers onto this.
@@ -129,21 +149,32 @@ class ExperimentEngine {
   std::vector<RunResult> run(const ExperimentSpec& spec,
                              const ProgressFn& on_point = {});
 
-  /// Runs an already-prepared experiment. With one worker and
-  /// truncate_at_saturation set, loads past a series' first saturated point
-  /// are skipped entirely (the sequential early-stop of the original
-  /// load_sweep); a parallel run skips a point once a lower load of its
-  /// series is known saturated and drops the rest after the fact — either
-  /// way the returned points are identical.
+  /// Runs an already-prepared experiment. When points run one at a time
+  /// (one engine worker, or intra-point workers claiming the whole budget)
+  /// and truncate_at_saturation is set, loads past a series' first
+  /// saturated point are skipped entirely (the sequential early-stop of the
+  /// original load_sweep); an across-point parallel run skips a point once
+  /// a lower load of its series is known saturated and drops the rest after
+  /// the fact — either way the returned points are identical.
   std::vector<RunResult> run_prepared(const PreparedExperiment& prepared,
                                       const ProgressFn& on_point = {});
 
+  /// The (across-point width, per-point intra worker count) run_prepared
+  /// would use for a grid of `n_points` under `requested_intra`
+  /// (SimConfig::intra_threads). Exposed for tests and schedulers; the
+  /// product never exceeds threads().
+  std::pair<std::size_t, int> schedule(std::size_t n_points,
+                                       int requested_intra) const;
+
  private:
-  /// Inline loop when single-threaded; otherwise parallel_for_checked over
-  /// a lazily-created pool (so sequential wrappers never spawn workers).
-  void for_indices(std::size_t n, const std::function<void(std::size_t)>& body);
+  /// Inline loop when width <= 1; otherwise parallel_for_checked over a
+  /// lazily-created pool of `width` workers (so sequential wrappers never
+  /// spawn workers they won't use).
+  void for_indices(std::size_t n, std::size_t width,
+                   const std::function<void(std::size_t)>& body);
 
   std::size_t threads_ = 1;
+  std::size_t pool_width_ = 0;
   std::unique_ptr<ThreadPool> pool_;
 };
 

@@ -25,6 +25,14 @@ struct SimConfig {
 
   std::uint64_t seed = 1;
 
+  /// Router-parallel stepping workers inside one simulation point: 1 (the
+  /// default) steps sequentially, N > 1 shards routers over N workers with
+  /// barriers between the cycle phases, 0 means "auto" (all hardware
+  /// threads when a Network resolves it; the scheduling policy when an
+  /// ExperimentEngine does — see exp/experiment.hpp). Results are
+  /// bit-identical for every value: the knob only trades wall-clock time.
+  int intra_threads = 1;
+
   /// Flit slots available to each VC.
   int buffer_per_vc() const { return buffer_per_port / num_vcs; }
 };

@@ -2,9 +2,21 @@
 
 namespace slimfly::sim {
 
-void Injector::init(int num_endpoints, int initial_credits) {
+namespace {
+// Distinguishes endpoint streams from the router streams seeded in
+// Network::wire() under the same base seed.
+constexpr std::uint64_t kEndpointStreamTag = 0x9d5c7f2b;
+}  // namespace
+
+void Injector::init(int num_endpoints, int initial_credits,
+                    std::uint64_t seed) {
   endpoints_.assign(static_cast<std::size_t>(num_endpoints), EndpointState{});
-  for (auto& ep : endpoints_) ep.credits = initial_credits;
+  for (int e = 0; e < num_endpoints; ++e) {
+    EndpointState& ep = endpoints_[static_cast<std::size_t>(e)];
+    ep.credits = initial_credits;
+    ep.rng = rng_stream(seed, kEndpointStreamTag,
+                        static_cast<std::uint64_t>(e));
+  }
 }
 
 std::int64_t Injector::backlog() const {

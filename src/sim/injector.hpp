@@ -1,7 +1,11 @@
 #pragma once
 // Endpoint-side state: the unbounded source queue (so offered load is
-// well-defined even past saturation) and the credit counter for the single
-// uplink into the router's injection port.
+// well-defined even past saturation), the credit counter for the single
+// uplink into the router's injection port, and the endpoint's private RNG
+// stream. Generation draws (Bernoulli arrivals, traffic destinations,
+// routing path sampling) come from `rng`, never from a shared generator,
+// so the injection phase is deterministic under any endpoint processing
+// order — the keystone of router-parallel stepping (sim/network.hpp).
 
 #include <cstdint>
 #include <deque>
@@ -9,6 +13,7 @@
 
 #include "sim/channel.hpp"
 #include "sim/packet.hpp"
+#include "util/rng.hpp"
 
 namespace slimfly::sim {
 
@@ -16,11 +21,15 @@ struct EndpointState {
   std::deque<Packet> source_queue;
   int credits = 0;                 ///< slots free in the injection buffer
   DelayLine<int> credit_return;    ///< credits on their way back
+  Rng rng{};                       ///< private stream, seeded from (seed, id)
+  std::int64_t next_seq = 0;       ///< per-endpoint packet sequence number
 };
 
 class Injector {
  public:
-  void init(int num_endpoints, int initial_credits);
+  /// Seeds every endpoint's RNG stream deterministically from `seed` and
+  /// the endpoint id — independent of thread schedule by construction.
+  void init(int num_endpoints, int initial_credits, std::uint64_t seed);
 
   EndpointState& endpoint(int e) { return endpoints_[static_cast<std::size_t>(e)]; }
   const EndpointState& endpoint(int e) const {

@@ -2,8 +2,28 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 namespace slimfly::sim {
+
+namespace {
+// Distinguishes router streams from the endpoint streams seeded in
+// Injector::init() under the same base seed.
+constexpr std::uint64_t kRouterStreamTag = 0x51a3e8d1;
+
+std::size_t resolve_intra_threads(int requested, int num_routers) {
+  std::size_t w;
+  if (requested > 1) {
+    w = static_cast<std::size_t>(requested);
+  } else if (requested == 0) {
+    w = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  } else {
+    w = 1;  // 1 and any nonsensical negative mean sequential
+  }
+  return std::max<std::size_t>(
+      1, std::min(w, static_cast<std::size_t>(num_routers)));
+}
+}  // namespace
 
 Network::Network(const Topology& topo, RoutingAlgorithm& routing,
                  TrafficPattern& traffic, const SimConfig& config,
@@ -12,8 +32,7 @@ Network::Network(const Topology& topo, RoutingAlgorithm& routing,
       routing_(routing),
       traffic_(traffic),
       config_(config),
-      load_(offered_load),
-      rng_(config.seed, 0xfeedULL) {
+      load_(offered_load) {
   if (config_.num_vcs < routing_.max_hops()) {
     throw std::invalid_argument(
         "Network: num_vcs must cover the routing algorithm's max hops (" +
@@ -22,6 +41,7 @@ Network::Network(const Topology& topo, RoutingAlgorithm& routing,
   if (config_.buffer_per_vc() < 1) {
     throw std::invalid_argument("Network: buffer_per_port too small for num_vcs");
   }
+  shards_ = resolve_intra_threads(config_.intra_threads, topo_.num_routers());
   wire();
   for (int e = 0; e < topo_.num_endpoints(); ++e) {
     if (traffic_.is_active(e)) ++active_endpoints_;
@@ -61,16 +81,41 @@ void Network::wire() {
       out.credits.assign(static_cast<std::size_t>(config_.num_vcs), 1 << 28);
     }
   }
-  // Reverse port wiring: input port i of r receives from neighbour i.
+  // Reverse port wiring: input port i of r receives from neighbour i. Both
+  // directions are recorded so arrivals can pull (input -> feeding output)
+  // and allocation can return credits (input -> upstream credit line).
   for (int r = 0; r < nr; ++r) {
     const auto& nbrs = g.neighbors(r);
     for (int i = 0; i < static_cast<int>(nbrs.size()); ++i) {
       int u = nbrs[static_cast<std::size_t>(i)];
+      int uport = port_of_neighbor(u, r);
       routers_[static_cast<std::size_t>(r)].outputs[static_cast<std::size_t>(i)]
-          .dest_port = port_of_neighbor(u, r);
+          .dest_port = uport;
+      InputPort& in =
+          routers_[static_cast<std::size_t>(r)].inputs[static_cast<std::size_t>(i)];
+      in.src_router = u;
+      in.src_port = uport;
     }
   }
-  injector_.init(topo_.num_endpoints(), buf_vc);
+  injector_.init(topo_.num_endpoints(), buf_vc, config_.seed);
+
+  router_rngs_.clear();
+  router_rngs_.reserve(static_cast<std::size_t>(nr));
+  for (int r = 0; r < nr; ++r) {
+    router_rngs_.push_back(
+        rng_stream(config_.seed, kRouterStreamTag, static_cast<std::uint64_t>(r)));
+  }
+
+  // Contiguous router shards (endpoints follow their router). The split is
+  // balanced but otherwise arbitrary: results do not depend on it.
+  shard_ranges_.clear();
+  for (std::size_t s = 0; s < shards_; ++s) {
+    int lo = static_cast<int>(s * static_cast<std::size_t>(nr) / shards_);
+    int hi = static_cast<int>((s + 1) * static_cast<std::size_t>(nr) / shards_);
+    shard_ranges_.emplace_back(lo, hi);
+  }
+  shard_totals_.assign(shards_, ShardTotals{});
+  shard_errors_.assign(shards_, nullptr);
 }
 
 int Network::port_of_neighbor(int router, int neighbor) const {
@@ -82,85 +127,103 @@ int Network::port_of_neighbor(int router, int neighbor) const {
   return static_cast<int>(it - nbrs.begin());
 }
 
-void Network::do_arrivals() {
-  for (auto& router : routers_) {
+void Network::phase_arrivals(std::size_t shard) {
+  auto [lo, hi] = shard_ranges_[shard];
+  for (int r = lo; r < hi; ++r) {
+    RouterState& router = routers_[static_cast<std::size_t>(r)];
+    // Credits coming back from downstream consumption of my outputs.
     for (auto& out : router.outputs) {
-      // Credits coming back from downstream consumption.
       while (auto vc = out.credit_return.pop_ready(cycle_)) {
         ++out.credits[static_cast<std::size_t>(*vc)];
       }
-      // Flits reaching the far end of the channel.
-      if (auto pkt = out.channel.pop_ready(cycle_)) {
-        if (out.dest_router < 0) {
-          deliver(std::move(*pkt));
-        } else {
-          int vc = pkt->wire_vc;  // VC used on the link just traversed
-          routers_[static_cast<std::size_t>(out.dest_router)]
-              .inputs[static_cast<std::size_t>(out.dest_port)]
-              .vcs[static_cast<std::size_t>(vc)]
-              .push(std::move(*pkt));
-        }
+    }
+    // Pull flits whose channel ends at one of my inputs (this shard is the
+    // sole consumer of each of those channels).
+    for (int i = 0; i < router.network_ports; ++i) {
+      InputPort& in = router.inputs[static_cast<std::size_t>(i)];
+      OutputPort& feed = routers_[static_cast<std::size_t>(in.src_router)]
+                             .outputs[static_cast<std::size_t>(in.src_port)];
+      if (auto pkt = feed.channel.pop_ready(cycle_)) {
+        int vc = pkt->wire_vc;  // VC used on the link just traversed
+        in.vcs[static_cast<std::size_t>(vc)].push(std::move(*pkt));
       }
     }
-  }
-  // Endpoint uplink credits.
-  for (int e = 0; e < injector_.num_endpoints(); ++e) {
-    auto& ep = injector_.endpoint(e);
-    while (auto c = ep.credit_return.pop_ready(cycle_)) {
-      (void)c;
-      ++ep.credits;
+    // My ejection channels complete deliveries to my endpoints.
+    for (std::size_t p = static_cast<std::size_t>(router.network_ports);
+         p < router.outputs.size(); ++p) {
+      if (auto pkt = router.outputs[p].channel.pop_ready(cycle_)) {
+        deliver(shard, std::move(*pkt));
+      }
+    }
+    // Uplink credits for my endpoints.
+    for (int j = 0; j < topo_.endpoints_at(r); ++j) {
+      auto& ep = injector_.endpoint(topo_.first_endpoint(r) + j);
+      while (auto c = ep.credit_return.pop_ready(cycle_)) {
+        (void)c;
+        ++ep.credits;
+      }
     }
   }
 }
 
-void Network::do_injection() {
+void Network::phase_injection(std::size_t shard) {
   bool in_measurement = cycle_ >= config_.warmup_cycles &&
                         cycle_ < config_.warmup_cycles + config_.measure_cycles;
-  for (int e = 0; e < topo_.num_endpoints(); ++e) {
-    auto& ep = injector_.endpoint(e);
-    // Bernoulli generation.
-    if (rng_.bernoulli(load_)) {
-      int dst = traffic_.destination(e, rng_);
-      if (dst >= 0) {
-        Packet pkt;
-        pkt.id = next_packet_id_++;
-        pkt.src_endpoint = e;
-        pkt.dst_endpoint = dst;
-        pkt.src_router = topo_.endpoint_router(e);
-        pkt.dst_router = topo_.endpoint_router(dst);
-        pkt.t_generated = cycle_;
-        pkt.measured = in_measurement;
-        if (pkt.measured) ++measured_generated_;
-        ep.source_queue.push_back(std::move(pkt));
+  auto [lo, hi] = shard_ranges_[shard];
+  for (int r = lo; r < hi; ++r) {
+    for (int j = 0; j < topo_.endpoints_at(r); ++j) {
+      int e = topo_.first_endpoint(r) + j;
+      auto& ep = injector_.endpoint(e);
+      // Bernoulli generation, drawing only from the endpoint's own stream.
+      if (ep.rng.bernoulli(load_)) {
+        int dst = traffic_.destination(e, ep.rng);
+        if (dst >= 0) {
+          Packet pkt;
+          // Unique and schedule-independent: the endpoint's sequence number
+          // strided by endpoint count.
+          pkt.id = ep.next_seq++ * topo_.num_endpoints() + e;
+          pkt.src_endpoint = e;
+          pkt.dst_endpoint = dst;
+          pkt.src_router = r;
+          pkt.dst_router = topo_.endpoint_router(dst);
+          pkt.t_generated = cycle_;
+          pkt.measured = in_measurement;
+          if (pkt.measured) ++shard_totals_[shard].measured_generated;
+          ep.source_queue.push_back(std::move(pkt));
+        }
       }
-    }
-    // Uplink: move the head of the source queue into the router's injection
-    // buffer (VC 0) when a credit is available. Routing happens here so
-    // UGAL sees the queue state at the moment of injection.
-    if (!ep.source_queue.empty() && ep.credits > 0) {
-      Packet pkt = std::move(ep.source_queue.front());
-      ep.source_queue.pop_front();
-      --ep.credits;
-      pkt.t_injected = cycle_;
-      routing_.route_at_injection(*this, pkt, rng_);
-      int r = pkt.src_router;
-      int port = routers_[static_cast<std::size_t>(r)].network_ports +
-                 (e - topo_.first_endpoint(r));
-      routers_[static_cast<std::size_t>(r)]
-          .inputs[static_cast<std::size_t>(port)]
-          .vcs[0]
-          .push(std::move(pkt));
+      // Uplink: move the head of the source queue into the router's
+      // injection buffer (VC 0) when a credit is available. Routing happens
+      // here so UGAL sees the queue state at the moment of injection; that
+      // state is frozen for the whole phase, so the endpoint order cannot
+      // influence the decision.
+      if (!ep.source_queue.empty() && ep.credits > 0) {
+        Packet pkt = std::move(ep.source_queue.front());
+        ep.source_queue.pop_front();
+        --ep.credits;
+        pkt.t_injected = cycle_;
+        routing_.route_at_injection(*this, pkt, ep.rng);
+        int port = routers_[static_cast<std::size_t>(r)].network_ports + j;
+        routers_[static_cast<std::size_t>(r)]
+            .inputs[static_cast<std::size_t>(port)]
+            .vcs[0]
+            .push(std::move(pkt));
+      }
     }
   }
 }
 
-void Network::do_allocation() {
-  int nr = topo_.num_routers();
-  for (int iter = 0; iter < config_.alloc_iterations; ++iter) {
-    for (int r = 0; r < nr; ++r) {
-      RouterState& router = routers_[static_cast<std::size_t>(r)];
-      int num_inputs = static_cast<int>(router.inputs.size());
-      int num_outputs = static_cast<int>(router.outputs.size());
+void Network::phase_allocation(std::size_t shard) {
+  auto [lo, hi] = shard_ranges_[shard];
+  // Both internal-speedup iterations run back-to-back per router: routers
+  // exchange nothing during allocation (credits pushed upstream carry
+  // credit_delay >= 1, so they surface in a later cycle's arrivals), which
+  // makes the per-router ordering equivalent to the per-iteration one.
+  for (int r = lo; r < hi; ++r) {
+    RouterState& router = routers_[static_cast<std::size_t>(r)];
+    int num_inputs = static_cast<int>(router.inputs.size());
+    int num_outputs = static_cast<int>(router.outputs.size());
+    for (int iter = 0; iter < config_.alloc_iterations; ++iter) {
       // Collect head-of-line requests, bucketed by requested output port so
       // each output only scans its own candidates.
       auto& by_output = requests_[static_cast<std::size_t>(r)];
@@ -212,12 +275,15 @@ void Network::do_allocation() {
           out.staging.push_back(std::move(pkt));
           input_granted[static_cast<std::size_t>(req.input_port)] = true;
           out.rr_pointer = (start + k + 1) % n_req;
-          // Return the freed buffer slot upstream.
+          // Return the freed buffer slot upstream. This shard is the sole
+          // producer of that credit_return line (one downstream input per
+          // output port), and credit_delay keeps the push invisible until a
+          // later cycle's arrivals.
           if (req.input_port < router.network_ports) {
-            int u = topo_.graph().neighbors(r)[static_cast<std::size_t>(req.input_port)];
-            int uport = port_of_neighbor(u, r);
-            routers_[static_cast<std::size_t>(u)]
-                .outputs[static_cast<std::size_t>(uport)]
+            const InputPort& in =
+                router.inputs[static_cast<std::size_t>(req.input_port)];
+            routers_[static_cast<std::size_t>(in.src_router)]
+                .outputs[static_cast<std::size_t>(in.src_port)]
                 .credit_return.push(cycle_ + config_.credit_delay, req.vc);
           } else {
             int endpoint = topo_.first_endpoint(r) +
@@ -232,10 +298,11 @@ void Network::do_allocation() {
   }
 }
 
-void Network::do_transmission() {
+void Network::phase_transmission(std::size_t shard) {
   std::int64_t ready = cycle_ + config_.channel_latency + config_.router_pipeline;
-  for (auto& router : routers_) {
-    for (auto& out : router.outputs) {
+  auto [lo, hi] = shard_ranges_[shard];
+  for (int r = lo; r < hi; ++r) {
+    for (auto& out : routers_[static_cast<std::size_t>(r)].outputs) {
       if (out.staging.empty()) continue;
       out.channel.push(ready, std::move(out.staging.front()));
       out.staging.pop_front();
@@ -243,21 +310,89 @@ void Network::do_transmission() {
   }
 }
 
-void Network::deliver(Packet pkt) {
-  stats_.record_delivery(cycle_ - pkt.t_generated, cycle_ - pkt.t_injected,
-                         pkt.measured);
+void Network::deliver(std::size_t shard, Packet pkt) {
+  ShardTotals& totals = shard_totals_[shard];
+  totals.stats.record_delivery(cycle_ - pkt.t_generated, cycle_ - pkt.t_injected,
+                               pkt.measured);
   if (cycle_ >= config_.warmup_cycles &&
       cycle_ < config_.warmup_cycles + config_.measure_cycles) {
-    ++delivered_in_window_;
+    ++totals.delivered_in_window;
   }
 }
 
+void Network::sync() {
+  if (barrier_) barrier_->arrive_and_wait();
+}
+
+void Network::step_shard(std::size_t shard) {
+  // A phase that throws poisons only its shard; the shard keeps arriving at
+  // the remaining barriers so its peers never hang, and step() rethrows.
+  auto guarded = [&](void (Network::*phase)(std::size_t)) {
+    if (shard_errors_[shard]) return;
+    try {
+      (this->*phase)(shard);
+    } catch (...) {
+      shard_errors_[shard] = std::current_exception();
+    }
+  };
+  guarded(&Network::phase_arrivals);
+  sync();
+  guarded(&Network::phase_injection);
+  sync();
+  guarded(&Network::phase_allocation);
+  sync();
+  guarded(&Network::phase_transmission);
+}
+
 void Network::step() {
-  do_arrivals();
-  do_injection();
-  do_allocation();
-  do_transmission();
+  std::fill(shard_errors_.begin(), shard_errors_.end(), nullptr);
+  if (shards_ == 1) {
+    step_shard(0);
+  } else {
+    if (!pool_) {
+      // Dedicated team: shards_ - 1 pool workers plus the calling thread.
+      // Dedicated, because the region's barriers require every worker to be
+      // scheduled (util/threadpool.hpp).
+      pool_ = std::make_unique<ThreadPool>(shards_ - 1);
+      barrier_ = std::make_unique<Barrier>(shards_);
+    }
+    run_region(*pool_, shards_, [this](std::size_t w) { step_shard(w); });
+  }
+  for (auto& err : shard_errors_) {
+    if (err) std::rethrow_exception(err);
+  }
   ++cycle_;
+  stats_dirty_ = true;
+}
+
+const Stats& Network::stats() const {
+  if (stats_dirty_) {
+    merged_stats_ = Stats{};
+    std::int64_t generated = 0;
+    for (const auto& totals : shard_totals_) {
+      merged_stats_.merge(totals.stats);
+      generated += totals.measured_generated;
+    }
+    merged_stats_.set_measured_generated(generated);
+    stats_dirty_ = false;
+  }
+  return merged_stats_;
+}
+
+bool Network::all_measured_delivered() const {
+  std::int64_t generated = 0;
+  std::int64_t delivered = 0;
+  for (const auto& totals : shard_totals_) {
+    generated += totals.measured_generated;
+    delivered += totals.stats.measured_delivered();
+  }
+  return delivered >= generated;
+}
+
+std::int64_t Network::delivered_in_window() const {
+  std::int64_t total = 0;
+  for (const auto& totals : shard_totals_) total += totals.delivered_in_window;
+  return total;
 }
 
 std::int64_t Network::flits_in_flight() const {
@@ -274,24 +409,24 @@ std::int64_t Network::flits_in_flight() const {
 SimResult Network::run() {
   std::int64_t horizon = config_.warmup_cycles + config_.measure_cycles;
   while (cycle_ < horizon) step();
-  stats_.set_measured_generated(measured_generated_);
   std::int64_t drain_end = horizon + config_.drain_cycles;
-  while (!stats_.all_measured_delivered() && cycle_ < drain_end) step();
+  while (!all_measured_delivered() && cycle_ < drain_end) step();
 
+  const Stats& merged = stats();
   SimResult result;
   result.offered_load = load_;
-  result.avg_latency = stats_.average_latency();
-  result.avg_network_latency = stats_.average_network_latency();
-  result.p99_latency = stats_.percentile_latency(0.99);
-  result.delivered = stats_.total_delivered();
+  result.avg_latency = merged.average_latency();
+  result.avg_network_latency = merged.average_network_latency();
+  result.p99_latency = merged.percentile_latency(0.99);
+  result.delivered = merged.total_delivered();
   // Accepted throughput counts ejections *during* the measurement window
   // (Dally & Towles methodology); packets delivered later in the drain
   // improve latency statistics but not throughput.
   double denom = static_cast<double>(active_endpoints_) *
                  static_cast<double>(config_.measure_cycles);
   result.accepted_load =
-      denom > 0 ? static_cast<double>(delivered_in_window_) / denom : 0.0;
-  result.saturated = !stats_.all_measured_delivered() ||
+      denom > 0 ? static_cast<double>(delivered_in_window()) / denom : 0.0;
+  result.saturated = !merged.all_measured_delivered() ||
                      result.avg_latency > config_.latency_cap;
   return result;
 }

@@ -8,8 +8,60 @@
 //   inputs  [0, d) from neighbours, [d, d+e) injection from endpoints
 //   outputs [0, d) to neighbours,   [d, d+e) ejection to endpoints
 // Neighbour i (in sorted adjacency order) uses port i on both sides.
+//
+// ---- Step phases and the thread-safety contract ----------------------------
+//
+// A cycle is four explicit phases with a barrier between consecutive ones.
+// Routers (and the endpoints attached to them) are sharded into contiguous
+// ranges; within a phase each shard touches only state it exclusively owns,
+// so SimConfig::intra_threads workers step the phases in parallel and the
+// result is bit-identical to sequential stepping for every worker and shard
+// count (docs/ARCHITECTURE.md spells out the full argument; the ctest
+// network_parallel_test enforces it).
+//
+//   1. arrivals      Pull-based: router r pops the credit_return lines of
+//                    its own outputs, pops the one upstream channel feeding
+//                    each of its inputs (single consumer per channel, see
+//                    sim/router.hpp), delivers from its own ejection
+//                    channels into its shard's Stats, and pops uplink
+//                    credits for its endpoints.
+//                      writes: r's credits/inputs, upstream channel deques
+//                              (sole consumer), shard stats, ep credits.
+//                      reads:  cycle_.
+//   2. injection     Per endpoint of r: Bernoulli generation and uplink
+//                    into r's injection buffer, drawing only from the
+//                    endpoint's private RNG stream. route_at_injection
+//                    (UGAL's queue comparison) reads output-queue state of
+//                    arbitrary routers — legal because no output queue or
+//                    credit count mutates during this phase, so any
+//                    endpoint order sees identical snapshots.
+//                      writes: ep state, r's injection-port buffers, packet
+//                              ids/seq, shard measured_generated.
+//                      reads:  any router's outputs (frozen), cycle_.
+//   3. allocation    Both alloc_iterations for router r back-to-back: pops
+//                    r's input buffers, spends r's output credits, fills
+//                    r's staging, and pushes freed-slot credits onto the
+//                    upstream credit_return lines feeding r (single
+//                    producer per line) with credit_delay >= 1, so nothing
+//                    pushed here is visible before the next cycle's
+//                    arrivals. next_router() may read r's own queue
+//                    estimates (FT-ANCA adaptivity) — never another
+//                    router's.
+//                      writes: r's inputs/credits/staging/rr, upstream
+//                              credit_return lines (sole producer),
+//                              endpoint credit_return lines.
+//                      reads:  r's outputs, cycle_.
+//   4. transmission  Head of each of r's staging queues onto its own
+//                    channel.
+//                      writes: r's staging/channels.  reads: cycle_.
+//
+// Serial between cycles: ++cycle_ and the run() loop checks. Anything not
+// listed as writable in a phase must not be written there; widening a
+// phase's write set requires re-auditing every cross-shard read above.
 
+#include <exception>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/config.hpp"
@@ -20,6 +72,7 @@
 #include "sim/traffic.hpp"
 #include "topo/topology.hpp"
 #include "util/rng.hpp"
+#include "util/threadpool.hpp"
 
 namespace slimfly::sim {
 
@@ -29,14 +82,15 @@ class Network {
   Network(const Topology& topo, RoutingAlgorithm& routing,
           TrafficPattern& traffic, const SimConfig& config, double offered_load);
 
-  /// Advances one cycle.
+  /// Advances one cycle (all four phases, sharded when intra_threads > 1).
   void step();
 
   /// Runs warmup + measurement + drain and returns the summary.
   SimResult run();
 
   std::int64_t cycle() const { return cycle_; }
-  const Stats& stats() const { return stats_; }
+  /// Aggregated measurement view (per-shard accumulators merged on demand).
+  const Stats& stats() const;
 
   // ---- Introspection used by routing algorithms -------------------------
   const Topology& topology() const { return topo_; }
@@ -47,7 +101,20 @@ class Network {
   int queue_estimate(int router, int port) const {
     return routers_[static_cast<std::size_t>(router)].queue_estimate(port);
   }
-  Rng& rng() { return rng_; }
+
+  // ---- Deterministic RNG streams ----------------------------------------
+  // One stream per endpoint (drives generation/routing draws during the
+  // injection phase) and one per router (reserved for allocation-phase
+  // randomness in per-hop adaptive algorithms; every shipped algorithm is
+  // deterministic there today). Streams are seeded from hash(seed, id), so
+  // no draw ever depends on thread schedule or shard count. Contract: a
+  // stream may only be drawn from by the shard owning its endpoint/router,
+  // and only in the phase named above.
+  Rng& endpoint_rng(int e) { return injector_.endpoint(e).rng; }
+  Rng& router_rng(int r) { return router_rngs_[static_cast<std::size_t>(r)]; }
+
+  /// Resolved intra-point worker count (>= 1, capped by router count).
+  std::size_t intra_threads() const { return shards_; }
 
   /// Total flits currently buffered in the network (test/debug hook).
   std::int64_t flits_in_flight() const;
@@ -56,11 +123,15 @@ class Network {
 
  private:
   void wire();
-  void do_arrivals();
-  void do_injection();
-  void do_allocation();
-  void do_transmission();
-  void deliver(Packet pkt);
+  void step_shard(std::size_t shard);
+  void sync();  ///< barrier between phases; no-op when sequential
+  void phase_arrivals(std::size_t shard);
+  void phase_injection(std::size_t shard);
+  void phase_allocation(std::size_t shard);
+  void phase_transmission(std::size_t shard);
+  void deliver(std::size_t shard, Packet pkt);
+  bool all_measured_delivered() const;  ///< cheap per-cycle drain check
+  std::int64_t delivered_in_window() const;
 
   const Topology& topo_;
   RoutingAlgorithm& routing_;
@@ -70,13 +141,29 @@ class Network {
 
   std::vector<RouterState> routers_;
   Injector injector_;
-  Stats stats_;
-  Rng rng_;
+  std::vector<Rng> router_rngs_;
   std::int64_t cycle_ = 0;
-  std::int64_t next_packet_id_ = 0;
-  std::int64_t measured_generated_ = 0;
-  std::int64_t delivered_in_window_ = 0;
   int active_endpoints_ = 0;
+
+  // ---- sharding ---------------------------------------------------------
+  // Shard s owns routers [shard_ranges_[s].first, .second) and their
+  // endpoints. All counters below are per-shard so phases never contend on
+  // a shared accumulator; merging is order-independent (integer sums and
+  // a latency pool consumed only via sort/sum/max), hence bit-identical
+  // results for any shard count.
+  struct ShardTotals {
+    Stats stats;
+    std::int64_t measured_generated = 0;
+    std::int64_t delivered_in_window = 0;
+  };
+  std::size_t shards_ = 1;
+  std::vector<std::pair<int, int>> shard_ranges_;
+  std::vector<ShardTotals> shard_totals_;
+  std::vector<std::exception_ptr> shard_errors_;
+  std::unique_ptr<ThreadPool> pool_;   ///< shards_-1 dedicated workers
+  std::unique_ptr<Barrier> barrier_;   ///< shards_ parties, one per phase gap
+  mutable Stats merged_stats_;
+  mutable bool stats_dirty_ = true;
 
   // Scratch request lists rebuilt each allocation iteration:
   // per router, per output port, candidate (input port, vc) pairs.

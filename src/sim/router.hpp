@@ -3,6 +3,14 @@
 // staging queues with credit counters, and the flit/credit delay lines of
 // the attached outgoing channel. The allocation logic lives in Network
 // (it needs global state for arrivals and credits).
+//
+// Every piece of state here has exactly one writer per step phase (see the
+// phase/thread-safety contract in sim/network.hpp): an OutputPort's channel
+// is filled by its owning router (transmission) and drained by the unique
+// downstream router it feeds (arrivals); its credit_return line is filled
+// by that same downstream router (allocation) and drained by the owner
+// (arrivals). That single-producer/single-consumer structure is what makes
+// router-sharded stepping race-free without any locking.
 
 #include <vector>
 
@@ -34,6 +42,12 @@ struct OutputPort {
 
 struct InputPort {
   std::vector<VcBuffer> vcs;
+  /// Upstream (router, output port) feeding this input, or (-1, -1) for
+  /// injection ports. Lets the arrivals phase *pull* from the one channel
+  /// that targets it, keeping every buffer write local to the router that
+  /// owns it when stepping is sharded.
+  int src_router = -1;
+  int src_port = -1;
   int occupancy() const {
     int total = 0;
     for (const auto& b : vcs) total += b.size();

@@ -17,6 +17,16 @@ constexpr RoutingKind kAllRoutingKinds[] = {
     RoutingKind::Minimal,        RoutingKind::Valiant,
     RoutingKind::UgalL,          RoutingKind::UgalG,
     RoutingKind::DragonflyUgalL, RoutingKind::FatTreeAnca};
+
+// Names the concrete topology the caller handed over — "DF-UGAL-L requires
+// a dragonfly topology; got \"SlimFly MMS q=5\" (family slimfly)" — so CLI
+// users can fix their spec string without reading the source.
+std::string unsupported_message(RoutingKind kind, const Topology& topo) {
+  const std::string family = topo::family_of(topo);
+  return to_string(kind) + " requires a " + routing_requirement(kind) +
+         " topology; got \"" + topo.name() + "\"" +
+         (family.empty() ? "" : " (family " + family + ")");
+}
 }  // namespace
 
 std::string to_string(RoutingKind kind) {
@@ -35,7 +45,14 @@ RoutingKind routing_kind_from_string(const std::string& name) {
   for (RoutingKind kind : kAllRoutingKinds) {
     if (to_string(kind) == name) return kind;
   }
-  throw std::invalid_argument("unknown routing \"" + name + "\"");
+  // Self-serve CLI errors: name the offending string and every valid one.
+  std::string known;
+  for (RoutingKind kind : kAllRoutingKinds) {
+    if (!known.empty()) known += ", ";
+    known += to_string(kind);
+  }
+  throw std::invalid_argument("unknown routing \"" + name + "\" (known: " +
+                              known + ")");
 }
 
 std::vector<std::string> routing_names() {
@@ -83,13 +100,13 @@ RoutingBundle make_routing(RoutingKind kind, const Topology& topo,
       break;
     case RoutingKind::DragonflyUgalL: {
       const auto* df = dynamic_cast<const Dragonfly*>(&topo);
-      if (!df) throw std::invalid_argument("DF-UGAL-L requires a Dragonfly topology");
+      if (!df) throw std::invalid_argument(unsupported_message(kind, topo));
       bundle.algorithm = make_dragonfly_ugal_l(*df, *bundle.distances);
       break;
     }
     case RoutingKind::FatTreeAnca: {
       const auto* ft = dynamic_cast<const FatTree3*>(&topo);
-      if (!ft) throw std::invalid_argument("FT-ANCA requires a FatTree3 topology");
+      if (!ft) throw std::invalid_argument(unsupported_message(kind, topo));
       bundle.algorithm = std::make_unique<FatTreeAncaRouting>(*ft);
       break;
     }

@@ -15,6 +15,17 @@ void Stats::record_delivery(std::int64_t latency, std::int64_t network_latency,
   }
 }
 
+void Stats::merge(const Stats& other) {
+  latencies_.insert(latencies_.end(), other.latencies_.begin(),
+                    other.latencies_.end());
+  network_latencies_.insert(network_latencies_.end(),
+                            other.network_latencies_.begin(),
+                            other.network_latencies_.end());
+  measured_generated_ += other.measured_generated_;
+  measured_delivered_ += other.measured_delivered_;
+  total_delivered_ += other.total_delivered_;
+}
+
 double Stats::average_network_latency() const {
   if (network_latencies_.empty()) return 0.0;
   std::int64_t sum = 0;

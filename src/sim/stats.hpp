@@ -14,6 +14,12 @@ class Stats {
   void record_delivery(std::int64_t latency, std::int64_t network_latency,
                        bool measured);
 
+  /// Absorbs another accumulator (per-shard collection during
+  /// router-parallel stepping). Every consumer of the merged latency pool
+  /// is order-independent — integer sums, sorted percentiles, max — so the
+  /// merged result is bit-identical no matter how deliveries were sharded.
+  void merge(const Stats& other);
+
   void set_measured_generated(std::int64_t count) { measured_generated_ = count; }
   std::int64_t measured_generated() const { return measured_generated_; }
   std::int64_t measured_delivered() const { return measured_delivered_; }

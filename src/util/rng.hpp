@@ -64,4 +64,25 @@ class Rng {
   std::uint64_t inc_;
 };
 
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mix used to derive
+/// independent seeds (per experiment point, per router, per endpoint) from
+/// a base seed plus an integer identity. Sequential ids land far apart in
+/// PCG32 state space, so derived streams are effectively uncorrelated.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic RNG stream `stream_id` of a family tagged `tag` under
+/// `seed`: hash-seeded and on its own PCG32 stream, so streams never
+/// overlap regardless of how many draws each one makes. The tag separates
+/// families sharing a seed (router streams vs endpoint streams).
+inline Rng rng_stream(std::uint64_t seed, std::uint64_t tag,
+                      std::uint64_t stream_id) {
+  return Rng(splitmix64(seed ^ splitmix64(tag + stream_id)),
+             (tag << 32) + stream_id);
+}
+
 }  // namespace slimfly

@@ -94,4 +94,31 @@ void parallel_for_checked(ThreadPool& pool, std::size_t n,
   }
 }
 
+Barrier::Barrier(std::size_t parties) : parties_(parties == 0 ? 1 : parties) {}
+
+void Barrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::uint64_t my_generation = generation_;
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != my_generation; });
+}
+
+void run_region(ThreadPool& pool, std::size_t workers,
+                const std::function<void(std::size_t)>& body) {
+  if (workers <= 1) {
+    body(0);
+    return;
+  }
+  for (std::size_t w = 1; w < workers; ++w) {
+    pool.submit([&body, w] { body(w); });
+  }
+  body(0);
+  pool.wait_idle();
+}
+
 }  // namespace slimfly

@@ -201,6 +201,32 @@ TEST(RoutingRegistry, SupportMatchesRequirement) {
   EXPECT_EQ(bundle.algorithm->name(), "UGAL-G");
 }
 
+TEST(RoutingRegistry, ErrorsNameTheOffendingSpec) {
+  // CLI users must be able to self-serve from the message alone: it names
+  // the string they typed and the valid alternatives, not just an enum.
+  try {
+    sim::routing_kind_from_string("UGAL");  // plausible typo
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("\"UGAL\""), std::string::npos) << msg;
+    EXPECT_NE(msg.find("UGAL-L"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("FT-ANCA"), std::string::npos) << msg;
+  }
+  // Routing on the wrong topology: the message names the topology it
+  // actually got and its registry family.
+  sf::SlimFlyMMS sf(5);
+  try {
+    sim::make_routing(sim::RoutingKind::FatTreeAnca, sf);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("FT-ANCA"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(sf.name()), std::string::npos) << msg;
+    EXPECT_NE(msg.find("slimfly"), std::string::npos) << msg;
+  }
+}
+
 TEST(TrafficRegistry, RoundTripEveryName) {
   sf::SlimFlyMMS sf(5);
   Dragonfly df(2, 4, 2, 9);

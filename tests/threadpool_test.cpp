@@ -68,6 +68,52 @@ TEST(ParallelForChecked, NoThrowBehavesLikeParallelFor) {
   EXPECT_EQ(counter.load(), 100);
 }
 
+TEST(Barrier, SynchronizesRepeatedRounds) {
+  // Workers iterate rounds with a barrier between them; if the barrier
+  // failed to hold back a fast worker, it would observe a stale round
+  // counter written by a straggler.
+  constexpr std::size_t kWorkers = 4;
+  constexpr int kRounds = 50;
+  ThreadPool pool(kWorkers - 1);
+  Barrier barrier(kWorkers);
+  std::vector<std::vector<int>> seen(kWorkers);
+  std::atomic<int> round_sum{0};
+  run_region(pool, kWorkers, [&](std::size_t w) {
+    for (int round = 0; round < kRounds; ++round) {
+      round_sum.fetch_add(1);
+      barrier.arrive_and_wait();
+      // Every worker has contributed to this round before anyone reads.
+      seen[w].push_back(round_sum.load());
+      barrier.arrive_and_wait();
+    }
+  });
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    ASSERT_EQ(seen[w].size(), static_cast<std::size_t>(kRounds));
+    for (int round = 0; round < kRounds; ++round) {
+      EXPECT_EQ(seen[w][static_cast<std::size_t>(round)],
+                static_cast<int>(kWorkers) * (round + 1))
+          << "worker " << w << " round " << round;
+    }
+  }
+}
+
+TEST(RunRegion, RunsEveryWorkerExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(4);
+  run_region(pool, 4, [&](std::size_t w) { hits[w].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(RunRegion, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  std::size_t calls = 0;
+  run_region(pool, 1, [&](std::size_t w) {
+    EXPECT_EQ(w, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
 TEST(Rng, DeterministicStreams) {
   Rng a(1), b(1), c(2);
   EXPECT_EQ(a.next_u32(), b.next_u32());
