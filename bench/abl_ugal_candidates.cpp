@@ -2,41 +2,35 @@
 // candidates UGAL draws per packet. The paper compared 2-10 and found 4
 // empirically best for average latency; this bench regenerates the sweep
 // on uniform and worst-case traffic.
+//
+// Declarative since the suite-file PR: the candidate count rides the
+// routing spec string ("UGAL-L:c=8"), so the whole ablation is one
+// ExperimentSpec on the engine. The same grid is checked in as
+// examples/suites/abl_ugal.json for `sweep --config`.
 
 #include "bench_common.hpp"
 
-#include "sim/routing/ugal.hpp"
+int main() {
+  using namespace slimfly;
+  const std::string topo =
+      bench::paper_scale() ? "slimfly:q=19" : "slimfly:q=7";
 
-namespace slimfly::bench {
-namespace {
-
-void run() {
-  sf::SlimFlyMMS topo(paper_scale() ? 19 : 7);
-  sim::SimConfig cfg = make_sim_config();
-  auto dist = std::make_shared<sim::DistanceTable>(topo.graph());
-  Table table = latency_table();
-
+  exp::ExperimentSpec spec;
+  spec.name = "abl_ugal";
+  spec.loads = {0.1, 0.3, 0.5, 0.7, 0.9};
+  spec.config = bench::make_sim_config();
   for (int candidates : {1, 2, 4, 8}) {
-    for (auto mode : {sim::UgalMode::Local, sim::UgalMode::Global}) {
-      sim::UgalRouting routing(topo, *dist, mode, candidates);
-      std::string tag = routing.name() + "-c" + std::to_string(candidates);
-      std::vector<double> loads = {0.1, 0.3, 0.5, 0.7, 0.9};
-      sweep_into_table(table, tag + "-rand", topo, routing,
-                       [&] { return sim::make_uniform(topo.num_endpoints()); },
-                       cfg, loads);
-      sweep_into_table(table, tag + "-worst", topo, routing,
-                       [&] { return sim::make_worst_case_sf(topo); }, cfg,
-                       loads);
-      std::cout << "  [abl_ugal] " << tag << " done\n" << std::flush;
+    for (const char* mode : {"UGAL-L", "UGAL-G"}) {
+      const std::string routing =
+          std::string(mode) + ":c=" + std::to_string(candidates);
+      const std::string tag =
+          std::string(mode) + "-c" + std::to_string(candidates);
+      spec.series.push_back({topo, routing, "uniform", tag + "-rand", {}});
+      spec.series.push_back({topo, routing, "worst-sf", tag + "-worst", {}});
     }
   }
-  print_table("abl_ugal", "UGAL candidate-count ablation (Section IV-C)", table);
-}
 
-}  // namespace
-}  // namespace slimfly::bench
-
-int main() {
-  slimfly::bench::run();
+  bench::run_experiment(spec,
+                        "UGAL candidate-count ablation (Section IV-C)");
   return 0;
 }

@@ -1,36 +1,31 @@
 // Ablation (paper Section IV-B): constraining Valiant paths to at most 3
 // hops. The paper reports the constraint *increases* average latency by
 // limiting path diversity; this bench regenerates the comparison.
+//
+// Declarative since the suite-file PR: the hop cap rides the routing spec
+// string ("VAL:hoplimit=3"). The same grid is checked in as
+// examples/suites/abl_valiant.json for `sweep --config`.
+
+#include <cstring>
 
 #include "bench_common.hpp"
 
-#include "sim/routing/valiant.hpp"
-
-namespace slimfly::bench {
-namespace {
-
-void run() {
-  sf::SlimFlyMMS topo(paper_scale() ? 19 : 7);
-  sim::SimConfig cfg = make_sim_config();
-  auto dist = std::make_shared<sim::DistanceTable>(topo.graph());
-  Table table = latency_table();
-
-  sim::ValiantRouting val(topo, *dist);
-  sim::ValiantRouting val3(topo, *dist, 3);
-  for (auto* routing : {&val, &val3}) {
-    sweep_into_table(table, routing->name() + "-rand", topo, *routing,
-                     [&] { return sim::make_uniform(topo.num_endpoints()); }, cfg);
-    sweep_into_table(table, routing->name() + "-worst", topo, *routing,
-                     [&] { return sim::make_worst_case_sf(topo); }, cfg);
-    std::cout << "  [abl_val] " << routing->name() << " done\n" << std::flush;
-  }
-  print_table("abl_val", "Valiant hop-limit ablation (Section IV-B)", table);
-}
-
-}  // namespace
-}  // namespace slimfly::bench
-
 int main() {
-  slimfly::bench::run();
+  using namespace slimfly;
+  const std::string topo =
+      bench::paper_scale() ? "slimfly:q=19" : "slimfly:q=7";
+
+  exp::ExperimentSpec spec;
+  spec.name = "abl_val";
+  spec.loads = bench::bench_loads();
+  spec.config = bench::make_sim_config();
+  for (const char* routing : {"VAL", "VAL:hoplimit=3"}) {
+    const std::string tag =
+        std::strcmp(routing, "VAL") ? "VAL-3" : "VAL";
+    spec.series.push_back({topo, routing, "uniform", tag + "-rand", {}});
+    spec.series.push_back({topo, routing, "worst-sf", tag + "-worst", {}});
+  }
+
+  bench::run_experiment(spec, "Valiant hop-limit ablation (Section IV-B)");
   return 0;
 }

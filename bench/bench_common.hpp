@@ -108,9 +108,11 @@ inline void print_table(const std::string& tag, const std::string& title,
 
 /// Runs a spec on the engine, prints the table + CSV, writes
 /// BENCH_<spec.name>.json, and reports points/threads/wall time.
+/// `threads` 0 defers to SF_THREADS / hardware (the engine's own policy).
 inline void run_experiment(const exp::ExperimentSpec& spec,
-                           const std::string& title) {
-  exp::ExperimentEngine engine;
+                           const std::string& title,
+                           std::size_t threads = 0) {
+  exp::ExperimentEngine engine(threads);
   Timer timer;
   // Progress heartbeat: paper-scale runs take hours, so echo each finished
   // point (matches the old per-series "done" lines, at finer grain).

@@ -2,35 +2,30 @@
 // latency under worst-case traffic with Valiant routing.
 // Expected shape: smaller buffers -> lower in-network latency (stiff
 // backpressure), larger buffers -> higher sustainable bandwidth.
+//
+// Declarative since the suite-file PR: the buffer size is a per-series
+// SimConfig override, so the whole study is one ExperimentSpec on the
+// engine. The same grid is checked in as examples/suites/fig08a_buffers.json
+// for `sweep --config`.
 
 #include "bench_common.hpp"
 
-namespace slimfly::bench {
-namespace {
+int main() {
+  using namespace slimfly;
+  const std::string topo =
+      bench::paper_scale() ? "slimfly:q=19" : "slimfly:q=7";
 
-void run() {
-  EvalTrio trio = make_eval_trio();
-  sim::SimConfig base_cfg = make_sim_config();
-  Table table = latency_table();
-
-  auto dist = std::make_shared<sim::DistanceTable>(trio.sf->graph());
+  exp::ExperimentSpec spec;
+  spec.name = "fig08a";
+  spec.loads = bench::bench_loads();
+  spec.config = bench::make_sim_config();
   for (int buffers : {8, 16, 32, 64, 128, 256}) {
-    sim::SimConfig cfg = base_cfg;
-    cfg.buffer_per_port = buffers;
-    auto bundle = sim::make_routing(sim::RoutingKind::Valiant, *trio.sf, dist);
-    sweep_into_table(table, "buf" + std::to_string(buffers), *trio.sf,
-                     *bundle.algorithm,
-                     [&] { return sim::make_worst_case_sf(*trio.sf); }, cfg);
-    std::cout << "  [fig08a] buffers=" << buffers << " done\n" << std::flush;
+    spec.series.push_back(
+        {topo, "VAL", "worst-sf", "buf" + std::to_string(buffers),
+         {{"buffer_per_port", static_cast<double>(buffers)}}});
   }
 
-  print_table("fig08a", "Buffer size study, worst-case traffic (Figure 8a)", table);
-}
-
-}  // namespace
-}  // namespace slimfly::bench
-
-int main() {
-  slimfly::bench::run();
+  bench::run_experiment(spec,
+                        "Buffer size study, worst-case traffic (Figure 8a)");
   return 0;
 }

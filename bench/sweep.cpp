@@ -1,22 +1,29 @@
 // Generic spec-driven sweep driver: any (topology x routing x traffic x
-// load) scenario from the command line, no new binary required.
+// load) scenario from the command line or a suite file, no new binary
+// required.
 //
 //   sweep --topo torus:dims=8x8x8 --traffic stencil3d
 //   sweep --topo slimfly:q=7 --topo hypercube:n=9 \
-//         --routing MIN --routing UGAL-L --traffic uniform --loads 0.2,0.5,0.8
-//   sweep --topo slimfly:q=19 --loads 0.5 --intra 0   # one big point,
-//                                                     # router-parallel
+//         --routing MIN --routing UGAL-L:c=8 --traffic uniform --loads 0.2,0.5
+//   sweep --config examples/suites/fig06a.json --scale small
+//   sweep --name t --topo slimfly:q=5 --emit-config t.json   # export, no run
+//   sweep diff tests/golden/BENCH_golden_mini.json BENCH_golden_mini.json
 //   sweep --list
 //
 // Axes repeat; the engine runs the compatible cross-product over all cores
 // (SF_THREADS to override) and writes BENCH_<name>.json. The spec-string
-// grammar for every axis is documented in docs/SPEC_GRAMMAR.md.
+// grammar and the suite-file schema are documented in docs/SPEC_GRAMMAR.md.
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "bench_common.hpp"
+#include "exp/diff.hpp"
+#include "exp/suite.hpp"
 
 namespace {
 
@@ -40,6 +47,18 @@ std::vector<double> parse_loads(const std::string& csv) {
   return loads;
 }
 
+double parse_tolerance(const std::string& value, const char* flag) {
+  std::size_t pos = 0;
+  double v = std::stod(value, &pos);
+  // stod happily parses "nan" (which fails every comparison) and "inf"
+  // (which would wave every regression through) — both defeat the gate.
+  if (pos != value.size() || !std::isfinite(v) || v < 0.0) {
+    throw std::invalid_argument(std::string("malformed ") + flag + " \"" +
+                                value + "\" (want a finite number >= 0)");
+  }
+  return v;
+}
+
 void print_registries() {
   using namespace slimfly;
   std::cout << "topologies (topo::make specs):\n";
@@ -48,7 +67,9 @@ void print_registries() {
               << topo::parse_spec(spec).family << ")\n";
   std::cout << "routings:\n ";
   for (const auto& name : sim::routing_names()) std::cout << " " << name;
-  std::cout << "\ntraffics:\n ";
+  std::cout << "\n  (UGAL-L/UGAL-G take :c=<1..64>, VAL takes"
+               " :hoplimit=<1..255>)\n";
+  std::cout << "traffics:\n ";
   for (const auto& name : sim::traffic_names()) std::cout << " " << name;
   std::cout << "\n";
 }
@@ -56,19 +77,71 @@ void print_registries() {
 int usage(const char* argv0, int exit_code) {
   std::cout
       << "usage: " << argv0
-      << " [--name TAG] [--topo SPEC]... [--routing NAME]...\n"
+      << " [--name TAG] [--topo SPEC]... [--routing SPEC]...\n"
          "       [--traffic NAME]... [--loads L1,L2,...] [--seed N]\n"
          "       [--intra N] [--no-truncate] [--list] [--help]\n"
+         "   or: " << argv0
+      << " --config SUITE.json [--scale NAME] [--name TAG]\n"
+         "       [--seed N] [--intra N] [--no-truncate]\n"
+         "   or: " << argv0
+      << " ... --emit-config PATH   (write the suite JSON, run nothing;\n"
+         "       PATH \"-\" = stdout)\n"
+         "   or: " << argv0
+      << " diff A.json B.json [--rel-tol R] [--abs-tol A]\n"
+         "       [--allow-missing] [--verbose]\n"
          "defaults: the Section V evaluation trio, MIN routing, uniform\n"
          "traffic, the Figure 6 load grid, SF_BENCH_SCALE-dependent cycles.\n"
+         "--config: run a suite file (checked-in suites: examples/suites/);\n"
+         "  --scale picks one of its named scales (default: SF_BENCH_SCALE\n"
+         "  when the suite declares it, else the suite's own default).\n"
+         "diff: join two BENCH_*.json trajectories on run-point identity\n"
+         "  and exit 1 on any out-of-tolerance delta or missing point\n"
+         "  (defaults demand exact equality; wall time is never gated).\n"
          "--intra N: router-parallel workers inside each point (0 = auto\n"
          "  split with the across-point level; default SF_INTRA_THREADS or\n"
          "  1). Results are bit-identical for every worker count.\n"
          "env: SF_THREADS (across-point workers, 0/unset = all cores),\n"
          "  SF_INTRA_THREADS (as --intra), SF_BENCH_SCALE (small|paper).\n"
-         "Spec-string grammar for every axis: docs/SPEC_GRAMMAR.md;\n"
+         "Spec-string grammar and suite schema: docs/SPEC_GRAMMAR.md;\n"
          "paper->code map and engine internals: docs/ARCHITECTURE.md.\n";
   return exit_code;
+}
+
+int run_diff(int argc, char** argv) {
+  using namespace slimfly;
+  std::vector<std::string> files;
+  exp::DiffOptions options;
+  bool verbose = false;
+  auto next_arg = [&](int& i) -> const char* {
+    if (i + 1 >= argc) throw std::invalid_argument("missing value for flag");
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--rel-tol")) {
+      options.rel_tol = parse_tolerance(next_arg(i), "--rel-tol");
+    } else if (!std::strcmp(argv[i], "--abs-tol")) {
+      options.abs_tol = parse_tolerance(next_arg(i), "--abs-tol");
+    } else if (!std::strcmp(argv[i], "--allow-missing")) {
+      options.allow_missing = true;
+    } else if (!std::strcmp(argv[i], "--verbose")) {
+      verbose = true;
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0], 2);
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.size() != 2) {
+    std::cerr << "error: diff needs exactly two BENCH_*.json files\n";
+    return 2;
+  }
+  exp::Trajectory a = exp::load_bench_file(files[0]);
+  exp::Trajectory b = exp::load_bench_file(files[1]);
+  std::cout << "diff " << files[0] << " (" << a.points.size() << " points) vs "
+            << files[1] << " (" << b.points.size() << " points)\n";
+  exp::DiffReport report = exp::diff_trajectories(a, b, options);
+  exp::print_diff(std::cout, report, verbose);
+  return report.passed ? 0 : 1;
 }
 
 }  // namespace
@@ -76,11 +149,22 @@ int usage(const char* argv0, int exit_code) {
 int main(int argc, char** argv) {
   using namespace slimfly;
 
-  std::string name = "sweep";
+  if (argc > 1 && !std::strcmp(argv[1], "diff")) {
+    try {
+      return run_diff(argc, argv);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  std::string name;
   std::vector<std::string> topos, routings, traffics;
-  std::vector<double> loads = bench::bench_loads();
-  sim::SimConfig cfg = bench::make_sim_config();
-  bool truncate = true;
+  std::vector<double> loads;
+  std::string config_path, scale, emit_path;
+  std::optional<std::uint64_t> seed;
+  std::optional<int> intra;
+  bool truncate = true, truncate_flag = false;
 
   auto next_arg = [&](int& i) -> const char* {
     if (i + 1 >= argc) throw std::invalid_argument("missing value for flag");
@@ -103,6 +187,12 @@ int main(int argc, char** argv) {
         traffics.push_back(next_arg(i));
       } else if (!std::strcmp(argv[i], "--loads")) {
         loads = parse_loads(next_arg(i));
+      } else if (!std::strcmp(argv[i], "--config")) {
+        config_path = next_arg(i);
+      } else if (!std::strcmp(argv[i], "--scale")) {
+        scale = next_arg(i);
+      } else if (!std::strcmp(argv[i], "--emit-config")) {
+        emit_path = next_arg(i);
       } else if (!std::strcmp(argv[i], "--seed")) {
         std::string value = next_arg(i);
         // Digits only: stoull would silently wrap a negative to a huge seed.
@@ -110,7 +200,7 @@ int main(int argc, char** argv) {
             value.find_first_not_of("0123456789") != std::string::npos) {
           throw std::invalid_argument("malformed seed \"" + value + "\"");
         }
-        cfg.seed = std::stoull(value);
+        seed = std::stoull(value);
       } else if (!std::strcmp(argv[i], "--intra")) {
         std::string value = next_arg(i);
         // Same bounds as the SF_INTRA_THREADS policy: digits only, and a
@@ -121,26 +211,84 @@ int main(int argc, char** argv) {
           throw std::invalid_argument("malformed --intra \"" + value +
                                       "\" (want 0..4096; 0 = auto)");
         }
-        cfg.intra_threads = static_cast<int>(std::stoul(value));
+        intra = static_cast<int>(std::stoul(value));
       } else if (!std::strcmp(argv[i], "--no-truncate")) {
         truncate = false;
+        truncate_flag = true;
       } else {
         return usage(argv[0], 2);
       }
     }
 
-    if (topos.empty()) topos = bench::eval_trio_specs();
-    if (routings.empty()) routings = {"MIN"};
-    if (traffics.empty()) traffics = {"uniform"};
-
-    auto spec = exp::ExperimentSpec::cross(name, topos, routings, traffics,
-                                           loads, cfg);
-    spec.truncate_at_saturation = truncate;
+    exp::ExperimentSpec spec;
+    std::size_t threads_hint = 0;
+    if (!config_path.empty()) {
+      if (!topos.empty() || !routings.empty() || !traffics.empty() ||
+          !loads.empty()) {
+        throw std::invalid_argument(
+            "--config cannot be combined with --topo/--routing/--traffic/"
+            "--loads (use --emit-config to turn a CLI invocation into a "
+            "suite file and edit that)");
+      }
+      exp::Suite suite = exp::load_suite_file(config_path);
+      // Scale precedence: --scale flag, then SF_BENCH_SCALE when the suite
+      // declares that scale, then the suite's own default.
+      if (scale.empty()) {
+        const char* env = std::getenv("SF_BENCH_SCALE");
+        if (env && *env && suite.scales.count(env)) scale = env;
+      }
+      spec = exp::suite_to_spec(suite, scale);
+      threads_hint = suite.threads;
+      if (!name.empty()) spec.name = name;
+      if (truncate_flag) spec.truncate_at_saturation = truncate;
+      // Intra-point precedence mirrors the CLI path: --intra flag, then an
+      // explicit suite value, then SF_INTRA_THREADS, then sequential — so
+      // the CI regression matrix's intra axis reaches --config runs too.
+      if (!intra && !exp::suite_sets_config_key(suite, scale, "intra_threads")) {
+        spec.config.intra_threads = exp::intra_threads_from_env();
+      }
+    } else {
+      if (!scale.empty()) {
+        throw std::invalid_argument("--scale requires --config");
+      }
+      if (topos.empty()) topos = bench::eval_trio_specs();
+      if (routings.empty()) routings = {"MIN"};
+      if (traffics.empty()) traffics = {"uniform"};
+      if (loads.empty()) loads = bench::bench_loads();
+      spec = exp::ExperimentSpec::cross(name.empty() ? "sweep" : name, topos,
+                                        routings, traffics, loads,
+                                        bench::make_sim_config());
+      spec.truncate_at_saturation = truncate;
+    }
+    if (seed) spec.config.seed = *seed;
+    if (intra) spec.config.intra_threads = *intra;
     if (spec.series.empty()) {
       std::cerr << "no compatible (topology, routing, traffic) combination\n";
       return 1;
     }
-    bench::run_experiment(spec, "command-line sweep");
+
+    if (!emit_path.empty()) {
+      const std::string text =
+          exp::serialize_suite(exp::suite_from_spec(spec, threads_hint));
+      if (emit_path == "-") {
+        std::cout << text;
+      } else {
+        std::ofstream os(emit_path);
+        if (!os) {
+          throw std::invalid_argument("cannot write \"" + emit_path + "\"");
+        }
+        os << text;
+        std::cout << "wrote " << emit_path << " (" << spec.series.size()
+                  << " series x " << spec.loads.size() << " loads)\n";
+      }
+      return 0;
+    }
+
+    // Across-point worker precedence: SF_THREADS env, then the suite's
+    // hint, then all hardware threads (the engine's own fallback).
+    std::size_t threads = exp::threads_from_env();
+    if (threads == 0) threads = threads_hint;
+    bench::run_experiment(spec, "command-line sweep", threads);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

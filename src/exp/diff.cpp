@@ -1,0 +1,256 @@
+#include "exp/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "exp/json.hpp"
+
+namespace slimfly::exp {
+namespace {
+
+std::string json_num(double v) { return json::number(v); }
+
+double number_field(const json::Value& obj, const char* key,
+                    const std::string& context) {
+  const json::Value* v = obj.find(key);
+  if (!v) {
+    throw std::invalid_argument(context + ": missing \"" + key + "\"");
+  }
+  return v->as_number(context + "." + key);
+}
+
+bool within(double a, double b, const DiffOptions& options) {
+  return std::abs(a - b) <=
+         options.abs_tol + options.rel_tol * std::max(std::abs(a), std::abs(b));
+}
+
+}  // namespace
+
+std::string TrajectoryPoint::key() const {
+  return (label.empty() ? topology + "|" + routing + "|" + traffic : label) +
+         " @ " + json_num(load);
+}
+
+Trajectory parse_bench_json(const std::string& text,
+                            const std::string& origin) {
+  const std::string ctx = origin.empty() ? "bench json" : origin;
+  json::Value root = json::parse(text, origin);
+  if (!root.is_object()) {
+    throw std::invalid_argument(ctx + ": expected a BENCH object at top level");
+  }
+  Trajectory out;
+  if (const json::Value* v = root.find("experiment")) {
+    out.experiment = v->as_string(ctx + ".experiment");
+  }
+  const json::Value* series = root.find("series");
+  if (!series) {
+    throw std::invalid_argument(ctx + ": missing \"series\" array");
+  }
+  std::unordered_set<std::string> seen;
+  const auto& items = series->as_array(ctx + ".series");
+  for (std::size_t s = 0; s < items.size(); ++s) {
+    const std::string sctx = ctx + ".series[" + std::to_string(s) + "]";
+    const json::Value& entry = items[s];
+    entry.as_object(sctx);
+    TrajectoryPoint base;
+    if (const json::Value* v = entry.find("label")) {
+      base.label = v->as_string(sctx + ".label");
+    }
+    if (const json::Value* v = entry.find("topology")) {
+      base.topology = v->as_string(sctx + ".topology");
+    }
+    if (const json::Value* v = entry.find("routing")) {
+      base.routing = v->as_string(sctx + ".routing");
+    }
+    if (const json::Value* v = entry.find("traffic")) {
+      base.traffic = v->as_string(sctx + ".traffic");
+    }
+    const json::Value* points = entry.find("points");
+    if (!points) {
+      throw std::invalid_argument(sctx + ": missing \"points\" array");
+    }
+    const auto& pitems = points->as_array(sctx + ".points");
+    for (std::size_t p = 0; p < pitems.size(); ++p) {
+      const std::string pctx = sctx + ".points[" + std::to_string(p) + "]";
+      const json::Value& pv = pitems[p];
+      pv.as_object(pctx);
+      TrajectoryPoint point = base;
+      point.load = number_field(pv, "load", pctx);
+      const json::Value* seed = pv.find("seed");
+      point.seed = seed ? seed->as_uint64(pctx + ".seed") : 0;
+      if (const json::Value* v = pv.find("wall_seconds")) {
+        point.wall_seconds = v->as_number(pctx + ".wall_seconds");
+      }
+      point.latency = number_field(pv, "latency", pctx);
+      point.network_latency = number_field(pv, "network_latency", pctx);
+      point.p99_latency = number_field(pv, "p99_latency", pctx);
+      point.accepted = number_field(pv, "accepted", pctx);
+      point.delivered =
+          static_cast<std::int64_t>(number_field(pv, "delivered", pctx));
+      const json::Value* saturated = pv.find("saturated");
+      if (!saturated) {
+        throw std::invalid_argument(pctx + ": missing \"saturated\"");
+      }
+      point.saturated = saturated->as_bool(pctx + ".saturated");
+      if (!seen.insert(point.key()).second) {
+        throw std::invalid_argument(ctx + ": duplicate run-point identity \"" +
+                                    point.key() +
+                                    "\" (labels must disambiguate series)");
+      }
+      out.points.push_back(std::move(point));
+    }
+  }
+  return out;
+}
+
+Trajectory load_bench_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::invalid_argument("cannot read BENCH file \"" + path + "\"");
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return parse_bench_json(buffer.str(), path);
+}
+
+Trajectory trajectory_of(const ExperimentSpec& spec,
+                         const std::vector<RunResult>& results) {
+  Trajectory out;
+  out.experiment = spec.name;
+  for (const RunResult& r : results) {
+    const SeriesSpec& s = spec.series.at(r.series_index);
+    TrajectoryPoint point;
+    point.label = s.display_label();
+    point.topology = s.topology;
+    point.routing = s.routing;
+    point.traffic = s.traffic;
+    point.load = r.load;
+    point.seed = r.seed;
+    point.wall_seconds = r.wall_seconds;
+    point.latency = r.result.avg_latency;
+    point.network_latency = r.result.avg_network_latency;
+    point.p99_latency = r.result.p99_latency;
+    point.accepted = r.result.accepted_load;
+    point.delivered = r.result.delivered;
+    point.saturated = r.result.saturated;
+    out.points.push_back(std::move(point));
+  }
+  return out;
+}
+
+DiffReport diff_trajectories(const Trajectory& a, const Trajectory& b,
+                             const DiffOptions& options) {
+  DiffReport report;
+  std::unordered_map<std::string, const TrajectoryPoint*> b_index;
+  for (const TrajectoryPoint& point : b.points) {
+    b_index.emplace(point.key(), &point);
+  }
+  std::unordered_set<std::string> joined;
+  for (const TrajectoryPoint& pa : a.points) {
+    auto it = b_index.find(pa.key());
+    if (it == b_index.end()) {
+      report.only_in_a.push_back(pa.key());
+      continue;
+    }
+    const TrajectoryPoint& pb = *it->second;
+    joined.insert(pa.key());
+    PointDelta delta;
+    delta.key = pa.key();
+    delta.wall_a = pa.wall_seconds;
+    delta.wall_b = pb.wall_seconds;
+    delta.metrics = {
+        {"latency", pa.latency, pb.latency, false},
+        {"network_latency", pa.network_latency, pb.network_latency, false},
+        {"p99_latency", pa.p99_latency, pb.p99_latency, false},
+        {"accepted", pa.accepted, pb.accepted, false},
+        {"delivered", static_cast<double>(pa.delivered),
+         static_cast<double>(pb.delivered), false},
+    };
+    for (MetricDelta& metric : delta.metrics) {
+      metric.out_of_tolerance = !within(metric.a, metric.b, options);
+      if (metric.out_of_tolerance) delta.out_of_tolerance = true;
+    }
+    delta.seed_mismatch = pa.seed != pb.seed;
+    delta.saturated_flip = pa.saturated != pb.saturated;
+    // A different seed means the runs are not the same experiment, and a
+    // saturation flip changes which points the grid even keeps — neither is
+    // a "small delta", so no tolerance applies.
+    if (delta.seed_mismatch || delta.saturated_flip) {
+      delta.out_of_tolerance = true;
+    }
+    if (delta.out_of_tolerance) ++report.regressions;
+    ++report.compared;
+    report.points.push_back(std::move(delta));
+  }
+  for (const TrajectoryPoint& pb : b.points) {
+    if (joined.find(pb.key()) == joined.end()) {
+      report.only_in_b.push_back(pb.key());
+    }
+  }
+  const bool missing = !report.only_in_a.empty() || !report.only_in_b.empty();
+  report.passed = report.regressions == 0 &&
+                  (options.allow_missing || !missing) && report.compared > 0;
+  return report;
+}
+
+void print_diff(std::ostream& os, const DiffReport& report, bool verbose) {
+  double wall_a = 0.0, wall_b = 0.0;
+  for (const PointDelta& delta : report.points) {
+    wall_a += delta.wall_a;
+    wall_b += delta.wall_b;
+    if (!delta.out_of_tolerance && !verbose) continue;
+    os << (delta.out_of_tolerance ? "FAIL " : "ok   ") << delta.key << "\n";
+    for (const MetricDelta& metric : delta.metrics) {
+      if (!metric.out_of_tolerance && !verbose) continue;
+      os << "       " << metric.name << ": " << json_num(metric.a) << " -> "
+         << json_num(metric.b) << " (delta " << json_num(metric.b - metric.a)
+         << (metric.out_of_tolerance ? ", OUT OF TOLERANCE)" : ")") << "\n";
+    }
+    if (delta.seed_mismatch) {
+      os << "       seed differs (not the same experiment)\n";
+    }
+    if (delta.saturated_flip) os << "       saturated flag flipped\n";
+    if (verbose || delta.out_of_tolerance) {
+      os << "       wall: " << json_num(delta.wall_a) << "s -> "
+         << json_num(delta.wall_b) << "s (informational)\n";
+    }
+  }
+  for (const std::string& key : report.only_in_a) {
+    os << "MISSING in B: " << key << "\n";
+  }
+  for (const std::string& key : report.only_in_b) {
+    os << "MISSING in A: " << key << "\n";
+  }
+  os << "compared " << report.compared << " points: " << report.regressions
+     << " out of tolerance, " << report.only_in_a.size() << " only in A, "
+     << report.only_in_b.size() << " only in B; total wall "
+     << json_num(wall_a) << "s -> " << json_num(wall_b)
+     << "s (not gated)\n";
+  os << (report.passed ? "PASS" : "FAIL") << "\n";
+}
+
+std::string golden_trajectory(const ExperimentSpec& spec,
+                              const std::vector<RunResult>& results) {
+  std::ostringstream os;
+  os << "# golden trajectory v1: label|topology|routing|traffic|load|seed|"
+        "latency|network_latency|p99_latency|accepted|delivered|saturated\n";
+  for (const RunResult& r : results) {
+    const SeriesSpec& s = spec.series.at(r.series_index);
+    os << s.display_label() << '|' << s.topology << '|' << s.routing << '|'
+       << s.traffic << '|' << json_num(r.load) << '|' << r.seed << '|'
+       << json_num(r.result.avg_latency) << '|'
+       << json_num(r.result.avg_network_latency) << '|'
+       << json_num(r.result.p99_latency) << '|'
+       << json_num(r.result.accepted_load) << '|' << r.result.delivered << '|'
+       << (r.result.saturated ? "yes" : "no") << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace slimfly::exp

@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "exp/json.hpp"
 #include "sim/simulation.hpp"
 #include "topo/registry.hpp"
 #include "topo/topology.hpp"
@@ -72,18 +73,76 @@ std::string json_escape(const std::string& s) {
 
 std::string csv_field(const std::string& s) { return Table::csv_quote(s); }
 
-std::string json_num(double v) {
-  std::ostringstream ss;
-  ss.precision(12);
-  ss << v;
-  return ss.str();
-}
+// Shortest exact round-trip (exp/json.hpp): BENCH files and CSVs must
+// reload to the same bits or golden comparison would chase phantom ULPs.
+std::string json_num(double v) { return json::number(v); }
 
 }  // namespace
 
 std::string SeriesSpec::display_label() const {
   if (!label.empty()) return label;
   return topology + "|" + routing + "|" + traffic;
+}
+
+sim::SimConfig apply_config_overrides(sim::SimConfig base,
+                                      const ConfigOverrides& overrides,
+                                      bool allow_run_keys,
+                                      const std::string& context) {
+  auto integral = [&](const std::string& key, double v, double min,
+                      double max) -> long long {
+    if (!(v >= min && v <= max) || v != static_cast<double>(static_cast<long long>(v))) {
+      throw std::invalid_argument(context + ": config key \"" + key +
+                                  "\" must be an integer in " + json_num(min) +
+                                  ".." + json_num(max) + " (got " +
+                                  json_num(v) + ")");
+    }
+    return static_cast<long long>(v);
+  };
+  for (const auto& [key, value] : overrides) {
+    if (key == "num_vcs") {
+      base.num_vcs = static_cast<int>(integral(key, value, 1, 64));
+    } else if (key == "buffer_per_port") {
+      base.buffer_per_port = static_cast<int>(integral(key, value, 1, 1 << 20));
+    } else if (key == "channel_latency") {
+      base.channel_latency = static_cast<int>(integral(key, value, 1, 1024));
+    } else if (key == "router_pipeline") {
+      base.router_pipeline = static_cast<int>(integral(key, value, 1, 64));
+    } else if (key == "credit_delay") {
+      base.credit_delay = static_cast<int>(integral(key, value, 0, 1024));
+    } else if (key == "alloc_iterations") {
+      base.alloc_iterations = static_cast<int>(integral(key, value, 1, 64));
+    } else if (key == "output_staging") {
+      base.output_staging = static_cast<int>(integral(key, value, 1, 4096));
+    } else if (key == "warmup_cycles") {
+      base.warmup_cycles = integral(key, value, 0, 1e12);
+    } else if (key == "measure_cycles") {
+      base.measure_cycles = integral(key, value, 1, 1e12);
+    } else if (key == "drain_cycles") {
+      base.drain_cycles = integral(key, value, 0, 1e12);
+    } else if (key == "latency_cap") {
+      if (!(value > 0)) {
+        throw std::invalid_argument(context +
+                                    ": config key \"latency_cap\" must be "
+                                    "positive (got " + json_num(value) + ")");
+      }
+      base.latency_cap = value;
+    } else if (allow_run_keys && key == "seed") {
+      // Doubles carry integers exactly up to 2^53 — far beyond any seed in
+      // use; suite files wanting full 64 bits should derive via --seed.
+      base.seed = static_cast<std::uint64_t>(integral(key, value, 0, 9007199254740992.0));
+    } else if (allow_run_keys && key == "intra_threads") {
+      base.intra_threads = static_cast<int>(integral(key, value, 0, 4096));
+    } else {
+      throw std::invalid_argument(
+          context + ": unknown config key \"" + key +
+          "\" (known: num_vcs, buffer_per_port, channel_latency, "
+          "router_pipeline, credit_delay, alloc_iterations, output_staging, "
+          "warmup_cycles, measure_cycles, drain_cycles, latency_cap" +
+          (allow_run_keys ? ", seed, intra_threads)" :
+                            "; seed and intra_threads are experiment-level)"));
+    }
+  }
+  return base;
 }
 
 ExperimentSpec ExperimentSpec::cross(std::string name,
@@ -100,12 +159,12 @@ ExperimentSpec ExperimentSpec::cross(std::string name,
     const std::string family = topo::parse_spec(topo_spec).family;
     for (const auto& routing : routings) {
       const std::string need =
-          sim::routing_requirement(sim::routing_kind_from_string(routing));
+          sim::routing_requirement(sim::parse_routing_spec(routing).kind);
       if (!need.empty() && need != family) continue;
       for (const auto& traffic : traffics) {
         const std::string tneed = sim::traffic_requirement(traffic);
         if (!tneed.empty() && tneed != family) continue;
-        spec.series.push_back({topo_spec, routing, traffic, ""});
+        spec.series.push_back({topo_spec, routing, traffic, "", {}});
       }
     }
   }
@@ -117,6 +176,12 @@ std::uint64_t point_seed(const ExperimentSpec& spec, std::size_t series_index,
   const SeriesSpec& s = spec.series.at(series_index);
   std::uint64_t h = fnv1a(s.topology, 1469598103934665603ULL);
   h = fnv1a("|" + s.routing + "|" + s.traffic, h);
+  // Config overrides are part of a series' identity (Figure 8a's buffer
+  // study runs the same topo/routing/traffic six times); an empty map keeps
+  // every pre-override seed unchanged.
+  for (const auto& [key, value] : s.config_overrides) {
+    h = fnv1a("|" + key + "=" + json_num(value), h);
+  }
   h = splitmix64(h ^ spec.config.seed);
   return splitmix64(h + load_index);
 }
@@ -198,7 +263,6 @@ std::vector<RunResult> ExperimentEngine::run(const ExperimentSpec& spec,
   std::vector<TopoEntry> topos;
   std::unordered_map<std::string, std::size_t> topo_index;
   std::vector<std::size_t> series_topo;
-  std::vector<sim::RoutingKind> series_kind;
   series_topo.reserve(spec.series.size());
   const auto known_traffics = sim::traffic_names();
   for (const auto& s : spec.series) {
@@ -213,7 +277,7 @@ std::vector<RunResult> ExperimentEngine::run(const ExperimentSpec& spec,
     }
     topo::validate_spec(s.topology);
     const std::string family = topo::parse_spec(s.topology).family;
-    sim::RoutingKind kind = sim::routing_kind_from_string(s.routing);
+    sim::RoutingKind kind = sim::parse_routing_spec(s.routing).kind;
     const std::string need = sim::routing_requirement(kind);
     if (!need.empty() && need != family) {
       throw std::invalid_argument("experiment \"" + spec.name +
@@ -226,12 +290,15 @@ std::vector<RunResult> ExperimentEngine::run(const ExperimentSpec& spec,
                                   "\": traffic " + s.traffic +
                                   " cannot run on topology " + s.topology);
     }
+    // Validate per-series overrides before any expensive build, too.
+    apply_config_overrides(spec.config, s.config_overrides, false,
+                           "experiment \"" + spec.name + "\" series \"" +
+                               s.display_label() + "\"");
     auto [it, inserted] = topo_index.emplace(s.topology, topos.size());
     if (inserted) topos.push_back({s.topology, false, nullptr, nullptr});
     if (kind != sim::RoutingKind::FatTreeAnca)
       topos[it->second].needs_distances = true;
     series_topo.push_back(it->second);
-    series_kind.push_back(kind);
   }
 
   for_indices(topos.size(), threads_, [&](std::size_t i) {
@@ -254,9 +321,10 @@ std::vector<RunResult> ExperimentEngine::run(const ExperimentSpec& spec,
     PreparedSeries ps;
     ps.topo = entry.topo.get();
     ps.label = spec.series[i].display_label();
-    ps.make_routing = [kind = series_kind[i], topo = entry.topo.get(),
-                       dist = entry.distances]() {
-      auto bundle = sim::make_routing(kind, *topo, dist);
+    ps.config_overrides = spec.series[i].config_overrides;
+    ps.make_routing = [routing = spec.series[i].routing,
+                       topo = entry.topo.get(), dist = entry.distances]() {
+      auto bundle = sim::make_routing_spec(routing, *topo, dist);
       // The closure's `dist` copy outlives every point, so the algorithm's
       // reference into the shared table stays valid.
       return std::shared_ptr<sim::RoutingAlgorithm>(std::move(bundle.algorithm));
@@ -282,6 +350,10 @@ std::vector<RunResult> ExperimentEngine::run_prepared(
   auto run_point = [&](std::size_t s, std::size_t l) {
     const PreparedSeries& series = prepared.series[s];
     sim::SimConfig cfg = prepared.config;
+    if (!series.config_overrides.empty()) {
+      cfg = apply_config_overrides(cfg, series.config_overrides, false,
+                                   "series \"" + series.label + "\"");
+    }
     cfg.intra_threads = intra;  // resolved by schedule(), never 0 here
     if (prepared.seed_fn) cfg.seed = prepared.seed_fn(s, l);
     auto routing = series.make_routing();

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -52,12 +53,33 @@ class Topology;
 
 namespace slimfly::exp {
 
+/// String-keyed SimConfig overrides ("buffer_per_port": 128, ...), the
+/// mechanism behind per-series parameter studies (Figure 8a's buffer sweep)
+/// and suite-file config blocks. Ordered so serialization is deterministic.
+using ConfigOverrides = std::map<std::string, double>;
+
+/// Applies overrides onto `base`. Keys are the SimConfig field names
+/// (num_vcs, buffer_per_port, channel_latency, router_pipeline,
+/// credit_delay, alloc_iterations, output_staging, warmup_cycles,
+/// measure_cycles, drain_cycles, latency_cap); with `allow_run_keys` also
+/// seed and intra_threads (suite-level blocks own those; per-series blocks
+/// must not). Unknown keys and non-integral values for integer fields throw
+/// std::invalid_argument naming the key and `context`.
+sim::SimConfig apply_config_overrides(sim::SimConfig base,
+                                      const ConfigOverrides& overrides,
+                                      bool allow_run_keys,
+                                      const std::string& context);
+
 /// One latency-vs-load curve, every axis a registry string.
 struct SeriesSpec {
   std::string topology;  ///< topo::make spec, e.g. "slimfly:q=19"
-  std::string routing;   ///< routing name, e.g. "UGAL-L"
+  std::string routing;   ///< routing spec, e.g. "UGAL-L" or "UGAL-L:c=8"
   std::string traffic;   ///< traffic name, e.g. "uniform"
   std::string label;     ///< row label; "" means topology|routing|traffic
+  /// SimConfig deviations for this series only (see apply_config_overrides);
+  /// empty for the common case. Feeds the per-point seed so two series
+  /// differing only in config draw different streams.
+  ConfigOverrides config_overrides;
   std::string display_label() const;
 };
 
@@ -117,6 +139,8 @@ struct PreparedSeries {
   /// Fresh traffic instance per point (patterns carry per-run state).
   std::function<std::unique_ptr<sim::TrafficPattern>()> make_traffic;
   std::string label;
+  /// Applied onto the experiment's SimConfig for this series' points.
+  ConfigOverrides config_overrides;
 };
 
 struct PreparedExperiment {

@@ -120,6 +120,87 @@ RoutingBundle make_routing(const std::string& name, const Topology& topo,
                       std::move(distances));
 }
 
+namespace {
+
+// Strict positive-integer read for routing spec parameters; `what` names the
+// spec and key so the message is self-serve ("routing spec \"VAL:hoplimit=x\":
+// hoplimit must be an integer in 1..255").
+int parse_routing_param(const std::string& value, int min, int max,
+                        const std::string& what) {
+  bool ok = !value.empty() && value.size() <= 6 &&
+            value.find_first_not_of("0123456789") == std::string::npos;
+  long parsed = ok ? std::stol(value) : 0;
+  if (!ok || parsed < min || parsed > max) {
+    throw std::invalid_argument(what + " must be an integer in " +
+                                std::to_string(min) + ".." +
+                                std::to_string(max) + " (got \"" + value +
+                                "\")");
+  }
+  return static_cast<int>(parsed);
+}
+
+}  // namespace
+
+RoutingSpec parse_routing_spec(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  RoutingSpec out;
+  out.kind = routing_kind_from_string(spec.substr(0, colon));
+  if (colon == std::string::npos) return out;
+
+  const std::string context = "routing spec \"" + spec + "\"";
+  std::string params = spec.substr(colon + 1);
+  std::size_t start = 0;
+  while (start <= params.size()) {
+    std::size_t end = params.find(',', start);
+    std::string part = params.substr(
+        start, end == std::string::npos ? std::string::npos : end - start);
+    std::size_t eq = part.find('=');
+    if (part.empty() || eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument(context + ": expected key=value, got \"" +
+                                  part + "\"");
+    }
+    const std::string key = part.substr(0, eq);
+    const std::string value = part.substr(eq + 1);
+    if ((out.kind == RoutingKind::UgalL || out.kind == RoutingKind::UgalG) &&
+        key == "c") {
+      out.ugal_candidates =
+          parse_routing_param(value, 1, 64, context + ": c");
+    } else if (out.kind == RoutingKind::Valiant && key == "hoplimit") {
+      out.val_hop_limit =
+          parse_routing_param(value, 1, 255, context + ": hoplimit");
+    } else {
+      throw std::invalid_argument(
+          context + ": unknown parameter \"" + key + "\" for " +
+          to_string(out.kind) +
+          " (UGAL-L/UGAL-G take c=<1..64>, VAL takes hoplimit=<1..255>; "
+          "other routings take none)");
+    }
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+RoutingBundle make_routing_spec(const std::string& spec, const Topology& topo,
+                                std::shared_ptr<const DistanceTable> distances) {
+  const RoutingSpec parsed = parse_routing_spec(spec);
+  RoutingBundle bundle = make_routing(parsed.kind, topo, std::move(distances));
+  // Rebuild the two parameterizable algorithms when a non-default parameter
+  // was requested; the bundle already holds the shared distance table.
+  if (parsed.kind == RoutingKind::Valiant && parsed.val_hop_limit) {
+    bundle.algorithm = std::make_unique<ValiantRouting>(topo, *bundle.distances,
+                                                        parsed.val_hop_limit);
+  } else if ((parsed.kind == RoutingKind::UgalL ||
+              parsed.kind == RoutingKind::UgalG) &&
+             parsed.ugal_candidates != 4) {
+    bundle.algorithm = std::make_unique<UgalRouting>(
+        topo, *bundle.distances,
+        parsed.kind == RoutingKind::UgalL ? UgalMode::Local : UgalMode::Global,
+        parsed.ugal_candidates);
+  }
+  return bundle;
+}
+
 SimResult simulate(const Topology& topo, RoutingAlgorithm& routing,
                    TrafficPattern& traffic, SimConfig config, double load) {
   if (config.num_vcs < routing.max_hops()) config.num_vcs = routing.max_hops();

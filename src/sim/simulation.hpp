@@ -4,6 +4,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,32 @@ RoutingBundle make_routing(RoutingKind kind, const Topology& topo,
 /// String-keyed wrapper: make_routing(routing_kind_from_string(name), ...).
 RoutingBundle make_routing(const std::string& name, const Topology& topo,
                            std::shared_ptr<const DistanceTable> distances = nullptr);
+
+// ---- parameterized routing specs ------------------------------------------
+// The routing analogue of topo::parse_spec: "NAME[:key=value,...]", so the
+// paper's routing ablations (Sections IV-B/IV-C) are registry strings too.
+//
+//   "UGAL-L:c=8"      UGAL with 8 Valiant candidates (c in 1..64; default 4)
+//   "UGAL-G:c=2"
+//   "VAL:hoplimit=3"  Valiant constrained to <= 3 hops (1..255; the paper's
+//                     "at most 3 hops" variant)
+//
+// Every other routing takes no parameters. Unknown names, unknown keys, and
+// out-of-range values throw std::invalid_argument naming the offending spec.
+
+struct RoutingSpec {
+  RoutingKind kind = RoutingKind::Minimal;
+  int ugal_candidates = 4;           ///< UGAL-L / UGAL-G only
+  std::optional<int> val_hop_limit;  ///< VAL only
+};
+
+/// Parses and validates a routing spec string without building anything.
+RoutingSpec parse_routing_spec(const std::string& spec);
+
+/// make_routing honouring spec parameters. A bare name behaves exactly like
+/// make_routing(name, ...).
+RoutingBundle make_routing_spec(const std::string& spec, const Topology& topo,
+                                std::shared_ptr<const DistanceTable> distances = nullptr);
 
 /// Runs one (topology, routing, traffic, load) point.
 SimResult simulate(const Topology& topo, RoutingAlgorithm& routing,

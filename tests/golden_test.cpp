@@ -1,0 +1,107 @@
+// Golden-trajectory regression harness: the pinned examples/suites/
+// golden_mini.json suite is run here and its full stats output compared
+// *exactly* against tests/golden/golden_mini.trajectory. Bit-identical
+// determinism (PR 1/2) makes exact comparison valid; the thread matrix
+// re-checks it under every (across-point x intra-point) worker combination
+// the satellite CI matrix uses.
+//
+// Regenerating after an intentional simulator change:
+//   SF_UPDATE_GOLDEN=1 ./build/golden_test   (rewrites the .trajectory)
+//   ./build/sweep --config examples/suites/golden_mini.json
+//   cp BENCH_golden_mini.json tests/golden/
+// and say so in the PR — a golden change is a results change.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exp/diff.hpp"
+#include "exp/suite.hpp"
+
+namespace slimfly {
+namespace {
+
+std::string source_path(const std::string& rel) {
+  return std::string(SLIMFLY_SOURCE_DIR) + "/" + rel;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+exp::ExperimentSpec golden_spec() {
+  return exp::suite_to_spec(
+      exp::load_suite_file(source_path("examples/suites/golden_mini.json")));
+}
+
+const std::string kTrajectoryPath = "tests/golden/golden_mini.trajectory";
+
+TEST(GoldenTrajectory, MatchesCheckedInTrajectoryExactly) {
+  exp::ExperimentSpec spec = golden_spec();
+  exp::ExperimentEngine engine(1);
+  const std::string got = exp::golden_trajectory(spec, engine.run(spec));
+  if (std::getenv("SF_UPDATE_GOLDEN")) {
+    std::ofstream os(source_path(kTrajectoryPath));
+    ASSERT_TRUE(os.good());
+    os << got;
+    std::cout << "updated " << kTrajectoryPath << "\n";
+    return;
+  }
+  const std::string want = read_file(source_path(kTrajectoryPath));
+  EXPECT_EQ(want, got)
+      << "golden trajectory drifted; if the simulator change is intentional, "
+         "regenerate with SF_UPDATE_GOLDEN=1 (see tests/golden/README.md)";
+}
+
+TEST(GoldenTrajectory, BitIdenticalAcrossThreadMatrix) {
+  exp::ExperimentSpec spec = golden_spec();
+  const std::string want = read_file(source_path(kTrajectoryPath));
+  // SF_THREADS x SF_INTRA_THREADS matrix, constructed directly so the test
+  // is hermetic against the environment. engine(1) with intra=2 clamps to
+  // sequential (one worker owns the whole budget) — still compared.
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (int intra : {1, 2}) {
+      exp::ExperimentSpec run = spec;
+      run.config.intra_threads = intra;
+      exp::ExperimentEngine engine(threads);
+      const std::string got = exp::golden_trajectory(run, engine.run(run));
+      EXPECT_EQ(want, got) << "SF_THREADS=" << threads
+                           << " SF_INTRA_THREADS=" << intra;
+    }
+  }
+}
+
+TEST(GoldenTrajectory, DiffAgainstCheckedInBenchPasses) {
+  exp::ExperimentSpec spec = golden_spec();
+  exp::ExperimentEngine engine(2);
+  exp::Trajectory now = exp::trajectory_of(spec, engine.run(spec));
+  exp::Trajectory golden =
+      exp::load_bench_file(source_path("tests/golden/BENCH_golden_mini.json"));
+  exp::DiffReport report = exp::diff_trajectories(golden, now);
+  if (!report.passed) {
+    std::ostringstream os;
+    exp::print_diff(os, report, false);
+    FAIL() << "sweep-diff regression against tests/golden/"
+              "BENCH_golden_mini.json:\n"
+           << os.str();
+  }
+  EXPECT_EQ(report.compared, 10u);  // 5 series x 2 loads, no truncation
+}
+
+TEST(GoldenTrajectory, PerturbedTrajectoryIsCaught) {
+  exp::Trajectory golden =
+      exp::load_bench_file(source_path("tests/golden/BENCH_golden_mini.json"));
+  exp::Trajectory perturbed = golden;
+  perturbed.points.at(3).latency += 1e-9;  // even an ULP-scale drift fails
+  EXPECT_FALSE(exp::diff_trajectories(golden, perturbed).passed);
+}
+
+}  // namespace
+}  // namespace slimfly

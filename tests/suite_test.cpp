@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/json.hpp"
+#include "exp/suite.hpp"
+#include "sim/simulation.hpp"
+
+namespace slimfly {
+namespace {
+
+std::string source_path(const std::string& rel) {
+  return std::string(SLIMFLY_SOURCE_DIR) + "/" + rel;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+/// Expects parse_suite (or a later expansion step) to throw an
+/// invalid_argument whose message contains every needle — the named-error
+/// contract: a user can fix the file from the message alone.
+void expect_parse_error(const std::string& text,
+                        const std::vector<std::string>& needles) {
+  try {
+    exp::Suite suite = exp::parse_suite(text);
+    exp::suite_to_spec(suite);
+    FAIL() << "expected invalid_argument for: " << text;
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    for (const auto& needle : needles) {
+      EXPECT_NE(msg.find(needle), std::string::npos)
+          << "message \"" << msg << "\" lacks \"" << needle << "\"";
+    }
+  }
+}
+
+// ---- checked-in suites ------------------------------------------------------
+
+TEST(SuiteFiles, EveryCheckedInSuiteParsesAndExpands) {
+  for (const char* name :
+       {"fig06a", "fig06b", "fig06c", "fig06d", "fig08a_buffers", "fig08be",
+        "abl_ugal", "abl_valiant", "golden_mini"}) {
+    const std::string path =
+        source_path("examples/suites/" + std::string(name) + ".json");
+    exp::Suite suite = exp::load_suite_file(path);
+    exp::ExperimentSpec spec = exp::suite_to_spec(suite);
+    EXPECT_FALSE(spec.series.empty()) << path;
+    EXPECT_FALSE(spec.loads.empty()) << path;
+  }
+}
+
+TEST(SuiteFiles, Fig06aScalesExpandToExpectedPointCounts) {
+  exp::Suite suite =
+      exp::load_suite_file(source_path("examples/suites/fig06a.json"));
+  exp::ExperimentSpec small = exp::suite_to_spec(suite, "small");
+  exp::ExperimentSpec paper = exp::suite_to_spec(suite, "paper");
+  // The Figure 6 grid: 6 series (SF x 4 routings, DF, FT) x 10 loads at
+  // both scales — only the topologies and cycle windows change.
+  EXPECT_EQ(small.series.size(), 6u);
+  EXPECT_EQ(paper.series.size(), 6u);
+  EXPECT_EQ(small.series.size() * small.loads.size(), 60u);
+  EXPECT_EQ(paper.series.size() * paper.loads.size(), 60u);
+  EXPECT_EQ(small.series[0].topology, "slimfly:q=7");
+  EXPECT_EQ(paper.series[0].topology, "slimfly:q=19");
+  EXPECT_EQ(small.config.warmup_cycles, 800);
+  EXPECT_EQ(paper.config.warmup_cycles, 3000);
+  EXPECT_EQ(paper.config.drain_cycles, 40000);
+  // Default scale is small.
+  EXPECT_EQ(exp::suite_to_spec(suite).series[0].topology, "slimfly:q=7");
+}
+
+TEST(SuiteFiles, AblationSuitesCarryParameterizedRoutings) {
+  exp::Suite ugal =
+      exp::load_suite_file(source_path("examples/suites/abl_ugal.json"));
+  exp::ExperimentSpec small = exp::suite_to_spec(ugal, "small");
+  exp::ExperimentSpec paper = exp::suite_to_spec(ugal, "paper");
+  // 4 candidate counts x {local, global} x {uniform, worst-sf}.
+  EXPECT_EQ(small.series.size(), 16u);
+  EXPECT_EQ(paper.series.size(), 16u);
+  EXPECT_EQ(small.series.size() * small.loads.size(), 80u);
+  sim::RoutingSpec parsed = sim::parse_routing_spec(small.series[0].routing);
+  EXPECT_EQ(parsed.ugal_candidates, 1);
+
+  exp::Suite val =
+      exp::load_suite_file(source_path("examples/suites/abl_valiant.json"));
+  exp::ExperimentSpec vspec = exp::suite_to_spec(val);
+  ASSERT_EQ(vspec.series.size(), 4u);
+  EXPECT_EQ(vspec.series[2].routing, "VAL:hoplimit=3");
+  EXPECT_EQ(*sim::parse_routing_spec("VAL:hoplimit=3").val_hop_limit, 3);
+}
+
+TEST(SuiteFiles, Fig08aCarriesPerSeriesBufferOverrides) {
+  exp::Suite suite =
+      exp::load_suite_file(source_path("examples/suites/fig08a_buffers.json"));
+  exp::ExperimentSpec spec = exp::suite_to_spec(suite);
+  ASSERT_EQ(spec.series.size(), 6u);
+  EXPECT_EQ(spec.series[0].config_overrides.at("buffer_per_port"), 8.0);
+  EXPECT_EQ(spec.series[5].config_overrides.at("buffer_per_port"), 256.0);
+  // Overrides feed the per-point seed: same axes, different buffers, so
+  // the six series must not share streams.
+  EXPECT_NE(exp::point_seed(spec, 0, 0), exp::point_seed(spec, 1, 0));
+}
+
+// ---- round-trip -------------------------------------------------------------
+
+TEST(SuiteRoundTrip, SerializeParseReproducesSpec) {
+  exp::ExperimentSpec spec;
+  spec.name = "rt";
+  spec.loads = {0.1, 0.25};
+  spec.config.seed = 42;
+  spec.config.warmup_cycles = 77;
+  spec.config.buffer_per_port = 48;
+  spec.truncate_at_saturation = false;
+  spec.series = {{"slimfly:q=5", "UGAL-L:c=2", "uniform", "lab", {}},
+                 {"slimfly:q=5", "VAL", "worst-sf", "", {{"num_vcs", 8.0}}}};
+
+  exp::Suite suite = exp::suite_from_spec(spec, 3);
+  const std::string text = exp::serialize_suite(suite);
+  exp::Suite reparsed = exp::parse_suite(text);
+  EXPECT_EQ(reparsed.threads, 3u);
+  exp::ExperimentSpec back = exp::suite_to_spec(reparsed);
+
+  EXPECT_EQ(back.name, spec.name);
+  EXPECT_EQ(back.loads, spec.loads);
+  EXPECT_EQ(back.truncate_at_saturation, spec.truncate_at_saturation);
+  EXPECT_EQ(back.config.seed, spec.config.seed);
+  EXPECT_EQ(back.config.warmup_cycles, spec.config.warmup_cycles);
+  EXPECT_EQ(back.config.buffer_per_port, spec.config.buffer_per_port);
+  EXPECT_EQ(back.config.num_vcs, spec.config.num_vcs);
+  EXPECT_EQ(back.config.latency_cap, spec.config.latency_cap);
+  ASSERT_EQ(back.series.size(), spec.series.size());
+  for (std::size_t i = 0; i < spec.series.size(); ++i) {
+    EXPECT_EQ(back.series[i].topology, spec.series[i].topology);
+    EXPECT_EQ(back.series[i].routing, spec.series[i].routing);
+    EXPECT_EQ(back.series[i].traffic, spec.series[i].traffic);
+    EXPECT_EQ(back.series[i].label, spec.series[i].label);
+    EXPECT_EQ(back.series[i].config_overrides,
+              spec.series[i].config_overrides);
+  }
+  // Identical series + config => identical per-point seeds, hence
+  // bit-identical runs without executing anything here.
+  EXPECT_EQ(exp::point_seed(back, 1, 1), exp::point_seed(spec, 1, 1));
+}
+
+// ---- negative / fuzz --------------------------------------------------------
+
+TEST(SuiteParser, MalformedJsonNamesLineAndColumn) {
+  expect_parse_error("{", {"line 1", "unexpected end of input"});
+  expect_parse_error("", {"unexpected end of input"});
+  expect_parse_error("[1, 2]", {"expected a suite object"});
+  expect_parse_error("{\"suite\": }", {"col 11", "unexpected character"});
+  expect_parse_error("{} trailing", {"trailing characters"});
+  expect_parse_error("{\"suite\": \"x\", \"suite\": \"y\"}",
+                     {"duplicate object key \"suite\""});
+  expect_parse_error("{\"suite\": \"a\nb\"}", {"raw control character"});
+  // "01" parses as "0" then chokes on the stray digit (no leading zeros).
+  expect_parse_error("{\"suite\": 01}", {"col 12", "expected ',' or '}'"});
+}
+
+TEST(SuiteParser, UnknownNamesAreNamedErrorsNeverDefaults) {
+  const char* base =
+      "{\"suite\": \"x\", \"loads\": [0.1], \"series\": "
+      "[{\"topology\": \"%T%\", \"routing\": \"%R%\", \"traffic\": \"%F%\"}]}";
+  auto with = [&](const std::string& t, const std::string& r,
+                  const std::string& f) {
+    std::string text = base;
+    text.replace(text.find("%T%"), 3, t);
+    text.replace(text.find("%R%"), 3, r);
+    text.replace(text.find("%F%"), 3, f);
+    return text;
+  };
+  // Unknown registry names: the message carries the PR 2 registry errors.
+  expect_parse_error(with("nosuch:q=5", "MIN", "uniform"), {"nosuch"});
+  expect_parse_error(with("slimfly:q=5", "UGAL", "uniform"),
+                     {"unknown routing \"UGAL\"", "UGAL-L", "FT-ANCA"});
+  expect_parse_error(with("slimfly:q=5", "MIN", "unifrom"),
+                     {"unknown traffic \"unifrom\""});
+  // Bad routing parameters.
+  expect_parse_error(with("slimfly:q=5", "UGAL-L:c=0", "uniform"),
+                     {"UGAL-L:c=0", "1..64"});
+  expect_parse_error(with("slimfly:q=5", "VAL:hoplimit=x", "uniform"),
+                     {"hoplimit", "1..255"});
+  expect_parse_error(with("slimfly:q=5", "MIN:c=4", "uniform"),
+                     {"unknown parameter \"c\" for MIN"});
+  // Incompatible explicit series are rejected, not silently skipped.
+  expect_parse_error(with("slimfly:q=5", "FT-ANCA", "uniform"),
+                     {"FT-ANCA", "slimfly:q=5"});
+  expect_parse_error(with("slimfly:q=5", "MIN", "worst-df"),
+                     {"worst-df", "slimfly:q=5"});
+}
+
+TEST(SuiteParser, StructuralErrorsAreNamed) {
+  expect_parse_error("{\"suite\": \"x\", \"loads\": [0.1], \"zzz\": 1, "
+                     "\"series\": [{\"topology\": \"slimfly:q=5\", "
+                     "\"routing\": \"MIN\", \"traffic\": \"uniform\"}]}",
+                     {"unknown key \"zzz\""});
+  expect_parse_error("{\"suite\": \"x/y\", \"loads\": [0.1]}",
+                     {"not a valid tag"});
+  expect_parse_error("{\"suite\": \"x\", \"loads\": []}",
+                     {"empty load list"});
+  expect_parse_error("{\"suite\": \"x\", \"loads\": [-0.1]}",
+                     {"must be positive"});
+  expect_parse_error("{\"suite\": \"x\", \"loads\": [0.1]}",
+                     {"\"series\", \"cross\", or both"});
+  expect_parse_error(
+      "{\"suite\": \"x\", \"loads\": [0.1], \"config\": {\"zz\": 1}, "
+      "\"series\": [{\"topology\": \"slimfly:q=5\", \"routing\": \"MIN\", "
+      "\"traffic\": \"uniform\"}]}",
+      {"unknown config key \"zz\"", "buffer_per_port"});
+  // Per-series config blocks must not smuggle run-level keys.
+  expect_parse_error(
+      "{\"suite\": \"x\", \"loads\": [0.1], \"series\": "
+      "[{\"topology\": \"slimfly:q=5\", \"routing\": \"MIN\", "
+      "\"traffic\": \"uniform\", \"config\": {\"seed\": 3}}]}",
+      {"unknown config key \"seed\"", "experiment-level"});
+  // Scale references must be declared.
+  expect_parse_error(
+      "{\"suite\": \"x\", \"loads\": [0.1], \"series\": "
+      "[{\"topology\": {\"big\": \"slimfly:q=5\"}, \"routing\": \"MIN\", "
+      "\"traffic\": \"uniform\"}]}",
+      {"scale \"big\"", "not declared"});
+  expect_parse_error(
+      "{\"suite\": \"x\", \"scale\": \"paper\", \"loads\": [0.1], "
+      "\"series\": [{\"topology\": \"slimfly:q=5\", \"routing\": \"MIN\", "
+      "\"traffic\": \"uniform\"}]}",
+      {"default scale \"paper\"", "not declared"});
+  expect_parse_error(
+      "{\"suite\": \"x\", \"loads\": [0.1], \"threads\": 9999, \"series\": "
+      "[{\"topology\": \"slimfly:q=5\", \"routing\": \"MIN\", "
+      "\"traffic\": \"uniform\"}]}",
+      {"threads", "0..4096"});
+  // Wrong value kinds name the path and both kinds.
+  expect_parse_error("{\"suite\": 5, \"loads\": [0.1]}",
+                     {"suite", "expected string, got number"});
+  expect_parse_error("{\"suite\": \"x\", \"loads\": 0.1}",
+                     {"loads", "expected array, got number"});
+}
+
+TEST(SuiteParser, UnknownScaleAtExpansionListsAvailable) {
+  exp::Suite suite =
+      exp::load_suite_file(source_path("examples/suites/fig06a.json"));
+  try {
+    exp::suite_to_spec(suite, "huge");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("\"huge\""), std::string::npos) << msg;
+    EXPECT_NE(msg.find("small"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("paper"), std::string::npos) << msg;
+  }
+}
+
+TEST(SuiteParser, FuzzTruncationsAndMutationsNeverCrash) {
+  const std::string valid =
+      read_file(source_path("examples/suites/golden_mini.json"));
+  ASSERT_FALSE(valid.empty());
+  // Every prefix: either parses (only possible once the closing '}' is in;
+  // shorter prefixes are cut documents) or throws invalid_argument;
+  // anything else (crash, other exception type) fails the test harness.
+  const std::size_t closing = valid.rfind('}');
+  ASSERT_NE(closing, std::string::npos);
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    try {
+      exp::parse_suite(valid.substr(0, len));
+      if (len <= closing) {
+        ADD_FAILURE() << "truncated prefix of length " << len << " parsed";
+      }
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  // Single-character mutations: must yield success or invalid_argument.
+  const std::string mutations = "{}[]\",:x0\x01";
+  for (std::size_t i = 0; i < valid.size(); i += 7) {
+    for (char m : mutations) {
+      std::string text = valid;
+      text[i] = m;
+      try {
+        exp::parse_suite(text);
+      } catch (const std::invalid_argument&) {
+      }
+    }
+  }
+  // Deep nesting is bounded, not stack-exhausting.
+  std::string deep(10000, '[');
+  EXPECT_THROW(exp::json::parse(deep), std::invalid_argument);
+  try {
+    exp::json::parse(deep);
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting"), std::string::npos);
+  }
+}
+
+TEST(RoutingSpecs, ParseAndConstructParameterized) {
+  sim::RoutingSpec spec = sim::parse_routing_spec("UGAL-G:c=8");
+  EXPECT_EQ(spec.kind, sim::RoutingKind::UgalG);
+  EXPECT_EQ(spec.ugal_candidates, 8);
+  EXPECT_FALSE(sim::parse_routing_spec("MIN").val_hop_limit.has_value());
+  EXPECT_THROW(sim::parse_routing_spec("UGAL-L:c=65"), std::invalid_argument);
+  EXPECT_THROW(sim::parse_routing_spec("UGAL-L:"), std::invalid_argument);
+  EXPECT_THROW(sim::parse_routing_spec("VAL:hoplimit="),
+               std::invalid_argument);
+  EXPECT_THROW(sim::parse_routing_spec("NOPE:c=4"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace slimfly
