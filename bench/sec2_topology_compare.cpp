@@ -1,0 +1,53 @@
+// Section 2/7 cross-topology shootout: Slim Fly vs the alternative
+// low-diameter designs the paper argues against (random-shortcut DLN, Long
+// Hop Cayley graphs, random port augmentation) plus Dragonfly, at matched
+// endpoint counts under random and adversarial traffic.
+//
+// Thin wrapper over the checked-in examples/suites/cmp_lowdiameter.json
+// suite — the grid lives in the file, not here. Equivalent invocations:
+//
+//   ./build/sec2_topology_compare                 # default (small) scale
+//   ./build/sec2_topology_compare paper           # the paper-size networks
+//   ./build/sweep --config examples/suites/cmp_lowdiameter.json [--scale s]
+
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "exp/suite.hpp"
+
+namespace {
+
+// The binary runs from build/ in the dev loop and from anywhere in CI, so
+// probe the usual relative locations before the configured source tree.
+std::string find_suite() {
+  const char* candidates[] = {
+      "examples/suites/cmp_lowdiameter.json",
+      "../examples/suites/cmp_lowdiameter.json",
+      SLIMFLY_SOURCE_DIR "/examples/suites/cmp_lowdiameter.json",
+  };
+  for (const char* path : candidates) {
+    if (std::ifstream(path).good()) return path;
+  }
+  throw std::invalid_argument(
+      "cannot find examples/suites/cmp_lowdiameter.json (run from the repo "
+      "root or the build directory)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace slimfly;
+  try {
+    exp::Suite suite = exp::load_suite_file(find_suite());
+    std::string scale = argc > 1 ? argv[1] : "";
+    if (scale.empty() && bench::paper_scale()) scale = "paper";
+    exp::ExperimentSpec spec = exp::suite_to_spec(suite, scale);
+    spec.config.intra_threads = exp::intra_threads_from_env();
+    bench::run_experiment(
+        spec, "Low-diameter topology comparison (Section 2/7 shootout)");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

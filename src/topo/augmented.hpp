@@ -15,13 +15,17 @@ namespace slimfly {
 
 class AugmentedTopology : public Topology {
  public:
+  /// Shared by the constructor default and the registry's seed= fallback.
+  static constexpr std::uint64_t kDefaultSeed = 11;
+
   /// Adds `extra_ports` random links per router on top of `base`'s graph
   /// (near-regular random matching, deduplicated against existing links).
   /// Packaging (racks, concentration) is inherited from the base topology;
   /// pass intra_rack_only=true to restrict new cables to rack-local pairs
   /// (the paper's cheap copper-only option).
   AugmentedTopology(const Topology& base, int extra_ports,
-                    bool intra_rack_only = false, std::uint64_t seed = 11);
+                    bool intra_rack_only = false,
+                    std::uint64_t seed = kDefaultSeed);
 
   std::string name() const override;
   std::string symbol() const override { return base_symbol_ + "+rnd"; }

@@ -65,7 +65,14 @@ Graph Dln::build(int n, int k_net, std::uint64_t seed) {
     g.finalize();
     return g;
   }
-  throw std::runtime_error("Dln: failed to build a near-regular shortcut graph");
+  // Every retry dead-ended: the (n, k) pair leaves too little matching
+  // freedom (e.g. the shortcuts must tile the ring complement exactly).
+  // Name the full configuration so the error maps back to the spec string.
+  throw std::runtime_error(
+      "Dln: no near-regular shortcut matching after 32 attempts (n=" +
+      std::to_string(n) + ", k=" + std::to_string(k_net) + ", seed=" +
+      std::to_string(seed) +
+      ") — the (n, k) pair is infeasible or too tight; widen n or lower k");
 }
 
 Dln::Dln(int num_routers, int network_radix, int concentration, std::uint64_t seed)

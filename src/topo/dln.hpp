@@ -13,10 +13,14 @@ namespace slimfly {
 
 class Dln : public Topology {
  public:
+  /// Shared by the constructor default and the registry's seed= fallback,
+  /// so "dln:..." without seed= and a direct Dln(...) build the same graph.
+  static constexpr std::uint64_t kDefaultSeed = 1;
+
   /// Ring of `num_routers` with shortcuts up to degree `network_radix`.
   /// network_radix >= 3; concentration p per the paper's balancing rule.
   Dln(int num_routers, int network_radix, int concentration,
-      std::uint64_t seed = 1);
+      std::uint64_t seed = kDefaultSeed);
 
   std::string name() const override;
   std::string symbol() const override { return "DLN"; }

@@ -71,6 +71,16 @@ LongHop::Built LongHop::build(int n_dims, int extra, std::uint64_t seed) {
                               return std::find(gens.begin(), gens.end(), v) != gens.end();
                             }),
              pool.end());
+  // The balanced-weight filter caps the distinct candidates well below the
+  // 2^n - n - 1 structural ceiling (e.g. 42 for n=6), so a large `extra`
+  // can exhaust the pool; the greedy loop below must never index past it.
+  if (pool.size() < static_cast<std::size_t>(extra)) {
+    throw std::invalid_argument(
+        "LongHop: only " + std::to_string(pool.size()) +
+        " distinct long-hop generator candidates exist for n=" +
+        std::to_string(n_dims) + ", seed=" + std::to_string(seed) +
+        "; requested extra=" + std::to_string(extra));
+  }
 
   // Greedy: add the candidate with the lowest resulting diameter, breaking
   // ties toward higher Hamming weight (better bisection crossing).

@@ -22,9 +22,12 @@ namespace slimfly {
 
 class LongHop : public Topology {
  public:
+  /// Shared by the constructor default and the registry's seed= fallback.
+  static constexpr std::uint64_t kDefaultSeed = 7;
+
   /// 2^n_dims routers with n_dims + extra_generators network links each.
   LongHop(int n_dims, int extra_generators, int concentration = 1,
-          std::uint64_t seed = 7);
+          std::uint64_t seed = kDefaultSeed);
 
   std::string name() const override;
   std::string symbol() const override { return "LH-HC"; }

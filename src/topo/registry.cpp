@@ -1,15 +1,22 @@
 #include "topo/registry.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
 #include <functional>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
 #include "sf/mms.hpp"
+#include "topo/augmented.hpp"
+#include "topo/dln.hpp"
 #include "topo/dragonfly.hpp"
 #include "topo/fattree.hpp"
 #include "topo/flatbutterfly.hpp"
 #include "topo/hypercube.hpp"
+#include "topo/longhop.hpp"
 #include "topo/torus.hpp"
 
 namespace slimfly::topo {
@@ -19,16 +26,51 @@ namespace {
   throw std::invalid_argument("topology spec \"" + spec + "\": " + why);
 }
 
+// Spec values are canonical decimal digits, nothing else: std::stoi would
+// also take leading whitespace and +/- signs ("torus:dims= 8x8",
+// "hypercube:n=+6"), and such specs would not round-trip through
+// --emit-config. Range-checked here so oversized values fail as parse
+// errors instead of overflowing inside a constructor.
+std::uint64_t to_u64(const std::string& spec, const std::string& key,
+                     const std::string& value, std::uint64_t max) {
+  bool digits = !value.empty() && value.size() <= 20 &&
+                value.find_first_not_of("0123456789") == std::string::npos &&
+                // One canonical spelling per number: "seed=007" would build
+                // the same graph as "seed=7" yet hash to different
+                // per-point streams (exp::point_seed hashes the raw spec).
+                (value.size() == 1 || value[0] != '0');
+  if (digits) {
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (errno == 0 && end == value.c_str() + value.size() && v <= max) return v;
+  }
+  fail(spec, "key \"" + key + "\" needs a canonical integer in 0.." +
+                 std::to_string(max) +
+                 " (plain decimal digits: no sign, whitespace, radix prefix, "
+                 "or leading zeros), got \"" + value + "\"");
+}
+
 int to_int(const std::string& spec, const std::string& key,
            const std::string& value) {
-  try {
-    std::size_t pos = 0;
-    int v = std::stoi(value, &pos);
-    if (pos != value.size()) throw std::invalid_argument(value);
-    return v;
-  } catch (const std::exception&) {
-    fail(spec, "key \"" + key + "\" needs an integer, got \"" + value + "\"");
+  return static_cast<int>(to_u64(
+      spec, key, value,
+      static_cast<std::uint64_t>(std::numeric_limits<int>::max())));
+}
+
+std::vector<int> parse_dims(const std::string& spec, const std::string& key,
+                            const std::string& value) {
+  std::vector<int> dims;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t sep = value.find('x', start);
+    std::string part = value.substr(start, sep - start);
+    if (part.empty()) fail(spec, "malformed dims \"" + value + "\"");
+    dims.push_back(to_int(spec, key, part));
+    if (sep == std::string::npos) break;
+    start = sep + 1;
   }
+  return dims;
 }
 
 /// Consumes params[key]; spec strings must not carry unknown keys, so every
@@ -54,6 +96,19 @@ class Params {
     return v;
   }
 
+  /// Construction seed for the randomized families (dln, longhop,
+  /// augmented). Because the seed is part of the spec string, it is hashed
+  /// into every per-point seed (exp::point_seed hashes the whole spec), so a
+  /// spec string fully identifies the instance *and* its traffic streams.
+  std::uint64_t optional_seed(const std::string& key, std::uint64_t fallback) {
+    auto it = params_.find(key);
+    if (it == params_.end()) return fallback;
+    std::uint64_t v = to_u64(spec_, key, it->second,
+                             std::numeric_limits<std::uint64_t>::max());
+    params_.erase(it);
+    return v;
+  }
+
   std::string optional_str(const std::string& key, std::string fallback) {
     auto it = params_.find(key);
     if (it == params_.end()) return fallback;
@@ -66,17 +121,7 @@ class Params {
   std::vector<int> require_dims(const std::string& key) {
     auto it = params_.find(key);
     if (it == params_.end()) fail(spec_, "missing required key \"" + key + "\"");
-    const std::string& value = it->second;
-    std::vector<int> dims;
-    std::size_t start = 0;
-    while (true) {
-      std::size_t sep = value.find('x', start);
-      std::string part = value.substr(start, sep - start);
-      if (part.empty()) fail(spec_, "malformed dims \"" + value + "\"");
-      dims.push_back(to_int(spec_, key, part));
-      if (sep == std::string::npos) break;
-      start = sep + 1;
-    }
+    std::vector<int> dims = parse_dims(spec_, key, it->second);
     params_.erase(it);
     return dims;
   }
@@ -100,6 +145,9 @@ struct FamilyInfo {
   std::vector<const char*> required;
   std::vector<const char*> optional;
   Factory make;
+  /// Keys whose values are free-form strings ("variant"); every other key
+  /// is numeric and validate_spec checks its syntax without constructing.
+  std::vector<const char*> string_keys = {};
 };
 
 const std::map<std::string, FamilyInfo>& factories() {
@@ -134,7 +182,8 @@ const std::map<std::string, FamilyInfo>& factories() {
             return std::make_unique<FatTree3>(k, FatTreeVariant::Classic);
           fail(spec, "variant must be classic or paperslim, got \"" + variant +
                          "\"");
-        }}},
+        },
+        {"variant"}}},
       {"torus",
        {{"dims"},
         {"c"},
@@ -160,8 +209,90 @@ const std::map<std::string, FamilyInfo>& factories() {
           int conc = p.optional_int("c", 0);
           return std::make_unique<FlattenedButterfly>(n, extent, conc);
         }}},
+      // ---- Section 2/7 comparison topologies --------------------------------
+      // Randomized constructions carry their seed in the spec, so the string
+      // alone reproduces the instance (and, via exp::point_seed, its traffic).
+      {"dln",
+       {{"n", "k", "p"},
+        {"seed"},
+        [](const std::string& spec, Params& p) -> std::unique_ptr<Topology> {
+          int n = p.require_int("n");
+          int k = p.require_int("k");
+          int conc = p.require_int("p");
+          std::uint64_t seed = p.optional_seed("seed", Dln::kDefaultSeed);
+          if (n < 5) fail(spec, "n must be >= 5 (ring of n routers)");
+          if (k < 3 || k >= n) {
+            fail(spec, "k must be in 3..n-1 (2 ring links + k-2 shortcuts "
+                       "per router; got k=" + std::to_string(k) + ", n=" +
+                           std::to_string(n) + ")");
+          }
+          if (conc < 1) fail(spec, "p must be >= 1 (endpoints per router)");
+          return std::make_unique<Dln>(n, k, conc, seed);
+        }}},
+      {"longhop",
+       {{"n", "extra"},
+        {"p", "seed"},
+        [](const std::string& spec, Params& p) -> std::unique_ptr<Topology> {
+          int n = p.require_int("n");
+          int extra = p.require_int("extra");
+          int conc = p.optional_int("p", 1);
+          std::uint64_t seed = p.optional_seed("seed", LongHop::kDefaultSeed);
+          if (n < 3 || n > 20) {
+            fail(spec, "n must be in 3..20 (routers = 2^n; larger Cayley "
+                       "graphs exceed the simulator's scale)");
+          }
+          if (extra < 0 || extra >= (1 << n) - n) {
+            fail(spec, "extra must be in 0.." + std::to_string((1 << n) - n - 1) +
+                           " (long-hop generators beyond the " +
+                           std::to_string(n) + " basis ones; the feasible "
+                           "maximum is lower still — the balanced-weight "
+                           "candidate pool, reported by make() when "
+                           "exceeded)");
+          }
+          if (conc < 1) fail(spec, "p must be >= 1 (endpoints per router)");
+          return std::make_unique<LongHop>(n, extra, conc, seed);
+        }}},
+      {"augmented",
+       {{"q", "extra"},
+        {"p", "seed"},
+        [](const std::string& spec, Params& p) -> std::unique_ptr<Topology> {
+          int q = p.require_int("q");
+          int extra = p.require_int("extra");
+          int conc = p.optional_int("p", 0);
+          std::uint64_t seed = p.optional_seed("seed", AugmentedTopology::kDefaultSeed);
+          if (extra < 1) {
+            fail(spec, "extra must be >= 1 (spare ports carrying random "
+                       "cables on top of the Slim Fly base)");
+          }
+          // The base is a temporary: AugmentedTopology copies the packaging
+          // (racks, concentration) it needs and owns its own graph.
+          sf::SlimFlyMMS base(q, conc);
+          return std::make_unique<AugmentedTopology>(
+              base, extra, /*intra_rack_only=*/false, seed);
+        }}},
   };
   return table;
+}
+
+/// Value-syntax check shared by validate_spec and the Params readers: every
+/// numeric value is canonical decimal digits ("seed" up to 2^64-1, "dims"
+/// 'x'-separated, the rest up to INT_MAX); keys the family declares in
+/// FamilyInfo::string_keys are exempt. Running this in validate_spec means
+/// non-canonical values ("n=+6", "dims= 8x8", "seed=007") are rejected even
+/// on paths that never construct — e.g. `sweep --emit-config` — so emitted
+/// suites always round-trip.
+void check_value_syntax(const std::string& spec, const FamilyInfo& info,
+                        const std::string& key, const std::string& value) {
+  for (const char* s : info.string_keys) {
+    if (key == s) return;
+  }
+  if (key == "dims") {
+    parse_dims(spec, key, value);
+  } else if (key == "seed") {
+    to_u64(spec, key, value, std::numeric_limits<std::uint64_t>::max());
+  } else {
+    to_int(spec, key, value);
+  }
 }
 
 }  // namespace
@@ -173,7 +304,15 @@ ParsedSpec parse_spec(const std::string& spec) {
   if (parsed.family.empty()) fail(spec, "empty family name");
   if (colon == std::string::npos) return parsed;
 
-  std::stringstream ss(spec.substr(colon + 1));
+  const std::string params_str = spec.substr(colon + 1);
+  // getline would silently drop a trailing empty segment, leaving one
+  // instance with two spellings ("hypercube:n=6," vs "hypercube:n=6") that
+  // hash to different per-point streams — same hazard as non-canonical
+  // digits, so reject it here.
+  if (params_str.empty()) fail(spec, "empty parameter list after ':'");
+  if (params_str.back() == ',') fail(spec, "trailing ','");
+
+  std::stringstream ss(params_str);
   std::string pair;
   while (std::getline(ss, pair, ',')) {
     auto eq = pair.find('=');
@@ -195,9 +334,25 @@ std::unique_ptr<Topology> make(const std::string& spec) {
   ParsedSpec parsed = parse_spec(spec);
   auto it = factories().find(parsed.family);
   Params params(spec, std::move(parsed.params));
-  auto topo = it->second.make(spec, params);
-  params.reject_leftovers();
-  return topo;
+  // Semantic errors thrown inside a constructor ("q must be a prime power",
+  // matching exhaustion) don't know which spec asked for them; prefix the
+  // spec so a 30-series suite failure names the offending cell. Messages
+  // already carrying the spec (the factories' own fail() calls) pass
+  // through untouched.
+  auto with_spec = [&](const char* what) {
+    std::string msg = what;
+    if (msg.find(spec) != std::string::npos) return msg;
+    return "topology spec \"" + spec + "\": " + msg;
+  };
+  try {
+    auto topo = it->second.make(spec, params);
+    params.reject_leftovers();
+    return topo;
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(with_spec(e.what()));
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(with_spec(e.what()));
+  }
 }
 
 void validate_spec(const std::string& spec) {
@@ -218,6 +373,7 @@ void validate_spec(const std::string& spec) {
     if (!known(info.required) && !known(info.optional)) {
       fail(spec, "unknown key \"" + key + "\"");
     }
+    check_value_syntax(spec, info, key, value);
   }
 }
 
@@ -234,7 +390,9 @@ std::vector<std::string> registry_names() {
 std::vector<std::string> example_specs() {
   return {"slimfly:q=5",         "dragonfly:p=2,a=4,h=2",
           "fattree:k=4",         "torus:dims=4x4x4",
-          "hypercube:n=6",       "flatbutterfly:n=2,extent=4"};
+          "hypercube:n=6",       "flatbutterfly:n=2,extent=4",
+          "dln:n=36,k=6,p=2",    "longhop:n=5,extra=2",
+          "augmented:q=5,extra=2"};
 }
 
 std::string family_of(const Topology& topo) {
@@ -244,6 +402,9 @@ std::string family_of(const Topology& topo) {
   if (dynamic_cast<const Torus*>(&topo)) return "torus";
   if (dynamic_cast<const Hypercube*>(&topo)) return "hypercube";
   if (dynamic_cast<const FlattenedButterfly*>(&topo)) return "flatbutterfly";
+  if (dynamic_cast<const Dln*>(&topo)) return "dln";
+  if (dynamic_cast<const LongHop*>(&topo)) return "longhop";
+  if (dynamic_cast<const AugmentedTopology*>(&topo)) return "augmented";
   return "";
 }
 

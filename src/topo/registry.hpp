@@ -12,6 +12,17 @@
 //   "torus:dims=8x8x8"        k-ary n-D torus; optional c=<concentration>
 //   "hypercube:n=10"          binary n-cube; optional c=<concentration>
 //   "flatbutterfly:n=3,extent=8"  optional c (0 = balanced = extent)
+//   "dln:n=50,k=7,p=4"        DLN random shortcuts: ring of n routers, k-2
+//                             shortcuts each, p endpoints; optional seed=<u64>
+//   "longhop:n=6,extra=2"     Long Hop Cayley graph over Z_2^n with `extra`
+//                             code generators; optional p, seed
+//   "augmented:q=19,extra=4"  Slim Fly MMS(q) plus `extra` random cables per
+//                             router (Section VII-A); optional p, seed
+//
+// Randomized families (dln, longhop, augmented) default their seed, so a
+// spec string always identifies one concrete instance; pass seed=<u64> for
+// another draw. Values are canonical decimal digits — no signs, whitespace
+// or radix prefixes — so specs round-trip through `sweep --emit-config`.
 //
 // Unknown families and unknown or missing keys throw std::invalid_argument
 // with a message naming the offending spec.
@@ -38,14 +49,18 @@ ParsedSpec parse_spec(const std::string& spec);
 
 /// Builds the topology a spec describes. Throws std::invalid_argument on an
 /// unknown family, a malformed/unknown key, or parameters the topology
-/// constructor rejects.
+/// constructor rejects. One exception to the type: dln's randomized
+/// matching throws std::runtime_error when a feasible-looking (n, k) pair
+/// exhausts its retries (the message names n, k, and seed).
 std::unique_ptr<Topology> make(const std::string& spec);
 
 /// Cheap structural validation without constructing anything: the family is
-/// registered, every required key is present, and no unknown keys appear.
-/// Lets callers fail fast before a minutes-long paper-scale build; value
-/// errors (non-integers, out-of-range parameters) still surface at make().
-/// Throws std::invalid_argument on violation.
+/// registered, every required key is present, no unknown keys appear, and
+/// every value is syntactically canonical (plain digits in range — so specs
+/// round-trip through `sweep --emit-config` without ever being built).
+/// Lets callers fail fast before a minutes-long paper-scale build; semantic
+/// value errors (bad radix/degree pairs, non-prime-power q) still surface
+/// at make(). Throws std::invalid_argument on violation.
 void validate_spec(const std::string& spec);
 
 /// True when `family` names a registered topology family.

@@ -178,6 +178,146 @@ TEST(TopologyRegistry, RejectsMalformedSpecs) {
   EXPECT_THROW(topo::make(":q=5"), std::invalid_argument);
 }
 
+TEST(TopologyRegistry, ValuesAreCanonicalDigitsOnly) {
+  // std::stoi used to wave through leading whitespace and +/- signs; such
+  // specs are not canonical and would not round-trip via --emit-config.
+  EXPECT_THROW(topo::validate_spec("hypercube:n=+6"), std::invalid_argument);
+  EXPECT_THROW(topo::make("hypercube:n=+6"), std::invalid_argument);
+  EXPECT_THROW(topo::make("hypercube:n=-6"), std::invalid_argument);
+  EXPECT_THROW(topo::make("torus:dims= 8x8"), std::invalid_argument);
+  EXPECT_THROW(topo::make("torus:dims=8x 8"), std::invalid_argument);
+  EXPECT_THROW(topo::make("slimfly:q= 5"), std::invalid_argument);
+  EXPECT_THROW(topo::make("slimfly:q=5 "), std::invalid_argument);
+  EXPECT_THROW(topo::make("slimfly:q=0x5"), std::invalid_argument);
+  // Leading zeros or a trailing comma would give one instance two
+  // spellings — and since exp::point_seed hashes the raw spec string, two
+  // different stream sets.
+  EXPECT_THROW(topo::validate_spec("hypercube:n=06"), std::invalid_argument);
+  EXPECT_THROW(topo::make("dln:n=36,k=6,p=2,seed=007"), std::invalid_argument);
+  EXPECT_THROW(topo::validate_spec("hypercube:n=6,"), std::invalid_argument);
+  EXPECT_THROW(topo::validate_spec("hypercube:"), std::invalid_argument);
+  EXPECT_NO_THROW(topo::validate_spec("augmented:q=5,extra=2,p=0"));  // bare 0 is canonical
+  // Out-of-int-range values fail at parse, before any constructor runs.
+  EXPECT_THROW(topo::make("slimfly:q=99999999999"), std::invalid_argument);
+  // The canonical forms still parse.
+  EXPECT_NO_THROW(topo::validate_spec("hypercube:n=6"));
+  EXPECT_NO_THROW(topo::validate_spec("torus:dims=8x8"));
+}
+
+TEST(TopologyRegistry, ExoticFamiliesValidateTheirSpecs) {
+  // Missing required keys.
+  EXPECT_THROW(topo::make("dln:n=36,k=6"), std::invalid_argument);   // no p
+  EXPECT_THROW(topo::make("dln:k=6,p=2"), std::invalid_argument);    // no n
+  EXPECT_THROW(topo::make("longhop:n=5"), std::invalid_argument);    // no extra
+  EXPECT_THROW(topo::make("augmented:q=5"), std::invalid_argument);  // no extra
+  // Zero/negative radix, degree, or concentration.
+  EXPECT_THROW(topo::make("dln:n=36,k=0,p=2"), std::invalid_argument);
+  EXPECT_THROW(topo::make("dln:n=36,k=-3,p=2"), std::invalid_argument);
+  EXPECT_THROW(topo::make("dln:n=36,k=36,p=2"), std::invalid_argument);
+  EXPECT_THROW(topo::make("dln:n=4,k=3,p=2"), std::invalid_argument);
+  EXPECT_THROW(topo::make("dln:n=36,k=6,p=0"), std::invalid_argument);
+  EXPECT_THROW(topo::make("longhop:n=0,extra=2"), std::invalid_argument);
+  EXPECT_THROW(topo::make("longhop:n=21,extra=2"), std::invalid_argument);
+  EXPECT_THROW(topo::make("longhop:n=5,extra=27"), std::invalid_argument);
+  // Within the structural ceiling but beyond the balanced-weight candidate
+  // pool: make() must throw a named error, never index past the pool.
+  EXPECT_THROW(topo::make("longhop:n=6,extra=43"), std::invalid_argument);
+  EXPECT_THROW(topo::make("longhop:n=5,extra=2,p=0"), std::invalid_argument);
+  EXPECT_THROW(topo::make("augmented:q=5,extra=0"), std::invalid_argument);
+  EXPECT_THROW(topo::make("augmented:q=6,extra=2"), std::invalid_argument);  // q not an MMS prime power
+  // Unknown keys.
+  EXPECT_THROW(topo::make("dln:n=36,k=6,p=2,zz=1"), std::invalid_argument);
+  EXPECT_THROW(topo::make("longhop:n=5,extra=2,q=3"), std::invalid_argument);
+  EXPECT_THROW(topo::make("augmented:q=5,extra=2,n=9"), std::invalid_argument);
+  // Malformed seeds (signs and junk are not canonical digits).
+  EXPECT_THROW(topo::make("dln:n=36,k=6,p=2,seed=-1"), std::invalid_argument);
+  EXPECT_THROW(topo::make("longhop:n=5,extra=2,seed=1x"), std::invalid_argument);
+  // The error names the offending spec so CLI users can self-serve.
+  try {
+    topo::make("dln:n=36,k=36,p=2");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("dln:n=36,k=36,p=2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("k must be"), std::string::npos) << msg;
+  }
+  // Semantic errors escaping a constructor get the spec prefixed by make(),
+  // so a failing cell in a wide suite is identifiable from the message.
+  try {
+    topo::make("augmented:q=6,extra=2");  // q=6 is not an MMS prime power
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("augmented:q=6,extra=2"), std::string::npos) << msg;
+  }
+  try {
+    topo::make("dln:n=55,k=53,p=1");  // deterministic matching exhaustion
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("dln:n=55,k=53,p=1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("seed=1"), std::string::npos) << msg;
+  }
+}
+
+TEST(TopologyRegistry, SeedIsPartOfSpecIdentity) {
+  // A spec string fully identifies the instance: same seed, same graph —
+  // and because exp::point_seed hashes the whole spec string, it also
+  // identifies the traffic streams every run point draws.
+  auto a1 = topo::make("dln:n=36,k=6,p=2,seed=5");
+  auto a2 = topo::make("dln:n=36,k=6,p=2,seed=5");
+  EXPECT_EQ(a1->graph().edges(), a2->graph().edges());
+  auto b = topo::make("dln:n=36,k=6,p=2,seed=6");
+  EXPECT_NE(a1->graph().edges(), b->graph().edges());
+  // Default seeds are pinned and shared with the constructors'
+  // kDefaultSeed, so omitting seed= matches both the explicit spelling and
+  // a direct construction.
+  auto d1 = topo::make("dln:n=36,k=6,p=2");
+  auto d2 = topo::make("dln:n=36,k=6,p=2,seed=1");
+  EXPECT_EQ(d1->graph().edges(), d2->graph().edges());
+  EXPECT_EQ(topo::make("longhop:n=5,extra=2")->graph().edges(),
+            topo::make("longhop:n=5,extra=2,seed=7")->graph().edges());
+  EXPECT_EQ(topo::make("augmented:q=5,extra=2")->graph().edges(),
+            topo::make("augmented:q=5,extra=2,seed=11")->graph().edges());
+  auto l1 = topo::make("longhop:n=5,extra=2,seed=9");
+  auto l2 = topo::make("longhop:n=5,extra=2,seed=9");
+  EXPECT_EQ(l1->graph().edges(), l2->graph().edges());
+  auto g1 = topo::make("augmented:q=5,extra=2,seed=3");
+  auto g2 = topo::make("augmented:q=5,extra=2,seed=3");
+  EXPECT_EQ(g1->graph().edges(), g2->graph().edges());
+  auto g3 = topo::make("augmented:q=5,extra=2,seed=4");
+  EXPECT_NE(g1->graph().edges(), g3->graph().edges());
+}
+
+TEST(RoutingRegistry, GenericStackSupportsExoticFamilies) {
+  // MIN/VAL/UGAL-L/UGAL-G only need Graph + DistanceTable, so every new
+  // comparison family must pass routing_supported and actually build.
+  for (const char* spec : {"dln:n=36,k=6,p=2", "longhop:n=5,extra=2",
+                           "augmented:q=5,extra=2"}) {
+    auto topo = topo::make(spec);
+    for (sim::RoutingKind kind :
+         {sim::RoutingKind::Minimal, sim::RoutingKind::Valiant,
+          sim::RoutingKind::UgalL, sim::RoutingKind::UgalG}) {
+      EXPECT_TRUE(sim::routing_supported(kind, *topo)) << spec;
+      auto bundle = sim::make_routing(kind, *topo);
+      ASSERT_NE(bundle.algorithm, nullptr) << spec;
+      EXPECT_GE(bundle.algorithm->max_hops(), 1) << spec;
+    }
+    // Topology-restricted routings refuse with a self-serve message naming
+    // the topology and its family, never an assert.
+    EXPECT_FALSE(sim::routing_supported(sim::RoutingKind::DragonflyUgalL, *topo));
+    EXPECT_FALSE(sim::routing_supported(sim::RoutingKind::FatTreeAnca, *topo));
+    try {
+      sim::make_routing(sim::RoutingKind::DragonflyUgalL, *topo);
+      FAIL() << "expected invalid_argument for " << spec;
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("DF-UGAL-L"), std::string::npos) << msg;
+      EXPECT_NE(msg.find(topo::family_of(*topo)), std::string::npos) << msg;
+    }
+  }
+}
+
 TEST(RoutingRegistry, RoundTripEveryName) {
   auto names = sim::routing_names();
   EXPECT_EQ(names.size(), 6u);

@@ -92,7 +92,7 @@ TEST(GoldenTrajectory, DiffAgainstCheckedInBenchPasses) {
               "BENCH_golden_mini.json:\n"
            << os.str();
   }
-  EXPECT_EQ(report.compared, 10u);  // 5 series x 2 loads, no truncation
+  EXPECT_EQ(report.compared, 12u);  // 6 series x 2 loads, no truncation
 }
 
 TEST(GoldenTrajectory, PerturbedTrajectoryIsCaught) {

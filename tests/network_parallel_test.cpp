@@ -179,6 +179,40 @@ TEST(NetworkParallel, EngineSchedulingModesBitIdentical) {
   }
 }
 
+TEST(NetworkParallel, ExoticTopologiesBitIdenticalAcrossThreadMatrix) {
+  // The Section 2 comparison families ride the topology-generic routing
+  // stack; their randomized construction must not leak thread identity —
+  // the full SF_THREADS x SF_INTRA_THREADS matrix reproduces the
+  // single-threaded trajectory bit for bit.
+  exp::ExperimentSpec spec;
+  spec.name = "exotic";
+  spec.loads = {0.1, 0.4};
+  spec.config = quick_config();
+  spec.series = {{"dln:n=36,k=6,p=2,seed=3", "UGAL-L", "uniform", "DLN"},
+                 {"longhop:n=5,extra=2", "UGAL-L", "uniform", "LH"}};
+  spec.config.intra_threads = 1;
+  exp::ExperimentEngine base(1);
+  auto want = base.run(spec);
+  ASSERT_FALSE(want.empty());
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (int intra : {1, 2}) {
+      if (threads == 1 && intra == 1) continue;  // the baseline itself
+      exp::ExperimentSpec run = spec;
+      run.config.intra_threads = intra;
+      exp::ExperimentEngine engine(threads);
+      auto got = engine.run(run);
+      ASSERT_EQ(want.size(), got.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(want[i].seed, got[i].seed);
+        expect_same_result(want[i].result, got[i].result,
+                           "threads=" + std::to_string(threads) +
+                               " intra=" + std::to_string(intra) + " point " +
+                               std::to_string(i));
+      }
+    }
+  }
+}
+
 TEST(NetworkParallel, SchedulePolicy) {
   exp::ExperimentEngine engine(8);
   // Wide grid, intra off: every worker goes across points.

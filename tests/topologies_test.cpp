@@ -164,6 +164,30 @@ TEST(Dln, RingPlusShortcuts) {
   EXPECT_TRUE(analysis::is_connected(dln.graph()));
 }
 
+TEST(Dln, ExhaustedMatchingThrowsNamedError) {
+  // Near-complete (n, k): the shortcuts must tile almost the whole ring
+  // complement, and seed 1's 32 matching attempts all dead-end (construction
+  // is deterministic per seed, so this exhaustion is stable). The error must
+  // carry the full configuration so it maps back to the spec string.
+  try {
+    Dln dln(55, 53, 1, 1);
+    FAIL() << "expected runtime_error from matching exhaustion";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("n=55"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("k=53"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("seed=1"), std::string::npos) << msg;
+  }
+}
+
+TEST(Dln, SeedSelectsAReproducibleInstance) {
+  Dln a(36, 6, 2, 5);
+  Dln b(36, 6, 2, 5);
+  EXPECT_EQ(a.graph().edges(), b.graph().edges());
+  Dln c(36, 6, 2, 6);
+  EXPECT_NE(a.graph().edges(), c.graph().edges());
+}
+
 TEST(Dln, LowDiameterLikeThePaper) {
   Dln dln(338, 14, 3);  // the paper's 338-endpoint-class DLN
   int d = analysis::diameter(dln.graph());
