@@ -1,0 +1,124 @@
+// Hot-path microbenchmark: runs one simulation point (default: the
+// slimfly:q=11 | UGAL-L | uniform @ 0.5 point the README's before/after
+// numbers use) on a directly-driven Network and reports the stepping
+// loop's work rate — simulated Mcycles/s and flit-hops/s (one flit-hop per
+// crossbar grant). Writes BENCH_hotpath.json for the CI perf-smoke job,
+// which uploads it as an artifact; throughput is reported, never gated,
+// matching the `sweep diff` wall-time policy.
+//
+//   hotpath [--topo SPEC] [--routing SPEC] [--traffic NAME] [--load L]
+//           [--out PATH]
+//
+// SF_BENCH_SCALE / SF_INTRA_THREADS apply as everywhere else.
+
+#include <cstring>
+#include <fstream>
+#include <optional>
+
+#include "bench_common.hpp"
+#include "exp/json.hpp"
+#include "sim/network.hpp"
+
+namespace {
+
+int usage(const char* argv0, int code) {
+  std::cout << "usage: " << argv0
+            << " [--topo SPEC] [--routing SPEC] [--traffic NAME]\n"
+               "       [--load L] [--out PATH]\n"
+               "defaults: slimfly:q=11 UGAL-L uniform @ 0.5, BENCH_hotpath.json\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace slimfly;
+  std::string topo_spec = "slimfly:q=11";
+  std::string routing_spec = "UGAL-L";
+  std::string traffic_name = "uniform";
+  std::string out_path = "BENCH_hotpath.json";
+  double load = 0.5;
+
+  auto next_arg = [&](int& i) -> const char* {
+    if (i + 1 >= argc) throw std::invalid_argument("missing value for flag");
+    return argv[++i];
+  };
+  try {
+    for (int i = 1; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--topo")) {
+        topo_spec = next_arg(i);
+      } else if (!std::strcmp(argv[i], "--routing")) {
+        routing_spec = next_arg(i);
+      } else if (!std::strcmp(argv[i], "--traffic")) {
+        traffic_name = next_arg(i);
+      } else if (!std::strcmp(argv[i], "--load")) {
+        std::size_t pos = 0;
+        load = std::stod(next_arg(i), &pos);
+        if (load <= 0.0) throw std::invalid_argument("--load must be > 0");
+      } else if (!std::strcmp(argv[i], "--out")) {
+        out_path = next_arg(i);
+      } else {
+        return usage(argv[0], 2);
+      }
+    }
+
+    auto topo = topo::make(topo_spec);
+    auto bundle = sim::make_routing_spec(routing_spec, *topo);
+    auto traffic = sim::make_traffic(traffic_name, *topo);
+    sim::SimConfig cfg = bench::make_sim_config();
+    if (cfg.num_vcs < bundle.algorithm->max_hops()) {
+      cfg.num_vcs = bundle.algorithm->max_hops();
+    }
+
+    sim::Network net(*topo, *bundle.algorithm, *traffic, cfg, load);
+    // Pre-reserve the latency pools so the measured region is exactly the
+    // allocation-free steady-state loop (tests/hotpath_test.cpp asserts
+    // that property under a counting allocator).
+    net.reserve_measurement_stats();
+    Timer timer;
+    sim::SimResult res = net.run();
+    const double wall = timer.seconds();
+
+    const double mcyc = wall > 0.0
+                            ? static_cast<double>(res.cycles) / wall / 1e6
+                            : 0.0;
+    const double fhps = wall > 0.0
+                            ? static_cast<double>(res.flit_hops) / wall
+                            : 0.0;
+    std::cout << "hotpath: " << topo_spec << " | " << routing_spec << " | "
+              << traffic_name << " @ " << load << "\n"
+              << "  cycles          " << res.cycles << "\n"
+              << "  flit-hops       " << res.flit_hops << "\n"
+              << "  wall            " << exp::json::number(wall) << " s\n"
+              << "  Mcycles/s       " << exp::json::number(mcyc) << "\n"
+              << "  flit-hops/s     " << exp::json::number(fhps) << "\n"
+              << "  avg latency     " << exp::json::number(res.avg_latency) << "\n"
+              << "  accepted load   " << exp::json::number(res.accepted_load)
+              << (res.saturated ? "  [saturated]" : "") << "\n";
+
+    std::ofstream os(out_path);
+    if (!os) throw std::invalid_argument("cannot write \"" + out_path + "\"");
+    os << "{\n"
+       << "  \"bench\": \"hotpath\",\n"
+       << "  \"topology\": \"" << topo_spec << "\",\n"
+       << "  \"routing\": \"" << routing_spec << "\",\n"
+       << "  \"traffic\": \"" << traffic_name << "\",\n"
+       << "  \"load\": " << exp::json::number(load) << ",\n"
+       << "  \"intra_threads\": " << static_cast<int>(net.intra_threads())
+       << ",\n"
+       << "  \"cycles\": " << res.cycles << ",\n"
+       << "  \"flit_hops\": " << res.flit_hops << ",\n"
+       << "  \"wall_seconds\": " << exp::json::number(wall) << ",\n"
+       << "  \"mcycles_per_sec\": " << exp::json::number(mcyc) << ",\n"
+       << "  \"flit_hops_per_sec\": " << exp::json::number(fhps) << ",\n"
+       << "  \"latency\": " << exp::json::number(res.avg_latency) << ",\n"
+       << "  \"accepted\": " << exp::json::number(res.accepted_load) << ",\n"
+       << "  \"saturated\": " << (res.saturated ? "true" : "false") << "\n"
+       << "}\n";
+    std::cout << "wrote " << out_path << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -87,6 +87,12 @@ Trajectory parse_bench_json(const std::string& text,
       if (const json::Value* v = pv.find("wall_seconds")) {
         point.wall_seconds = v->as_number(pctx + ".wall_seconds");
       }
+      if (const json::Value* v = pv.find("cycles")) {
+        point.cycles = static_cast<std::int64_t>(v->as_number(pctx + ".cycles"));
+      }
+      if (const json::Value* v = pv.find("mcycles_per_sec")) {
+        point.mcycles_per_sec = v->as_number(pctx + ".mcycles_per_sec");
+      }
       point.latency = number_field(pv, "latency", pctx);
       point.network_latency = number_field(pv, "network_latency", pctx);
       point.p99_latency = number_field(pv, "p99_latency", pctx);
@@ -133,6 +139,8 @@ Trajectory trajectory_of(const ExperimentSpec& spec,
     point.load = r.load;
     point.seed = r.seed;
     point.wall_seconds = r.wall_seconds;
+    point.cycles = r.result.cycles;
+    point.mcycles_per_sec = mcycles_per_sec(r);
     point.latency = r.result.avg_latency;
     point.network_latency = r.result.avg_network_latency;
     point.p99_latency = r.result.p99_latency;
@@ -172,6 +180,14 @@ DiffReport diff_trajectories(const Trajectory& a, const Trajectory& b,
         {"delivered", static_cast<double>(pa.delivered),
          static_cast<double>(pb.delivered), false},
     };
+    if (pa.cycles >= 0 && pb.cycles >= 0) {
+      // Simulated cycle count is deterministic (it encodes how long the
+      // drain ran), so it is a gated result when both files carry it;
+      // files predating the field simply skip the check. The wall-derived
+      // mcycles_per_sec is never gated, like wall time.
+      delta.metrics.push_back({"cycles", static_cast<double>(pa.cycles),
+                               static_cast<double>(pb.cycles), false});
+    }
     for (MetricDelta& metric : delta.metrics) {
       metric.out_of_tolerance = !within(metric.a, metric.b, options);
       if (metric.out_of_tolerance) delta.out_of_tolerance = true;
@@ -233,6 +249,29 @@ void print_diff(std::ostream& os, const DiffReport& report, bool verbose) {
      << json_num(wall_a) << "s -> " << json_num(wall_b)
      << "s (not gated)\n";
   os << (report.passed ? "PASS" : "FAIL") << "\n";
+}
+
+std::size_t preserve_wall_seconds(const Trajectory& prior,
+                                  const ExperimentSpec& spec,
+                                  std::vector<RunResult>& results) {
+  std::unordered_map<std::string, double> prior_wall;
+  for (const TrajectoryPoint& point : prior.points) {
+    prior_wall.emplace(point.key(), point.wall_seconds);
+  }
+  std::size_t patched = 0;
+  for (RunResult& r : results) {
+    TrajectoryPoint key_point;
+    key_point.label = spec.series.at(r.series_index).display_label();
+    key_point.topology = spec.series.at(r.series_index).topology;
+    key_point.routing = spec.series.at(r.series_index).routing;
+    key_point.traffic = spec.series.at(r.series_index).traffic;
+    key_point.load = r.load;
+    auto it = prior_wall.find(key_point.key());
+    if (it == prior_wall.end()) continue;
+    r.wall_seconds = it->second;
+    ++patched;
+  }
+  return patched;
 }
 
 std::string golden_trajectory(const ExperimentSpec& spec,

@@ -27,6 +27,11 @@ struct TrajectoryPoint {
   double load = 0.0;
   std::uint64_t seed = 0;
   double wall_seconds = 0.0;
+  /// Simulated cycles (deterministic; gated when both sides carry it —
+  /// absent in BENCH files predating the field, parsed as -1).
+  std::int64_t cycles = -1;
+  /// Wall-derived throughput (reported, never gated — like wall time).
+  double mcycles_per_sec = 0.0;
   double latency = 0.0;
   double network_latency = 0.0;
   double p99_latency = 0.0;
@@ -99,6 +104,15 @@ DiffReport diff_trajectories(const Trajectory& a, const Trajectory& b,
 /// Human-readable report: per-point failures (or all deltas when `verbose`),
 /// missing points, and a one-line summary with total wall-time change.
 void print_diff(std::ostream& os, const DiffReport& report, bool verbose);
+
+/// Copies wall_seconds from matching points of `prior` (joined on
+/// run-point identity) onto `results`, returning the number patched.
+/// Golden regeneration uses this so a regenerated BENCH file differs only
+/// in result-bearing fields — wall time (and the throughput derived from
+/// it) stays at the checked-in values instead of churning every regen.
+std::size_t preserve_wall_seconds(const Trajectory& prior,
+                                 const ExperimentSpec& spec,
+                                 std::vector<RunResult>& results);
 
 /// Canonical golden-trajectory serialization: one '|'-separated line per
 /// kept point (label, axes, load, seed, every stats field — wall time

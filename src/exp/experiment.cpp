@@ -79,6 +79,11 @@ std::string json_num(double v) { return json::number(v); }
 
 }  // namespace
 
+double mcycles_per_sec(const RunResult& r) {
+  if (!(r.wall_seconds > 0.0)) return 0.0;
+  return static_cast<double>(r.result.cycles) / r.wall_seconds / 1e6;
+}
+
 std::string SeriesSpec::display_label() const {
   if (!label.empty()) return label;
   return topology + "|" + routing + "|" + traffic;
@@ -457,6 +462,8 @@ void write_json(std::ostream& os, const ExperimentSpec& spec,
       first = false;
       os << "      {\"load\": " << json_num(r.load) << ", \"seed\": " << r.seed
          << ", \"wall_seconds\": " << json_num(r.wall_seconds)
+         << ", \"cycles\": " << r.result.cycles
+         << ", \"mcycles_per_sec\": " << json_num(mcycles_per_sec(r))
          << ", \"latency\": " << json_num(r.result.avg_latency)
          << ", \"network_latency\": " << json_num(r.result.avg_network_latency)
          << ", \"p99_latency\": " << json_num(r.result.p99_latency)
@@ -485,14 +492,17 @@ std::string write_json_file(const ExperimentSpec& spec,
 
 void write_csv(std::ostream& os, const ExperimentSpec& spec,
                const std::vector<RunResult>& results) {
-  os << "label,topology,routing,traffic,load,seed,wall_seconds,latency,"
+  os << "label,topology,routing,traffic,load,seed,wall_seconds,cycles,"
+        "mcycles_per_sec,latency,"
         "network_latency,p99_latency,accepted,delivered,saturated\n";
   for (const auto& r : results) {
     const SeriesSpec& s = spec.series.at(r.series_index);
     os << csv_field(s.display_label()) << ',' << csv_field(s.topology) << ','
        << csv_field(s.routing) << ',' << csv_field(s.traffic) << ','
        << json_num(r.load) << ',' << r.seed << ','
-       << json_num(r.wall_seconds) << ',' << json_num(r.result.avg_latency)
+       << json_num(r.wall_seconds) << ',' << r.result.cycles << ','
+       << json_num(mcycles_per_sec(r)) << ','
+       << json_num(r.result.avg_latency)
        << ',' << json_num(r.result.avg_network_latency) << ','
        << json_num(r.result.p99_latency) << ','
        << json_num(r.result.accepted_load) << ',' << r.result.delivered << ','

@@ -113,6 +113,12 @@ struct RunResult {
   sim::SimResult result;
 };
 
+/// Per-point simulator throughput: simulated cycles per wall second, in
+/// millions (0 when no wall time was recorded). The perf trajectory field
+/// written into every BENCH_*.json — wall-derived, so reported but never
+/// gated by `sweep diff`.
+double mcycles_per_sec(const RunResult& r);
+
 /// Deterministic per-point seed: a hash of the base seed, the series'
 /// identity strings, and the load index — independent of thread schedule.
 std::uint64_t point_seed(const ExperimentSpec& spec, std::size_t series_index,

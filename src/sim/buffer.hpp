@@ -1,32 +1,56 @@
 #pragma once
 // Per-(input port, VC) flit buffer with a hard capacity, the unit of
-// credit-based flow control.
+// credit-based flow control — a fixed ring sized once from buffer_per_vc,
+// so steady-state push/pop never allocates. Header-only: push/front/pop
+// run millions of times per simulated second and must inline into the
+// phase loops. (The head-of-line routing-decision cache lives in
+// RouterState::route_cache, a flat per-router array, so the allocation
+// gather never has to touch a buffer whose decision is already cached.)
 
-#include <deque>
+#include <stdexcept>
 
 #include "sim/packet.hpp"
+#include "sim/ring.hpp"
 
 namespace slimfly::sim {
 
 class VcBuffer {
  public:
-  explicit VcBuffer(int capacity = 0) : capacity_(capacity) {}
+  explicit VcBuffer(int capacity = 0)
+      : ring_(static_cast<std::size_t>(capacity < 0 ? 0 : capacity)) {}
 
-  bool full() const { return static_cast<int>(packets_.size()) >= capacity_; }
-  bool empty() const { return packets_.empty(); }
-  int size() const { return static_cast<int>(packets_.size()); }
-  int capacity() const { return capacity_; }
+  bool full() const { return ring_.full(); }
+  bool empty() const { return ring_.empty(); }
+  int size() const { return static_cast<int>(ring_.size()); }
+  int capacity() const { return static_cast<int>(ring_.capacity()); }
 
   /// Throws std::logic_error if the buffer is full (a credit violation —
   /// upstream must never send without a credit).
-  void push(Packet packet);
+  void push(const Packet& packet) {
+    if (full()) {
+      throw std::logic_error("VcBuffer: overflow (credit protocol violation)");
+    }
+    ring_.push_back(packet);
+  }
 
-  const Packet& front() const;
-  Packet pop();
+  const Packet& front() const {
+    if (ring_.empty()) throw std::logic_error("VcBuffer: front on empty buffer");
+    return ring_.front();
+  }
+
+  Packet pop() {
+    if (ring_.empty()) throw std::logic_error("VcBuffer: pop on empty buffer");
+    return ring_.pop_front();
+  }
+
+  /// Copy-free pop: discards the head (front() gives access first).
+  void drop_front() {
+    if (ring_.empty()) throw std::logic_error("VcBuffer: pop on empty buffer");
+    ring_.drop_front();
+  }
 
  private:
-  std::deque<Packet> packets_;
-  int capacity_;
+  FixedRing<Packet> ring_;
 };
 
 }  // namespace slimfly::sim

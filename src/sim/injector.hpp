@@ -6,23 +6,28 @@
 // routing path sampling) come from `rng`, never from a shared generator,
 // so the injection phase is deterministic under any endpoint processing
 // order — the keystone of router-parallel stepping (sim/network.hpp).
+//
+// The source queue is a GrowRing, the one hot-path queue that may allocate:
+// past saturation it must absorb unbounded offered load, so it doubles
+// amortized; below saturation it settles at a small stable capacity and
+// the steady-state loop never allocates.
 
 #include <cstdint>
-#include <deque>
-#include <vector>
 
 #include "sim/channel.hpp"
 #include "sim/packet.hpp"
+#include "sim/ring.hpp"
 #include "util/rng.hpp"
 
 namespace slimfly::sim {
 
 struct EndpointState {
-  std::deque<Packet> source_queue;
+  GrowRing<Packet> source_queue;
   int credits = 0;                 ///< slots free in the injection buffer
-  DelayLine<int> credit_return;    ///< credits on their way back
   Rng rng{};                       ///< private stream, seeded from (seed, id)
   std::int64_t next_seq = 0;       ///< per-endpoint packet sequence number
+  // (Returning uplink credits ride the owning router's ep_credits event
+  // line — see sim/router.hpp — so idle endpoints are never polled.)
 };
 
 class Injector {

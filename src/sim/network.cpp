@@ -1,6 +1,7 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 
@@ -10,6 +11,20 @@ namespace {
 // Distinguishes router streams from the endpoint streams seeded in
 // Injector::init() under the same base seed.
 constexpr std::uint64_t kRouterStreamTag = 0x51a3e8d1;
+
+// Index of the lowest set bit; callers guarantee mask != 0.
+inline int ctz64(std::uint64_t mask) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_ctzll(mask);
+#else
+  int i = 0;
+  while (!(mask & 1)) {
+    mask >>= 1;
+    ++i;
+  }
+  return i;
+#endif
+}
 
 std::size_t resolve_intra_threads(int requested, int num_routers) {
   std::size_t w;
@@ -38,6 +53,22 @@ Network::Network(const Topology& topo, RoutingAlgorithm& routing,
         "Network: num_vcs must cover the routing algorithm's max hops (" +
         std::to_string(routing_.max_hops()) + " needed)");
   }
+  if (config_.num_vcs > 64) {
+    throw std::invalid_argument(
+        "Network: num_vcs above 64 is unsupported (the per-input VC "
+        "occupancy bitmask is 64 bits wide)");
+  }
+  if (config_.warmup_cycles + config_.measure_cycles + config_.drain_cycles >
+      static_cast<std::int64_t>(std::numeric_limits<std::int32_t>::max())) {
+    throw std::invalid_argument(
+        "Network: warmup+measure+drain cycles exceed 2^31-1 (packet "
+        "timestamps are 32-bit cycle counts)");
+  }
+  if (topo_.num_routers() > 0x10000) {
+    throw std::invalid_argument(
+        "Network: more than 65536 routers is unsupported (packet router "
+        "ids are 16-bit; the O(n^2) tables would be infeasible anyway)");
+  }
   if (config_.buffer_per_vc() < 1) {
     throw std::invalid_argument("Network: buffer_per_port too small for num_vcs");
   }
@@ -51,9 +82,44 @@ Network::Network(const Topology& topo, RoutingAlgorithm& routing,
 void Network::wire() {
   const Graph& g = topo_.graph();
   int nr = topo_.num_routers();
+  num_routers_ = nr;
   routers_ = make_routers(nr);
-  requests_.resize(static_cast<std::size_t>(nr));
   int buf_vc = config_.buffer_per_vc();
+
+  // ---- ring capacities, derived once from the flow-control config --------
+  // Flit channel: <= 1 flit matures per cycle, head popped as soon as it
+  // matures (arrivals), so occupancy never exceeds the wire+pipeline
+  // latency; +2 is slack for the push-after-pop ordering within a cycle.
+  // A network link's incoming line additionally holds its staged-but-not-
+  // departed packets (grants write them in with their final ready time).
+  const std::size_t chan_cap = static_cast<std::size_t>(
+      config_.channel_latency + config_.router_pipeline + 2);
+  const std::size_t incoming_cap =
+      chan_cap + static_cast<std::size_t>(config_.output_staging);
+  // Credit line: <= alloc_iterations pushes per cycle (one grant per input
+  // port per iteration), fully drained once mature, so occupancy is
+  // bounded by alloc_iterations x (credit_delay + 1).
+  const std::size_t credit_cap = static_cast<std::size_t>(
+      config_.alloc_iterations * (config_.credit_delay + 1) + 2);
+
+  // Dense neighbor -> output-port table (the O(1) port_of_neighbor the
+  // allocation loop and UGAL's path costing rely on). Built before the
+  // reverse wiring below, which already uses the fast lookup. Networks
+  // beyond the dense limit keep the binary-search fallback so per-point
+  // memory stays near-linear.
+  neighbor_port_.clear();
+  if (nr <= kDenseNeighborPortLimit) {
+    neighbor_port_.assign(
+        static_cast<std::size_t>(nr) * static_cast<std::size_t>(nr), -1);
+    for (int r = 0; r < nr; ++r) {
+      const auto& nbrs = g.neighbors(r);
+      for (int i = 0; i < static_cast<int>(nbrs.size()); ++i) {
+        neighbor_port_[static_cast<std::size_t>(r) * static_cast<std::size_t>(nr) +
+                       static_cast<std::size_t>(nbrs[static_cast<std::size_t>(i)])] =
+            static_cast<std::int16_t>(i);
+      }
+    }
+  }
 
   for (int r = 0; r < nr; ++r) {
     RouterState& router = routers_[static_cast<std::size_t>(r)];
@@ -62,23 +128,46 @@ void Network::wire() {
     router.network_ports = deg;
     router.inputs.resize(static_cast<std::size_t>(deg + eps));
     router.outputs.resize(static_cast<std::size_t>(deg + eps));
+    router.vc_occupied.assign(static_cast<std::size_t>(deg + eps), 0);
+    router.staging_nonempty.assign(
+        (static_cast<std::size_t>(deg + eps) + 63) / 64, 0);
+    router.route_cache.assign(static_cast<std::size_t>(deg + eps) *
+                                  static_cast<std::size_t>(config_.num_vcs),
+                              RouteDecision{});
     for (auto& in : router.inputs) {
       in.vcs.assign(static_cast<std::size_t>(config_.num_vcs), VcBuffer(buf_vc));
     }
     const auto& nbrs = g.neighbors(r);
     for (int i = 0; i < deg; ++i) {
-      OutputPort& out = router.outputs[static_cast<std::size_t>(i)];
-      out.dest_router = nbrs[static_cast<std::size_t>(i)];
-      out.initial_credit = buf_vc;
-      out.credits.assign(static_cast<std::size_t>(config_.num_vcs), buf_vc);
+      // Network inputs receive their link's flit line locally (see
+      // sim/router.hpp): the upstream allocation phase fills it.
+      router.inputs[static_cast<std::size_t>(i)].incoming.init(incoming_cap);
     }
-    for (int j = 0; j < eps; ++j) {
-      OutputPort& out = router.outputs[static_cast<std::size_t>(deg + j)];
-      out.dest_router = -1;
-      out.dest_endpoint = topo_.first_endpoint(r) + j;
-      // Endpoints always consume: model as unbounded credit.
-      out.initial_credit = 1 << 28;
-      out.credits.assign(static_cast<std::size_t>(config_.num_vcs), 1 << 28);
+    // Aggregated per-router event lines: ejection flits (one push per
+    // ejection port per cycle, mature after chan_cap-ish latency) and
+    // endpoint uplink credits (<= alloc_iterations per endpoint per cycle,
+    // credit_delay deep).
+    router.ejection.init(static_cast<std::size_t>(eps) * chan_cap);
+    router.ep_credits.init(static_cast<std::size_t>(eps) * credit_cap);
+    for (int i = 0; i < deg + eps; ++i) {
+      OutputPort& out = router.outputs[static_cast<std::size_t>(i)];
+      // Network ports model staging as a counter (the packet itself is
+      // written straight to the downstream incoming line at grant time);
+      // only ejection ports store staged packets.
+      out.staging.reset(i < deg ? 0
+                                : static_cast<std::size_t>(config_.output_staging));
+      out.credit_return.init(i < deg ? credit_cap : 0);
+      if (i < deg) {
+        out.dest_router = nbrs[static_cast<std::size_t>(i)];
+        out.initial_credit = buf_vc;
+        out.credits.assign(static_cast<std::size_t>(config_.num_vcs), buf_vc);
+      } else {
+        out.dest_router = -1;
+        out.dest_endpoint = topo_.first_endpoint(r) + (i - deg);
+        // Endpoints always consume: model as unbounded credit.
+        out.initial_credit = 1 << 28;
+        out.credits.assign(static_cast<std::size_t>(config_.num_vcs), 1 << 28);
+      }
     }
   }
   // Reverse port wiring: input port i of r receives from neighbour i. Both
@@ -99,6 +188,9 @@ void Network::wire() {
   }
   injector_.init(topo_.num_endpoints(), buf_vc, config_.seed);
 
+  routing_cacheable_ = routing_.cacheable_decisions();
+  routing_follows_path_ = routing_.follows_packet_path();
+
   router_rngs_.clear();
   router_rngs_.reserve(static_cast<std::size_t>(nr));
   for (int r = 0; r < nr; ++r) {
@@ -116,14 +208,70 @@ void Network::wire() {
   }
   shard_totals_.assign(shards_, ShardTotals{});
   shard_errors_.assign(shards_, nullptr);
+
+  // Persistent allocation scratch, sized for the widest router per shard.
+  alloc_scratch_.assign(shards_, AllocScratch{});
+  for (std::size_t s = 0; s < shards_; ++s) {
+    std::size_t max_reqs = 0, max_outputs = 0, max_inputs = 0;
+    for (int r = shard_ranges_[s].first; r < shard_ranges_[s].second; ++r) {
+      const RouterState& router = routers_[static_cast<std::size_t>(r)];
+      max_inputs = std::max(max_inputs, router.inputs.size());
+      max_outputs = std::max(max_outputs, router.outputs.size());
+      max_reqs = std::max(max_reqs, router.inputs.size() *
+                                        static_cast<std::size_t>(config_.num_vcs));
+    }
+    AllocScratch& scratch = alloc_scratch_[s];
+    scratch.heads.resize(max_reqs);
+    scratch.sorted.resize(max_reqs);
+    scratch.offsets.resize(max_outputs + 1);
+    scratch.granted.resize(max_inputs);
+  }
 }
 
-int Network::port_of_neighbor(int router, int neighbor) const {
+RouteDecision Network::head_decision(const RouterState& router, int r,
+                                     const Packet& pkt) const {
+  int next;
+  int vc_link;
+  if (routing_follows_path_) {
+    // Inline default next_router/link_vc: follow pkt.path with VC = hop
+    // index, no virtual dispatch. Same sanity guards as the virtual
+    // default — a corrupted hop/path must surface as a named error, not
+    // as an out-of-range output port fed to the allocator.
+    const std::size_t hop = static_cast<std::size_t>(pkt.hop);
+    if (hop >= pkt.path.size()) {
+      throw std::logic_error("head_decision: hop out of range");
+    }
+    if (pkt.path[hop] != r) {
+      throw std::logic_error("head_decision: packet not on its path");
+    }
+    next = hop + 1 < pkt.path.size() ? pkt.path[hop + 1] : -1;
+    vc_link = pkt.hop;
+  } else {
+    next = routing_.next_router(*this, pkt, r);
+    vc_link = next < 0 ? 0 : routing_.link_vc(pkt);
+  }
+  int op;
+  if (next < 0) {
+    op = router.network_ports + (pkt.dst_endpoint - topo_.first_endpoint(r));
+    vc_link = 0;  // ejection ports have unbounded credit on VC 0
+  } else {
+    op = port_of_neighbor(r, next);
+  }
+  return RouteDecision{static_cast<std::int16_t>(op),
+                       static_cast<std::int16_t>(vc_link)};
+}
+
+
+void Network::throw_not_adjacent(int router, int neighbor) const {
+  throw std::invalid_argument("port_of_neighbor: not adjacent (" +
+                              std::to_string(router) + ", " +
+                              std::to_string(neighbor) + ")");
+}
+
+int Network::port_of_neighbor_sparse(int router, int neighbor) const {
   const auto& nbrs = topo_.graph().neighbors(router);
   auto it = std::lower_bound(nbrs.begin(), nbrs.end(), neighbor);
-  if (it == nbrs.end() || *it != neighbor) {
-    throw std::invalid_argument("port_of_neighbor: not adjacent");
-  }
+  if (it == nbrs.end() || *it != neighbor) throw_not_adjacent(router, neighbor);
   return static_cast<int>(it - nbrs.begin());
 }
 
@@ -132,36 +280,39 @@ void Network::phase_arrivals(std::size_t shard) {
   for (int r = lo; r < hi; ++r) {
     RouterState& router = routers_[static_cast<std::size_t>(r)];
     // Credits coming back from downstream consumption of my outputs.
-    for (auto& out : router.outputs) {
+    // Network ports only: nothing ever returns credits to an ejection port
+    // (endpoints always consume), so polling them would be pure overhead.
+    for (int p = 0; p < router.network_ports; ++p) {
+      OutputPort& out = router.outputs[static_cast<std::size_t>(p)];
       while (auto vc = out.credit_return.pop_ready(cycle_)) {
         ++out.credits[static_cast<std::size_t>(*vc)];
+        --out.consumed;
       }
     }
-    // Pull flits whose channel ends at one of my inputs (this shard is the
-    // sole consumer of each of those channels).
+    // Flit lines ending at my inputs live *in* my inputs, so the readiness
+    // poll walks my own contiguous state; front_ready/drop_front is the
+    // copy-free path: the packet is copied exactly once, line slot to VC
+    // buffer slot.
     for (int i = 0; i < router.network_ports; ++i) {
       InputPort& in = router.inputs[static_cast<std::size_t>(i)];
-      OutputPort& feed = routers_[static_cast<std::size_t>(in.src_router)]
-                             .outputs[static_cast<std::size_t>(in.src_port)];
-      if (auto pkt = feed.channel.pop_ready(cycle_)) {
+      if (const Packet* pkt = in.incoming.front_ready(cycle_)) {
         int vc = pkt->wire_vc;  // VC used on the link just traversed
-        in.vcs[static_cast<std::size_t>(vc)].push(std::move(*pkt));
+        in.vcs[static_cast<std::size_t>(vc)].push(*pkt);
+        router.vc_occupied[static_cast<std::size_t>(i)] |= std::uint64_t{1} << vc;
+        in.incoming.drop_front();
       }
     }
-    // My ejection channels complete deliveries to my endpoints.
-    for (std::size_t p = static_cast<std::size_t>(router.network_ports);
-         p < router.outputs.size(); ++p) {
-      if (auto pkt = router.outputs[p].channel.pop_ready(cycle_)) {
-        deliver(shard, std::move(*pkt));
-      }
+    // My aggregated ejection line completes deliveries to my endpoints
+    // (same per-cycle delivery set as per-port lines: at most one flit per
+    // ejection port matures per cycle, in port order).
+    while (const Packet* pkt = router.ejection.front_ready(cycle_)) {
+      deliver(shard, *pkt);
+      router.ejection.drop_front();
     }
-    // Uplink credits for my endpoints.
-    for (int j = 0; j < topo_.endpoints_at(r); ++j) {
-      auto& ep = injector_.endpoint(topo_.first_endpoint(r) + j);
-      while (auto c = ep.credit_return.pop_ready(cycle_)) {
-        (void)c;
-        ++ep.credits;
-      }
+    // Uplink credits for my endpoints, as events on the per-router line.
+    int first_ep = topo_.first_endpoint(r);
+    while (auto j = router.ep_credits.pop_ready(cycle_)) {
+      ++injector_.endpoint(first_ep + *j).credits;
     }
   }
 }
@@ -184,12 +335,12 @@ void Network::phase_injection(std::size_t shard) {
           pkt.id = ep.next_seq++ * topo_.num_endpoints() + e;
           pkt.src_endpoint = e;
           pkt.dst_endpoint = dst;
-          pkt.src_router = r;
-          pkt.dst_router = topo_.endpoint_router(dst);
-          pkt.t_generated = cycle_;
+          pkt.dst_router =
+              static_cast<std::uint16_t>(topo_.endpoint_router(dst));
+          pkt.t_generated = static_cast<std::int32_t>(cycle_);
           pkt.measured = in_measurement;
           if (pkt.measured) ++shard_totals_[shard].measured_generated;
-          ep.source_queue.push_back(std::move(pkt));
+          ep.source_queue.push_back(pkt);
         }
       }
       // Uplink: move the head of the source queue into the router's
@@ -198,16 +349,14 @@ void Network::phase_injection(std::size_t shard) {
       // state is frozen for the whole phase, so the endpoint order cannot
       // influence the decision.
       if (!ep.source_queue.empty() && ep.credits > 0) {
-        Packet pkt = std::move(ep.source_queue.front());
-        ep.source_queue.pop_front();
+        Packet pkt = ep.source_queue.pop_front();
         --ep.credits;
-        pkt.t_injected = cycle_;
+        pkt.t_injected = static_cast<std::int32_t>(cycle_);
         routing_.route_at_injection(*this, pkt, ep.rng);
-        int port = routers_[static_cast<std::size_t>(r)].network_ports + j;
-        routers_[static_cast<std::size_t>(r)]
-            .inputs[static_cast<std::size_t>(port)]
-            .vcs[0]
-            .push(std::move(pkt));
+        RouterState& router = routers_[static_cast<std::size_t>(r)];
+        int port = router.network_ports + j;
+        router.inputs[static_cast<std::size_t>(port)].vcs[0].push(pkt);
+        router.vc_occupied[static_cast<std::size_t>(port)] |= 1;
       }
     }
   }
@@ -219,82 +368,149 @@ void Network::phase_allocation(std::size_t shard) {
   // exchange nothing during allocation (credits pushed upstream carry
   // credit_delay >= 1, so they surface in a later cycle's arrivals), which
   // makes the per-router ordering equivalent to the per-iteration one.
-  for (int r = lo; r < hi; ++r) {
-    RouterState& router = routers_[static_cast<std::size_t>(r)];
-    int num_inputs = static_cast<int>(router.inputs.size());
-    int num_outputs = static_cast<int>(router.outputs.size());
-    for (int iter = 0; iter < config_.alloc_iterations; ++iter) {
-      // Collect head-of-line requests, bucketed by requested output port so
-      // each output only scans its own candidates.
-      auto& by_output = requests_[static_cast<std::size_t>(r)];
-      if (by_output.size() != static_cast<std::size_t>(num_outputs)) {
-        by_output.resize(static_cast<std::size_t>(num_outputs));
-      }
-      for (auto& bucket : by_output) bucket.clear();
-      for (int ip = 0; ip < num_inputs; ++ip) {
-        for (int vc = 0; vc < config_.num_vcs; ++vc) {
-          const VcBuffer& buf = router.inputs[static_cast<std::size_t>(ip)]
-                                    .vcs[static_cast<std::size_t>(vc)];
-          if (buf.empty()) continue;
-          const Packet& pkt = buf.front();
-          int next = routing_.next_router(*this, pkt, r);
-          int op;
-          int vc_link;
-          if (next < 0) {
-            op = router.network_ports + (pkt.dst_endpoint - topo_.first_endpoint(r));
-            vc_link = 0;  // ejection ports have unbounded credit on VC 0
-          } else {
-            op = port_of_neighbor(r, next);
-            vc_link = routing_.link_vc(pkt);
-          }
-          by_output[static_cast<std::size_t>(op)].push_back(
-              Request{ip, vc, op, vc_link});
+  for (int r = lo; r < hi; ++r) allocate_router(shard, r);
+}
+
+// Requests are gathered per occupied input VC (the vc_occupied bitmask
+// skips empty buffers without touching them) and counting-sorted by output
+// port. For cacheable routings the (output port, link VC) decision is read
+// from the flat per-router route cache — computed once when a packet
+// becomes head, invalidated on pop — so next_router runs once per packet
+// per router instead of once per waiting cycle; per-hop adaptive routings
+// (FT-ANCA) re-derive it every iteration because their decision reads live
+// queue state.
+void Network::allocate_router(std::size_t shard, int r) {
+  RouterState& router = routers_[static_cast<std::size_t>(r)];
+  AllocScratch& scratch = alloc_scratch_[shard];
+  const int num_inputs = static_cast<int>(router.inputs.size());
+  const int num_outputs = static_cast<int>(router.outputs.size());
+  const int nvc = config_.num_vcs;
+  for (int iter = 0; iter < config_.alloc_iterations; ++iter) {
+    std::fill(scratch.offsets.begin(),
+              scratch.offsets.begin() + num_outputs + 1, 0);
+    int n_heads = 0;
+    for (int ip = 0; ip < num_inputs; ++ip) {
+      // Visit only occupied VCs (ascending — the same order a full scan
+      // would use). For cached decisions the gather touches just the
+      // occupancy word and the flat route cache, never the buffer.
+      std::uint64_t mask = router.vc_occupied[static_cast<std::size_t>(ip)];
+      while (mask) {
+        const int vc = ctz64(mask);
+        mask &= mask - 1;
+        const std::size_t ci =
+            static_cast<std::size_t>(ip) * static_cast<std::size_t>(nvc) +
+            static_cast<std::size_t>(vc);
+        RouteDecision d = router.route_cache[ci];
+        if (!(routing_cacheable_ && d.port >= 0)) {
+          const Packet& pkt = router.inputs[static_cast<std::size_t>(ip)]
+                                  .vcs[static_cast<std::size_t>(vc)]
+                                  .front();
+          d = head_decision(router, r, pkt);
+          if (routing_cacheable_) router.route_cache[ci] = d;
         }
-      }
-      // Output-major separable allocation with per-input grant limit 1.
-      std::vector<bool> input_granted(static_cast<std::size_t>(num_inputs), false);
-      for (int op = 0; op < num_outputs; ++op) {
-        OutputPort& out = router.outputs[static_cast<std::size_t>(op)];
-        if (static_cast<int>(out.staging.size()) >= config_.output_staging) continue;
-        // Round-robin over this output's candidates.
-        auto& requests = by_output[static_cast<std::size_t>(op)];
-        int n_req = static_cast<int>(requests.size());
-        if (n_req == 0) continue;
-        int start = out.rr_pointer % n_req;
-        for (int k = 0; k < n_req; ++k) {
-          const Request& req = requests[static_cast<std::size_t>((start + k) % n_req)];
-          if (input_granted[static_cast<std::size_t>(req.input_port)]) continue;
-          if (out.credits[static_cast<std::size_t>(req.vc_link)] <= 0) continue;
-          VcBuffer& buf = router.inputs[static_cast<std::size_t>(req.input_port)]
-                              .vcs[static_cast<std::size_t>(req.vc)];
-          if (buf.empty()) continue;  // granted earlier this cycle
-          Packet pkt = buf.pop();
-          --out.credits[static_cast<std::size_t>(req.vc_link)];
-          pkt.wire_vc = req.vc_link;
-          ++pkt.hop;
-          out.staging.push_back(std::move(pkt));
-          input_granted[static_cast<std::size_t>(req.input_port)] = true;
-          out.rr_pointer = (start + k + 1) % n_req;
-          // Return the freed buffer slot upstream. This shard is the sole
-          // producer of that credit_return line (one downstream input per
-          // output port), and credit_delay keeps the push invisible until a
-          // later cycle's arrivals.
-          if (req.input_port < router.network_ports) {
-            const InputPort& in =
-                router.inputs[static_cast<std::size_t>(req.input_port)];
-            routers_[static_cast<std::size_t>(in.src_router)]
-                .outputs[static_cast<std::size_t>(in.src_port)]
-                .credit_return.push(cycle_ + config_.credit_delay, req.vc);
-          } else {
-            int endpoint = topo_.first_endpoint(r) +
-                           (req.input_port - router.network_ports);
-            injector_.endpoint(endpoint)
-                .credit_return.push(cycle_ + config_.credit_delay, 0);
-          }
-          break;
-        }
+        scratch.heads[static_cast<std::size_t>(n_heads++)] =
+            Request{ip, vc, d.port, d.vc_link};
+        ++scratch.offsets[static_cast<std::size_t>(d.port) + 1];
       }
     }
+    // No heads at all: nothing can be granted this iteration, and an
+    // iteration without grants leaves every allocator input unchanged, so
+    // the remaining iterations are no-ops too.
+    if (n_heads == 0) break;
+    // Counting-sort the requests by output port (stable: (ip, vc) order
+    // within each output). After the prefix sum, offsets[op] is the begin
+    // of op's range; the scatter advances it in place, leaving offsets[op]
+    // == end of op's range (= begin of op+1's).
+    for (int op = 0; op < num_outputs; ++op) {
+      scratch.offsets[static_cast<std::size_t>(op) + 1] +=
+          scratch.offsets[static_cast<std::size_t>(op)];
+    }
+    for (int i = 0; i < n_heads; ++i) {
+      const Request& req = scratch.heads[static_cast<std::size_t>(i)];
+      int& cursor = scratch.offsets[static_cast<std::size_t>(req.output_port)];
+      scratch.sorted[static_cast<std::size_t>(cursor++)] = req;
+    }
+    std::fill(scratch.granted.begin(),
+              scratch.granted.begin() + num_inputs, std::uint8_t{0});
+    int grants = 0;
+    for (int op = 0; op < num_outputs; ++op) {
+      // Candidate check first: it reads only scratch-local offsets, so
+      // outputs nobody requested never touch their OutputPort at all.
+      int begin = op == 0 ? 0 : scratch.offsets[static_cast<std::size_t>(op) - 1];
+      int n_req = scratch.offsets[static_cast<std::size_t>(op)] - begin;
+      if (n_req == 0) continue;
+      OutputPort& out = router.outputs[static_cast<std::size_t>(op)];
+      if (out.staged >= config_.output_staging) continue;
+      // Round-robin over this output's candidates.
+      int start = out.rr_pointer % n_req;
+      for (int k = 0; k < n_req; ++k) {
+        const Request& req = scratch.sorted[static_cast<std::size_t>(
+            begin + (start + k) % n_req)];
+        if (scratch.granted[static_cast<std::size_t>(req.input_port)]) continue;
+        if (out.credits[static_cast<std::size_t>(req.vc_link)] <= 0) continue;
+        InputPort& in =
+            router.inputs[static_cast<std::size_t>(req.input_port)];
+        VcBuffer& buf = in.vcs[static_cast<std::size_t>(req.vc)];
+        if (buf.empty()) continue;  // granted earlier this cycle
+        // One copy: VC buffer slot to the packet's next resting place,
+        // fields patched in place, then the buffer head is dropped and its
+        // cached routing decision invalidated (the next packet is a new
+        // head). For a network port that resting place is the DOWNSTREAM
+        // incoming line directly: the staging stage drains exactly one
+        // flit per cycle, so a packet granted with `staged` flits ahead of
+        // it departs at cycle + staged and matures a wire+pipeline later —
+        // the ready time is final at grant time, and per output the
+        // readies are strictly increasing, preserving line FIFO order.
+        // This phase is the line's sole producer (all grants to a link
+        // happen in its one upstream router), and nothing reads incoming
+        // lines during allocation.
+        Packet* staged_pkt;
+        if (op < router.network_ports) {
+          const std::int64_t ready = cycle_ + out.staged +
+                                     config_.channel_latency +
+                                     config_.router_pipeline;
+          staged_pkt = &routers_[static_cast<std::size_t>(out.dest_router)]
+                            .inputs[static_cast<std::size_t>(out.dest_port)]
+                            .incoming.push_slot(ready);
+        } else {
+          staged_pkt = &out.staging.push_slot();
+        }
+        Packet& staged = *staged_pkt;
+        staged = buf.front();
+        buf.drop_front();
+        router.route_cache[static_cast<std::size_t>(req.input_port) *
+                               static_cast<std::size_t>(nvc) +
+                           static_cast<std::size_t>(req.vc)]
+            .port = -1;
+        if (buf.empty()) {
+          router.vc_occupied[static_cast<std::size_t>(req.input_port)] &=
+              ~(std::uint64_t{1} << req.vc);
+        }
+        --out.credits[static_cast<std::size_t>(req.vc_link)];
+        ++out.consumed;
+        staged.wire_vc = static_cast<std::int8_t>(req.vc_link);
+        ++staged.hop;
+        ++out.staged;
+        router.staging_nonempty[static_cast<std::size_t>(op) / 64] |=
+            std::uint64_t{1} << (op % 64);
+        ++grants;
+        ++shard_totals_[shard].flit_hops;
+        scratch.granted[static_cast<std::size_t>(req.input_port)] = 1;
+        out.rr_pointer = (start + k + 1) % n_req;
+        if (req.input_port < router.network_ports) {
+          routers_[static_cast<std::size_t>(in.src_router)]
+              .outputs[static_cast<std::size_t>(in.src_port)]
+              .credit_return.push(cycle_ + config_.credit_delay, req.vc);
+        } else {
+          router.ep_credits.push(cycle_ + config_.credit_delay,
+                                 req.input_port - router.network_ports);
+        }
+        break;
+      }
+    }
+    // An iteration that granted nothing leaves every allocator input
+    // untouched, so all remaining iterations would replay it verbatim.
+    if (grants == 0) break;
   }
 }
 
@@ -302,15 +518,34 @@ void Network::phase_transmission(std::size_t shard) {
   std::int64_t ready = cycle_ + config_.channel_latency + config_.router_pipeline;
   auto [lo, hi] = shard_ranges_[shard];
   for (int r = lo; r < hi; ++r) {
-    for (auto& out : routers_[static_cast<std::size_t>(r)].outputs) {
-      if (out.staging.empty()) continue;
-      out.channel.push(ready, std::move(out.staging.front()));
-      out.staging.pop_front();
+    RouterState& router = routers_[static_cast<std::size_t>(r)];
+    int num_words = static_cast<int>(router.staging_nonempty.size());
+    for (int w = 0; w < num_words; ++w) {
+      std::uint64_t mask = router.staging_nonempty[w];
+      while (mask) {
+        const int op = w * 64 + ctz64(mask);
+        mask &= mask - 1;
+        OutputPort& out = router.outputs[static_cast<std::size_t>(op)];
+        // One flit leaves the staging stage per cycle. Network-port
+        // packets already sit in the downstream incoming line (written at
+        // grant time with their final ready), so only the occupancy
+        // counter advances here; ejection packets hop from the staging
+        // ring onto the router's aggregated ejection line now, keeping
+        // that line's pushes time-ordered across ports.
+        if (op >= router.network_ports) {
+          router.ejection.push_slot(ready) = out.staging.front();
+          out.staging.drop_front();
+        }
+        if (--out.staged == 0) {
+          router.staging_nonempty[static_cast<std::size_t>(w)] &=
+              ~(std::uint64_t{1} << (op % 64));
+        }
+      }
     }
   }
 }
 
-void Network::deliver(std::size_t shard, Packet pkt) {
+void Network::deliver(std::size_t shard, const Packet& pkt) {
   ShardTotals& totals = shard_totals_[shard];
   totals.stats.record_delivery(cycle_ - pkt.t_generated, cycle_ - pkt.t_injected,
                                pkt.measured);
@@ -395,15 +630,34 @@ std::int64_t Network::delivered_in_window() const {
   return total;
 }
 
+std::int64_t Network::flit_hops() const {
+  std::int64_t total = 0;
+  for (const auto& totals : shard_totals_) total += totals.flit_hops;
+  return total;
+}
+
 std::int64_t Network::flits_in_flight() const {
   std::int64_t total = 0;
   for (const auto& router : routers_) {
-    for (const auto& in : router.inputs) total += in.occupancy();
-    for (const auto& out : router.outputs) {
-      total += static_cast<std::int64_t>(out.staging.size() + out.channel.size());
+    for (const auto& in : router.inputs) {
+      total += in.occupancy() + static_cast<std::int64_t>(in.incoming.size());
     }
+    for (const auto& out : router.outputs) {
+      total += static_cast<std::int64_t>(out.staging.size());
+    }
+    total += static_cast<std::int64_t>(router.ejection.size());
   }
   return total;
+}
+
+void Network::reserve_measurement_stats() {
+  for (std::size_t s = 0; s < shards_; ++s) {
+    auto [lo, hi] = shard_ranges_[s];
+    std::int64_t endpoints = 0;
+    for (int r = lo; r < hi; ++r) endpoints += topo_.endpoints_at(r);
+    shard_totals_[s].stats.reserve(
+        static_cast<std::size_t>(endpoints * config_.measure_cycles));
+  }
 }
 
 SimResult Network::run() {
@@ -419,6 +673,8 @@ SimResult Network::run() {
   result.avg_network_latency = merged.average_network_latency();
   result.p99_latency = merged.percentile_latency(0.99);
   result.delivered = merged.total_delivered();
+  result.cycles = cycle_;
+  result.flit_hops = flit_hops();
   // Accepted throughput counts ejections *during* the measurement window
   // (Dally & Towles methodology); packets delivered later in the drain
   // improve latency statistics but not throughput.

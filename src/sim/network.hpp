@@ -19,14 +19,15 @@
 // count (docs/ARCHITECTURE.md spells out the full argument; the ctest
 // network_parallel_test enforces it).
 //
-//   1. arrivals      Pull-based: router r pops the credit_return lines of
-//                    its own outputs, pops the one upstream channel feeding
-//                    each of its inputs (single consumer per channel, see
-//                    sim/router.hpp), delivers from its own ejection
-//                    channels into its shard's Stats, and pops uplink
-//                    credits for its endpoints.
-//                      writes: r's credits/inputs, upstream channel deques
-//                              (sole consumer), shard stats, ep credits.
+//   1. arrivals      Local: router r pops the credit_return lines of its
+//                    own network outputs, pops the incoming flit line
+//                    stored at each of its own inputs (filled by the
+//                    upstream router's allocation — see sim/router.hpp
+//                    for the receiver-side placement), delivers from its
+//                    own aggregated ejection line into its shard's Stats,
+//                    and drains its ep_credits event line.
+//                      writes: r's credits/inputs (incl. occupied_vcs
+//                              masks), shard stats, ep credits.
 //                      reads:  cycle_.
 //   2. injection     Per endpoint of r: Bernoulli generation and uplink
 //                    into r's injection buffer, drawing only from the
@@ -39,21 +40,31 @@
 //                              ids/seq, shard measured_generated.
 //                      reads:  any router's outputs (frozen), cycle_.
 //   3. allocation    Both alloc_iterations for router r back-to-back: pops
-//                    r's input buffers, spends r's output credits, fills
-//                    r's staging, and pushes freed-slot credits onto the
-//                    upstream credit_return lines feeding r (single
-//                    producer per line) with credit_delay >= 1, so nothing
-//                    pushed here is visible before the next cycle's
-//                    arrivals. next_router() may read r's own queue
-//                    estimates (FT-ANCA adaptivity) — never another
+//                    r's input buffers, spends r's output credits and
+//                    staging slots, and performs two kinds of remote
+//                    pushes, each with a single producer and invisible
+//                    until a later cycle's arrivals: freed-slot credits
+//                    onto the upstream credit_return lines feeding r
+//                    (credit_delay >= 1), and granted network packets
+//                    onto the downstream incoming lines (final ready time
+//                    = cycle + staged occupancy + wire latency, always
+//                    >= next cycle; no shard reads any incoming line
+//                    during this phase). next_router() may read r's own
+//                    queue estimates (FT-ANCA adaptivity) — never another
 //                    router's.
-//                      writes: r's inputs/credits/staging/rr, upstream
-//                              credit_return lines (sole producer),
-//                              endpoint credit_return lines.
+//                      writes: r's inputs/credits/staged/rr/route caches/
+//                              masks, ejection-port staging rings, r's
+//                              ep_credits line, upstream credit_return
+//                              lines (sole producer), downstream incoming
+//                              lines (sole producer).
 //                      reads:  r's outputs, cycle_.
-//   4. transmission  Head of each of r's staging queues onto its own
-//                    channel.
-//                      writes: r's staging/channels.  reads: cycle_.
+//   4. transmission  Advances r's staging counters (one flit per output
+//                    per cycle; network packets already sit in the
+//                    downstream incoming line) and moves ejection staging
+//                    heads onto r's own aggregated ejection line.
+//                      writes: r's staged counters/staging_nonempty masks,
+//                              ejection staging rings, ejection line.
+//                      reads:  cycle_.
 //
 // Serial between cycles: ++cycle_ and the run() loop checks. Anything not
 // listed as writable in a phase must not be written there; widening a
@@ -94,8 +105,33 @@ class Network {
 
   // ---- Introspection used by routing algorithms -------------------------
   const Topology& topology() const { return topo_; }
-  /// Output port index on `router` leading to `neighbor`.
-  int port_of_neighbor(int router, int neighbor) const;
+  /// Largest router count for which wire() builds the dense neighbor->port
+  /// table (2048^2 x int16 = 8 MB per Network; every paper-scale config is
+  /// well below it). Larger networks fall back to the O(log degree) binary
+  /// search so per-point memory stays near-linear.
+  static constexpr int kDenseNeighborPortLimit = 2048;
+
+  /// Output port index on `router` leading to `neighbor`. O(1) for
+  /// networks up to kDenseNeighborPortLimit routers via a dense
+  /// router x router -> port table (int16, -1 = not adjacent), replacing
+  /// the per-call binary search the allocation loop and UGAL's path
+  /// costing used to pay; O(log degree) beyond. Out-of-range ids throw
+  /// the same named error as a non-adjacent pair (never an out-of-bounds
+  /// read).
+  int port_of_neighbor(int router, int neighbor) const {
+    if (static_cast<unsigned>(router) >= static_cast<unsigned>(num_routers_) ||
+        static_cast<unsigned>(neighbor) >= static_cast<unsigned>(num_routers_)) {
+      throw_not_adjacent(router, neighbor);
+    }
+    if (!neighbor_port_.empty()) {
+      int port = neighbor_port_[static_cast<std::size_t>(router) *
+                                    static_cast<std::size_t>(num_routers_) +
+                                static_cast<std::size_t>(neighbor)];
+      if (port < 0) throw_not_adjacent(router, neighbor);
+      return port;
+    }
+    return port_of_neighbor_sparse(router, neighbor);
+  }
   /// Congestion estimate for an output port: staging occupancy plus
   /// credits consumed downstream.
   int queue_estimate(int router, int port) const {
@@ -120,16 +156,32 @@ class Network {
   std::int64_t flits_in_flight() const;
   /// Endpoints that can generate traffic under the pattern.
   int active_endpoints() const { return active_endpoints_; }
+  /// Crossbar traversals granted so far (one per packet per router) — the
+  /// hot path's unit of work, reported by bench/hotpath as flit-hops/s.
+  std::int64_t flit_hops() const;
+
+  /// Pre-reserves the per-shard latency pools for the full measurement
+  /// window (active endpoints x measure_cycles samples). Opt-in hook for
+  /// the allocation-guard test and bench/hotpath: it makes the measurement
+  /// phase allocation-free at the cost of an upper-bound reservation,
+  /// which would be wasteful as a default at paper scale and low load.
+  void reserve_measurement_stats();
 
  private:
   void wire();
+  [[noreturn]] void throw_not_adjacent(int router, int neighbor) const;
+  /// Binary search over the sorted adjacency list (networks too large for
+  /// the dense table).
+  int port_of_neighbor_sparse(int router, int neighbor) const;
   void step_shard(std::size_t shard);
   void sync();  ///< barrier between phases; no-op when sequential
   void phase_arrivals(std::size_t shard);
   void phase_injection(std::size_t shard);
   void phase_allocation(std::size_t shard);
   void phase_transmission(std::size_t shard);
-  void deliver(std::size_t shard, Packet pkt);
+  /// One router's allocator (both internal-speedup iterations).
+  void allocate_router(std::size_t shard, int r);
+  void deliver(std::size_t shard, const Packet& pkt);
   bool all_measured_delivered() const;  ///< cheap per-cycle drain check
   std::int64_t delivered_in_window() const;
 
@@ -144,6 +196,16 @@ class Network {
   std::vector<Rng> router_rngs_;
   std::int64_t cycle_ = 0;
   int active_endpoints_ = 0;
+  int num_routers_ = 0;
+  /// Dense neighbor->port table: neighbor_port_[r * num_routers_ + n] is
+  /// the output port of r toward n, or -1 when not adjacent.
+  std::vector<std::int16_t> neighbor_port_;
+  /// Routing declared its head-of-line decision a pure function of the
+  /// packet, enabling the per-VC decision cache (see phase_allocation).
+  bool routing_cacheable_ = false;
+  /// Routing keeps the default next_router/link_vc: decisions are computed
+  /// inline from pkt.path with no virtual dispatch.
+  bool routing_follows_path_ = false;
 
   // ---- sharding ---------------------------------------------------------
   // Shard s owns routers [shard_ranges_[s].first, .second) and their
@@ -155,6 +217,7 @@ class Network {
     Stats stats;
     std::int64_t measured_generated = 0;
     std::int64_t delivered_in_window = 0;
+    std::int64_t flit_hops = 0;  ///< crossbar grants in this shard
   };
   std::size_t shards_ = 1;
   std::vector<std::pair<int, int>> shard_ranges_;
@@ -165,15 +228,34 @@ class Network {
   mutable Stats merged_stats_;
   mutable bool stats_dirty_ = true;
 
-  // Scratch request lists rebuilt each allocation iteration:
-  // per router, per output port, candidate (input port, vc) pairs.
+  // Persistent per-shard allocation scratch, sized once at wire() for the
+  // widest router in the shard's range (so the per-cycle allocation loop
+  // reuses flat storage instead of rebuilding nested vectors):
+  //   heads   — one head-of-line request per non-empty (input port, VC)
+  //   sorted  — the same requests counting-sorted by output port (stable,
+  //             so each output sees its candidates in (port, VC) order —
+  //             identical to the old per-output bucket push_back order)
+  //   offsets — per-output [begin, end) ranges into `sorted`
+  //   granted — per-input-port grant flag for the 1-grant-per-input rule
   struct Request {
     int input_port;
     int vc;
     int output_port;
     int vc_link;
   };
-  std::vector<std::vector<std::vector<Request>>> requests_;  // [router][output]
+  struct AllocScratch {
+    std::vector<Request> heads;
+    std::vector<Request> sorted;
+    std::vector<int> offsets;
+    std::vector<std::uint8_t> granted;
+  };
+  std::vector<AllocScratch> alloc_scratch_;  // [shard]
+
+  /// Head-of-line decision for `pkt` at router r: the output port
+  /// (network or ejection) and the VC on the outgoing link. Inlines the
+  /// default follow-the-path protocol when the routing declared it.
+  RouteDecision head_decision(const RouterState& router, int r,
+                              const Packet& pkt) const;
 };
 
 }  // namespace slimfly::sim

@@ -1,35 +1,55 @@
 #pragma once
 // Single-flit packet, following the paper's choice of one-flit packets to
 // isolate routing behaviour from flow-control effects (Section V).
+//
+// The packet is exactly one cache line (64 bytes), trivially copyable, and
+// carries its router path inline (InlinePath) rather than on the heap: the
+// simulator's ring buffers relocate packets with single-line copies and
+// the steady-state stepping loop never allocates. Every field is sized to
+// its real range (see the static_asserts; docs/ARCHITECTURE.md, "hot-path
+// memory layout"):
+//   * timestamps are 32-bit cycle counts — Network rejects configs whose
+//     horizon could exceed them;
+//   * router ids are uint16 (an O(n^2)-distance-table simulation of more
+//     than 65k routers is already infeasible);
+//   * the source router is not stored: it is derivable from src_endpoint
+//     (Topology::endpoint_router), and injection-time routing does so.
 
 #include <cstdint>
-#include <vector>
+#include <type_traits>
+
+#include "sim/path.hpp"
 
 namespace slimfly::sim {
 
 struct Packet {
   std::int64_t id = 0;
-  int src_endpoint = -1;
-  int dst_endpoint = -1;
-  int src_router = -1;
-  int dst_router = -1;
+  std::int32_t t_generated = 0;  ///< cycle the endpoint created the packet
+  std::int32_t t_injected = 0;   ///< cycle the packet entered its source router
+  std::int32_t src_endpoint = -1;
+  std::int32_t dst_endpoint = -1;
+  std::uint16_t dst_router = 0;
 
-  /// Router path for source-routed algorithms (path[0] == src_router,
+  /// Router path for source-routed algorithms (path[0] == source router,
   /// path.back() == dst_router). Empty for per-hop adaptive routing.
-  std::vector<int> path;
+  InlinePath path;
   /// Index of the router the packet currently occupies (0 at the source).
-  int hop = 0;
+  std::int8_t hop = 0;
   /// VC assigned to the link currently being traversed (set at switch
   /// allocation from RoutingAlgorithm::link_vc).
-  int wire_vc = 0;
-
-  std::int64_t t_generated = 0;  ///< cycle the endpoint created the packet
-  std::int64_t t_injected = 0;   ///< cycle the packet entered its source router
-  std::int64_t t_delivered = -1;
+  std::int8_t wire_vc = 0;
   bool measured = false;         ///< generated inside the measurement window
 
   /// VC used on the link leaving the current router (VC = hop index).
   int next_vc() const { return hop; }
 };
+
+static_assert(std::is_trivially_copyable<Packet>::value,
+              "Packet must stay trivially copyable: the hot-path ring "
+              "buffers rely on allocation-free relocation");
+static_assert(sizeof(Packet) == 64,
+              "Packet is sized to exactly one cache line; growing it is a "
+              "measurable hot-path regression — shrink something else or "
+              "consciously update this assert");
 
 }  // namespace slimfly::sim

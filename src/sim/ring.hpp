@@ -1,0 +1,146 @@
+#pragma once
+// Ring-buffer deques backing every hot-path queue in the simulator.
+//
+// The steady-state stepping loop must never touch the allocator (see the
+// "hot-path memory layout" section of docs/ARCHITECTURE.md), so the
+// std::deque-based queues were replaced by:
+//
+//  * FixedRing<T>  — capacity chosen once (at Network::wire(), from the
+//    flow-control config that already bounds the queue's occupancy);
+//    overflow throws a named error because it is always a protocol
+//    violation, never a sizing decision.
+//  * GrowRing<T>   — amortized-doubling ring for the one genuinely
+//    unbounded queue (the endpoint source queue, which must absorb offered
+//    load past saturation). Below saturation it reaches a small stable
+//    capacity and never allocates again.
+//
+// Both keep elements contiguous-in-ring with head/size indices and
+// conditional (branch, not modulo) wrap-around.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace slimfly::sim {
+
+/// Fixed-capacity FIFO. `reset(capacity)` (re)allocates storage exactly
+/// once; push beyond capacity throws std::logic_error naming the ring.
+template <typename T>
+class FixedRing {
+ public:
+  FixedRing() = default;
+  explicit FixedRing(std::size_t capacity) { reset(capacity); }
+
+  /// Sizes the ring and clears it. The only allocating operation.
+  void reset(std::size_t capacity) {
+    slots_.assign(capacity, T{});
+    head_ = 0;
+    size_ = 0;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ >= slots_.size(); }
+
+  void push_back(const T& value) { push_slot() = value; }
+
+  /// Claims the next tail slot and returns it for in-place assignment —
+  /// the zero-copy variant of push_back (the hot path writes a packet
+  /// straight from one ring into the next without intermediate copies).
+  T& push_slot() {
+    if (full()) {
+      throw std::logic_error(
+          "FixedRing: overflow at capacity " + std::to_string(slots_.size()) +
+          " (the wire()-time occupancy bound was violated)");
+    }
+    std::size_t tail = head_ + size_;
+    if (tail >= slots_.size()) tail -= slots_.size();
+    ++size_;
+    return slots_[tail];
+  }
+
+  const T& front() const {
+    if (empty()) throw std::logic_error("FixedRing: front on empty ring");
+    return slots_[head_];
+  }
+
+  /// Discards the front element without returning it (pairs with front()
+  /// for copy-free consumption).
+  void drop_front() {
+    if (empty()) throw std::logic_error("FixedRing: pop on empty ring");
+    ++head_;
+    if (head_ >= slots_.size()) head_ = 0;
+    --size_;
+  }
+
+  T pop_front() {
+    if (empty()) throw std::logic_error("FixedRing: pop on empty ring");
+    T value = std::move(slots_[head_]);
+    ++head_;
+    if (head_ >= slots_.size()) head_ = 0;
+    --size_;
+    return value;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Unbounded FIFO with amortized-doubling growth. Storage is allocated on
+/// first use (so idle endpoints cost nothing) and only grows — a queue that
+/// once held n elements never allocates again until it exceeds n.
+template <typename T>
+class GrowRing {
+ public:
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  void push_back(T value) {
+    if (size_ >= slots_.size()) grow();
+    std::size_t tail = head_ + size_;
+    if (tail >= slots_.size()) tail -= slots_.size();
+    slots_[tail] = std::move(value);
+    ++size_;
+  }
+
+  const T& front() const {
+    if (empty()) throw std::logic_error("GrowRing: front on empty ring");
+    return slots_[head_];
+  }
+
+  T pop_front() {
+    if (empty()) throw std::logic_error("GrowRing: pop on empty ring");
+    T value = std::move(slots_[head_]);
+    ++head_;
+    if (head_ >= slots_.size()) head_ = 0;
+    --size_;
+    return value;
+  }
+
+ private:
+  void grow() {
+    std::size_t next = slots_.empty() ? kInitialCapacity : slots_.size() * 2;
+    std::vector<T> bigger(next);
+    for (std::size_t i = 0; i < size_; ++i) {
+      std::size_t at = head_ + i;
+      if (at >= slots_.size()) at -= slots_.size();
+      bigger[i] = std::move(slots_[at]);
+    }
+    slots_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  static constexpr std::size_t kInitialCapacity = 8;
+
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace slimfly::sim

@@ -6,7 +6,7 @@ UgalRouting::CandidateSampler dragonfly_group_sampler(const Dragonfly& topo,
                                                       const DistanceTable& dist) {
   const Dragonfly* df = &topo;
   const DistanceTable* dt = &dist;
-  return [df, dt](int src, int dst, Rng& rng, std::vector<int>& path) {
+  return [df, dt](int src, int dst, Rng& rng, InlinePath& path) {
     path.clear();
     path.push_back(src);
     if (src == dst) return;

@@ -18,19 +18,26 @@ int FatTreeAncaRouting::adaptive_up(const Network& net, const Packet& pkt,
   // All upward neighbours reach every destination; pick the least-loaded
   // output port (ANCA's adaptivity). The scan starts at a packet-dependent
   // offset so that ties (ubiquitous at low load, where every queue estimate
-  // is zero) spread traffic instead of herding onto the first port.
-  std::vector<int> ups;
-  ups.reserve(16);
+  // is zero) spread traffic instead of herding onto the first port. The
+  // candidate list lives on the stack: this runs in the allocation hot
+  // loop, which must not allocate (docs/ARCHITECTURE.md).
+  int ups[kMaxUpPorts];
+  std::size_t n_ups = 0;
   for (int n : topo_.graph().neighbors(router)) {
-    if (topo_.level(n) == level + 1) ups.push_back(n);
+    if (topo_.level(n) == level + 1) {
+      if (n_ups >= kMaxUpPorts) {
+        throw std::logic_error("FT-ANCA: more than kMaxUpPorts upward ports");
+      }
+      ups[n_ups++] = n;
+    }
   }
-  if (ups.empty()) throw std::logic_error("FT-ANCA: no upward neighbour");
+  if (n_ups == 0) throw std::logic_error("FT-ANCA: no upward neighbour");
   std::size_t offset = static_cast<std::size_t>(
-      (pkt.id + pkt.src_endpoint + 31 * router) % static_cast<int>(ups.size()));
+      (pkt.id + pkt.src_endpoint + 31 * router) % static_cast<int>(n_ups));
   int best = -1;
   int best_queue = std::numeric_limits<int>::max();
-  for (std::size_t k = 0; k < ups.size(); ++k) {
-    int n = ups[(k + offset) % ups.size()];
+  for (std::size_t k = 0; k < n_ups; ++k) {
+    int n = ups[(k + offset) % n_ups];
     int q = net.queue_estimate(router, net.port_of_neighbor(router, n));
     if (q < best_queue) {
       best_queue = q;

@@ -23,6 +23,11 @@ class FatTreeAncaRouting : public RoutingAlgorithm {
   int next_router(const Network& net, const Packet& pkt,
                   int current_router) const override;
 
+  // cacheable_decisions()/follows_packet_path() stay at the base-class
+  // false: the upward decision reads live queue estimates (it must be
+  // re-derived every allocation iteration) and both next_router and
+  // link_vc are overridden.
+
   /// Up/down routes are acyclic, so any per-packet VC is deadlock-free;
   /// hashing the packet id over all VCs avoids single-VC HOL blocking
   /// (with VC = hop index every fat-tree link would see exactly one VC).
@@ -31,6 +36,10 @@ class FatTreeAncaRouting : public RoutingAlgorithm {
   }
 
  private:
+  /// Upper bound on a switch's upward ports (k/2 for a k-port fat tree);
+  /// bounds the stack-allocated candidate list in adaptive_up.
+  static constexpr std::size_t kMaxUpPorts = 256;
+
   int adaptive_up(const Network& net, const Packet& pkt, int router,
                   int level) const;
 

@@ -4,10 +4,10 @@ namespace slimfly::sim {
 
 void MinimalRouting::route_at_injection(Network& net, Packet& pkt, Rng& rng) {
   (void)net;
+  const int src = topo_.endpoint_router(pkt.src_endpoint);
   pkt.path.clear();
-  pkt.path.push_back(pkt.src_router);
-  dist_.sample_minimal_path(topo_.graph(), pkt.src_router, pkt.dst_router, rng,
-                            pkt.path);
+  pkt.path.push_back(src);
+  dist_.sample_minimal_path(topo_.graph(), src, pkt.dst_router, rng, pkt.path);
 }
 
 }  // namespace slimfly::sim

@@ -9,7 +9,7 @@
 
 namespace slimfly::sim {
 
-class MinimalRouting : public RoutingAlgorithm {
+class MinimalRouting : public PathFollowingRouting {
  public:
   MinimalRouting(const Topology& topo, const DistanceTable& dist)
       : topo_(topo), dist_(dist) {}

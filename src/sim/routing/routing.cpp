@@ -35,15 +35,29 @@ DistanceTable::DistanceTable(const Graph& g) : n_(g.num_vertices()) {
 }
 
 void DistanceTable::sample_minimal_path(const Graph& g, int u, int v, Rng& rng,
-                                        std::vector<int>& out) const {
+                                        InlinePath& out) const {
+  // Graphs are undirected (topo/graph.hpp), so dist(x, v) == dist(v, x):
+  // scanning row v keeps every lookup of this walk inside one contiguous,
+  // cache-resident row instead of striding a column of the n x n table.
+  const std::uint8_t* row_v =
+      &table_[static_cast<std::size_t>(v) * static_cast<std::size_t>(n_)];
   int current = u;
   while (current != v) {
-    int want = dist(current, v) - 1;
+    const int d = row_v[current];
+    if (d == 1) {
+      // The only vertex at distance 0 from v is v itself, so the scan
+      // below would find exactly one candidate (seen == 1, which draws
+      // nothing from rng): skip it. Every minimal walk ends with one of
+      // these steps, so on diameter-2 graphs this halves the scans.
+      out.push_back(v);
+      break;
+    }
+    const int want = d - 1;
     // Reservoir-sample one minimal next hop uniformly.
     int chosen = -1;
     int seen = 0;
     for (int w : g.neighbors(current)) {
-      if (dist(w, v) == want) {
+      if (row_v[w] == want) {
         ++seen;
         if (rng.next_below(static_cast<std::uint32_t>(seen)) == 0) chosen = w;
       }

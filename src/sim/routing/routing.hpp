@@ -35,7 +35,7 @@ class DistanceTable {
   /// Appends a uniformly-sampled minimal path from u to v onto `out`
   /// (excluding u, including v). No-op when u == v.
   void sample_minimal_path(const Graph& g, int u, int v, Rng& rng,
-                           std::vector<int>& out) const;
+                           InlinePath& out) const;
 
  private:
   int n_;
@@ -61,12 +61,43 @@ class RoutingAlgorithm {
   virtual int next_router(const Network& net, const Packet& pkt,
                           int current_router) const;
 
+  /// True when next_router()/link_vc() are pure functions of the packet
+  /// (and the static topology), which lets the allocator cache the
+  /// head-of-line decision per input VC until the packet is popped instead
+  /// of re-deriving it every cycle the packet waits. Defaults to FALSE —
+  /// the conservative, always-correct choice for algorithms the allocator
+  /// knows nothing about (per-hop adaptive decisions that read live queue
+  /// state, like FT-ANCA's, legitimately change while a packet waits, so
+  /// caching them would change results). Source-routed algorithms opt in.
+  virtual bool cacheable_decisions() const { return false; }
+
+  /// True when this algorithm keeps the DEFAULT next_router (follow
+  /// pkt.path) and DEFAULT link_vc (VC = hop index): the allocator then
+  /// computes the head-of-line decision inline from the packet instead of
+  /// paying two virtual calls per packet per router. Defaults to FALSE so
+  /// a subclass overriding next_router()/link_vc() is never silently
+  /// bypassed; algorithms keeping the defaults opt in (see
+  /// PathFollowingRouting below).
+  virtual bool follows_packet_path() const { return false; }
+
   /// Virtual channel for the link the packet is about to take. The default
   /// (VC = hop index, Gopal's scheme) is deadlock-free on any topology
   /// because VCs strictly increase along a path. Algorithms whose physical
   /// routes are acyclic (fat-tree up/down) may spread packets over all
   /// max_hops() VCs instead, avoiding single-VC head-of-line blocking.
   virtual int link_vc(const Packet& pkt) const { return pkt.hop; }
+};
+
+/// Base for source-routed algorithms that keep the default
+/// next_router/link_vc (follow pkt.path, VC = hop index): opts into the
+/// allocator's head-of-line decision cache and its inline, devirtualized
+/// path following. Derive from RoutingAlgorithm directly when overriding
+/// either virtual — the conservative defaults there keep a forgotten flag
+/// from silently bypassing your logic.
+class PathFollowingRouting : public RoutingAlgorithm {
+ public:
+  bool cacheable_decisions() const override { return true; }
+  bool follows_packet_path() const override { return true; }
 };
 
 }  // namespace slimfly::sim

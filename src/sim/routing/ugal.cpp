@@ -15,7 +15,7 @@ UgalRouting::UgalRouting(const Topology& topo, const DistanceTable& dist,
       valiant_(topo, dist),
       sampler_(std::move(sampler)) {}
 
-double UgalRouting::path_cost(const Network& net, const std::vector<int>& path) const {
+double UgalRouting::path_cost(const Network& net, const InlinePath& path) const {
   double hops = static_cast<double>(path.size()) - 1.0;
   if (hops <= 0.0) return 0.0;
   if (mode_ == UgalMode::Local) {
@@ -35,26 +35,30 @@ double UgalRouting::path_cost(const Network& net, const std::vector<int>& path) 
 }
 
 void UgalRouting::route_at_injection(Network& net, Packet& pkt, Rng& rng) {
-  // Minimal candidate.
-  std::vector<int> best;
-  best.push_back(pkt.src_router);
-  dist_.sample_minimal_path(topo_.graph(), pkt.src_router, pkt.dst_router, rng, best);
+  const int src = topo_.endpoint_router(pkt.src_endpoint);
+  const int dst = pkt.dst_router;
+  // Minimal candidate. Both candidate buffers live on the stack (InlinePath
+  // is inline storage), so candidate comparison allocates nothing.
+  InlinePath best;
+  best.push_back(src);
+  dist_.sample_minimal_path(topo_.graph(), src, dst, rng, best);
   double best_cost = path_cost(net, best);
 
-  std::vector<int> candidate;
+  InlinePath candidate;
   for (int c = 0; c < candidates_; ++c) {
+    candidate.clear();
     if (sampler_) {
-      sampler_(pkt.src_router, pkt.dst_router, rng, candidate);
+      sampler_(src, dst, rng, candidate);
     } else {
-      valiant_.build_path(pkt.src_router, pkt.dst_router, rng, candidate);
+      valiant_.build_path(src, dst, rng, candidate);
     }
     double cost = path_cost(net, candidate);
     if (cost < best_cost) {
       best_cost = cost;
-      best.swap(candidate);
+      best = candidate;
     }
   }
-  pkt.path = std::move(best);
+  pkt.path = best;
 }
 
 }  // namespace slimfly::sim

@@ -20,12 +20,12 @@ namespace slimfly::sim {
 
 enum class UgalMode { Local, Global };
 
-class UgalRouting : public RoutingAlgorithm {
+class UgalRouting : public PathFollowingRouting {
  public:
   /// `valiant_path(src, dst, rng, out)` draws one non-minimal candidate;
   /// pass {} to use plain router-Valiant.
   using CandidateSampler =
-      std::function<void(int, int, Rng&, std::vector<int>&)>;
+      std::function<void(int, int, Rng&, InlinePath&)>;
 
   UgalRouting(const Topology& topo, const DistanceTable& dist, UgalMode mode,
               int candidates = 4, CandidateSampler sampler = {});
@@ -38,7 +38,7 @@ class UgalRouting : public RoutingAlgorithm {
   void route_at_injection(Network& net, Packet& pkt, Rng& rng) override;
 
  private:
-  double path_cost(const Network& net, const std::vector<int>& path) const;
+  double path_cost(const Network& net, const InlinePath& path) const;
 
   const Topology& topo_;
   const DistanceTable& dist_;

@@ -3,7 +3,7 @@
 namespace slimfly::sim {
 
 void ValiantRouting::build_path(int src_router, int dst_router, Rng& rng,
-                                std::vector<int>& path) const {
+                                InlinePath& path) const {
   int nr = topo_.num_routers();
   for (int attempt = 0; attempt < 64; ++attempt) {
     path.clear();
@@ -12,8 +12,18 @@ void ValiantRouting::build_path(int src_router, int dst_router, Rng& rng,
       // Random intermediate distinct from both ends (Section IV-B).
       int via = src_router;
       while (via == src_router || via == dst_router) via = rng.next_int(0, nr - 1);
-      dist_.sample_minimal_path(topo_.graph(), src_router, via, rng, path);
-      dist_.sample_minimal_path(topo_.graph(), via, dst_router, rng, path);
+      try {
+        dist_.sample_minimal_path(topo_.graph(), src_router, via, rng, path);
+        dist_.sample_minimal_path(topo_.graph(), via, dst_router, rng, path);
+      } catch (const PathOverflowError&) {
+        // Hop-limited variant: a walk that outgrows the inline path is a
+        // fortiori over the limit — count it as a failed attempt so the
+        // totality machinery below still runs. Plain Valiant propagates:
+        // there a too-long walk means the topology/routing pair is
+        // unsupported, and a named error beats silently resampling.
+        if (!hop_limit_) throw;
+        continue;
+      }
     }
     if (!hop_limit_ || static_cast<int>(path.size()) - 1 <= *hop_limit_) return;
   }
@@ -26,7 +36,8 @@ void ValiantRouting::build_path(int src_router, int dst_router, Rng& rng,
 
 void ValiantRouting::route_at_injection(Network& net, Packet& pkt, Rng& rng) {
   (void)net;
-  build_path(pkt.src_router, pkt.dst_router, rng, pkt.path);
+  build_path(topo_.endpoint_router(pkt.src_endpoint), pkt.dst_router, rng,
+             pkt.path);
 }
 
 }  // namespace slimfly::sim

@@ -12,7 +12,7 @@
 
 namespace slimfly::sim {
 
-class ValiantRouting : public RoutingAlgorithm {
+class ValiantRouting : public PathFollowingRouting {
  public:
   ValiantRouting(const Topology& topo, const DistanceTable& dist,
                  std::optional<int> hop_limit = std::nullopt)
@@ -27,7 +27,7 @@ class ValiantRouting : public RoutingAlgorithm {
 
   /// Builds one Valiant path into `path` (used by UGAL to draw candidates).
   void build_path(int src_router, int dst_router, Rng& rng,
-                  std::vector<int>& path) const;
+                  InlinePath& path) const;
 
  private:
   const Topology& topo_;

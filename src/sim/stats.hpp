@@ -34,6 +34,14 @@ class Stats {
     return measured_delivered_ >= measured_generated_;
   }
 
+  /// Pre-reserves the latency pools (see Network::reserve_measurement_stats:
+  /// makes the measurement phase allocation-free when the caller can afford
+  /// the upper-bound reservation).
+  void reserve(std::size_t samples) {
+    latencies_.reserve(samples);
+    network_latencies_.reserve(samples);
+  }
+
  private:
   std::vector<std::int64_t> latencies_;          // measured packets only
   std::vector<std::int64_t> network_latencies_;  // measured packets only
@@ -51,6 +59,12 @@ struct SimResult {
   double p99_latency = 0.0;
   bool saturated = false;       ///< drain incomplete or latency beyond cap
   std::int64_t delivered = 0;
+  /// Cycles actually simulated (warmup + measurement + drain used) — the
+  /// deterministic numerator of the per-point throughput trajectory.
+  std::int64_t cycles = 0;
+  /// Crossbar traversals granted over the whole run (one per packet per
+  /// router hop); flit_hops / wall time is the hot path's work rate.
+  std::int64_t flit_hops = 0;
 };
 
 }  // namespace slimfly::sim

@@ -6,7 +6,7 @@ namespace slimfly::sim {
 namespace {
 
 TEST(DelayLine, NotReadyBeforeTime) {
-  DelayLine<int> line;
+  DelayLine<int> line(4);
   line.push(10, 42);
   EXPECT_FALSE(line.pop_ready(9).has_value());
   auto v = line.pop_ready(10);
@@ -16,7 +16,7 @@ TEST(DelayLine, NotReadyBeforeTime) {
 }
 
 TEST(DelayLine, FifoWithConstantLatency) {
-  DelayLine<int> line;
+  DelayLine<int> line(4);
   line.push(5, 1);
   line.push(6, 2);
   line.push(7, 3);
@@ -30,12 +30,25 @@ TEST(DelayLine, FifoWithConstantLatency) {
 TEST(DelayLine, HeadOfLineBlocksLaterItems) {
   // Constant latency means the head is always the earliest; a not-ready
   // head implies nothing behind it is ready either.
-  DelayLine<int> line;
+  DelayLine<int> line(4);
   line.push(10, 1);
   line.push(11, 2);
   EXPECT_FALSE(line.pop_ready(9).has_value());
   EXPECT_EQ(*line.pop_ready(10), 1);
   EXPECT_FALSE(line.pop_ready(10).has_value());
+}
+
+TEST(DelayLine, FixedCapacityOverflowThrows) {
+  // Lines are sized once at wire() from the flow-control occupancy bound;
+  // pushing past that bound is a protocol violation, not a resize request.
+  DelayLine<int> line(2);
+  line.push(5, 1);
+  line.push(5, 2);
+  EXPECT_THROW(line.push(5, 3), std::logic_error);
+  EXPECT_EQ(*line.pop_ready(5), 1);
+  line.push(6, 4);  // slot freed; wrap-around reuse
+  EXPECT_EQ(*line.pop_ready(6), 2);
+  EXPECT_EQ(*line.pop_ready(6), 4);
 }
 
 }  // namespace

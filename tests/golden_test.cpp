@@ -6,10 +6,12 @@
 // the satellite CI matrix uses.
 //
 // Regenerating after an intentional simulator change:
-//   SF_UPDATE_GOLDEN=1 ./build/golden_test   (rewrites the .trajectory)
-//   ./build/sweep --config examples/suites/golden_mini.json
-//   cp BENCH_golden_mini.json tests/golden/
-// and say so in the PR — a golden change is a results change.
+//   SF_UPDATE_GOLDEN=1 ./build/golden_test
+// rewrites BOTH golden files (the .trajectory and the BENCH json). The
+// BENCH regeneration preserves the prior file's wall_seconds per matching
+// point (exp::preserve_wall_seconds), so its git diff shows only
+// result-bearing changes — wall time never churns. Say so in the PR — a
+// golden change is a results change.
 
 #include <gtest/gtest.h>
 
@@ -46,12 +48,29 @@ const std::string kTrajectoryPath = "tests/golden/golden_mini.trajectory";
 TEST(GoldenTrajectory, MatchesCheckedInTrajectoryExactly) {
   exp::ExperimentSpec spec = golden_spec();
   exp::ExperimentEngine engine(1);
-  const std::string got = exp::golden_trajectory(spec, engine.run(spec));
+  std::vector<exp::RunResult> results = engine.run(spec);
+  const std::string got = exp::golden_trajectory(spec, results);
   if (std::getenv("SF_UPDATE_GOLDEN")) {
     std::ofstream os(source_path(kTrajectoryPath));
     ASSERT_TRUE(os.good());
     os << got;
     std::cout << "updated " << kTrajectoryPath << "\n";
+    // Also regenerate the BENCH golden, preserving the prior file's wall
+    // times per matching point so the diff shows only result-bearing
+    // changes (wall-derived throughput follows the preserved wall).
+    std::size_t preserved = 0;
+    try {
+      exp::Trajectory prior = exp::load_bench_file(
+          source_path("tests/golden/BENCH_golden_mini.json"));
+      preserved = exp::preserve_wall_seconds(prior, spec, results);
+    } catch (const std::exception&) {
+      // First generation: no prior file to preserve from.
+    }
+    const std::string path =
+        exp::write_json_file(spec, results, 1, source_path("tests/golden"));
+    ASSERT_FALSE(path.empty());
+    std::cout << "updated " << path << " (" << preserved
+              << " wall times preserved)\n";
     return;
   }
   const std::string want = read_file(source_path(kTrajectoryPath));

@@ -1,0 +1,117 @@
+// Hot-path guarantees: (1) steady-state Network::step() performs ZERO heap
+// allocations per cycle — enforced with a counting global allocator — and
+// (2) the data-oriented storage (ring buffers, receiver-side flit lines,
+// per-router route caches and occupancy masks) still produces bit-identical
+// trajectories across the SF_THREADS x SF_INTRA_THREADS matrix.
+//
+// The allocation guard covers the transition from warmup into the
+// measurement window, so it exercises delivery recording too (the network
+// pre-reserves its latency pools via reserve_measurement_stats). Setup —
+// wiring, first-touch growth of endpoint source rings, scratch sizing — is
+// allowed to allocate; the measured region is not.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "exp/diff.hpp"
+#include "exp/experiment.hpp"
+#include "sf/mms.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+std::atomic<long long> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace slimfly::sim {
+namespace {
+
+SimConfig guard_config() {
+  SimConfig cfg;
+  cfg.warmup_cycles = 400;
+  cfg.measure_cycles = 400;
+  cfg.drain_cycles = 4000;
+  return cfg;
+}
+
+// Steps `settle` cycles (allocations allowed: source rings grow on first
+// use), then asserts the next `measured` cycles allocate nothing. The
+// window straddles warmup -> measurement, covering every phase plus stats
+// recording.
+void expect_allocation_free_steady_state(RoutingKind kind, double load) {
+  sf::SlimFlyMMS topo(5);
+  auto routing = make_routing(kind, topo);
+  auto traffic = make_uniform(topo.num_endpoints());
+  Network net(topo, *routing.algorithm, *traffic, guard_config(), load);
+  net.reserve_measurement_stats();
+  for (int i = 0; i < 300; ++i) net.step();
+  const long long before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 200; ++i) net.step();
+  const long long during =
+      g_allocations.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(during, 0) << to_string(kind)
+                       << ": steady-state stepping must not allocate";
+  EXPECT_GT(net.flit_hops(), 0);  // the guard window did real work
+}
+
+TEST(HotPathAllocationGuard, MinimalRoutingSteadyStateIsAllocationFree) {
+  expect_allocation_free_steady_state(RoutingKind::Minimal, 0.3);
+}
+
+TEST(HotPathAllocationGuard, UgalSteadyStateIsAllocationFree) {
+  expect_allocation_free_steady_state(RoutingKind::UgalL, 0.3);
+}
+
+TEST(HotPathAllocationGuard, FatTreeGatherPathIsAllocationFree) {
+  // FT-ANCA takes the non-cacheable allocator path (per-iteration
+  // re-derivation), which must be just as allocation-free.
+  FatTree3 topo(4);
+  auto routing = make_routing(RoutingKind::FatTreeAnca, topo);
+  auto traffic = make_uniform(topo.num_endpoints());
+  Network net(topo, *routing.algorithm, *traffic, guard_config(), 0.3);
+  net.reserve_measurement_stats();
+  for (int i = 0; i < 300; ++i) net.step();
+  const long long before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 200; ++i) net.step();
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0);
+}
+
+TEST(HotPathStorage, BitIdenticalAcrossThreadMatrix) {
+  // The new storage under sharded stepping: every (across x intra) worker
+  // combination must reproduce the sequential trajectory byte-for-byte.
+  exp::ExperimentSpec spec = exp::ExperimentSpec::cross(
+      "hotpath_matrix", {"slimfly:q=5"}, {"MIN", "UGAL-L"}, {"uniform"},
+      {0.2, 0.6}, guard_config());
+  spec.truncate_at_saturation = false;
+  exp::ExperimentEngine reference(1);
+  const std::string want = exp::golden_trajectory(spec, reference.run(spec));
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    for (int intra : {1, 2}) {
+      exp::ExperimentSpec run = spec;
+      run.config.intra_threads = intra;
+      exp::ExperimentEngine engine(threads);
+      EXPECT_EQ(want, exp::golden_trajectory(run, engine.run(run)))
+          << "threads=" << threads << " intra=" << intra;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slimfly::sim

@@ -8,6 +8,7 @@
 #include "sim/simulation.hpp"
 #include "topo/dragonfly.hpp"
 #include "topo/fattree.hpp"
+#include "topo/torus.hpp"
 
 namespace slimfly::sim {
 namespace {
@@ -140,6 +141,30 @@ TEST(Network, PortOfNeighborInverse) {
   Network net(topo, *routing.algorithm, *traffic, quick_config(), 0.0);
   const Graph& g = topo.graph();
   for (int r = 0; r < topo.num_routers(); r += 7) {
+    const auto& nbrs = g.neighbors(r);
+    for (int i = 0; i < static_cast<int>(nbrs.size()); ++i) {
+      EXPECT_EQ(net.port_of_neighbor(r, nbrs[static_cast<std::size_t>(i)]), i);
+    }
+  }
+  EXPECT_THROW(net.port_of_neighbor(0, 0), std::invalid_argument);
+  // Out-of-range ids throw the same named error, never an OOB read.
+  EXPECT_THROW(net.port_of_neighbor(-1, 0), std::invalid_argument);
+  EXPECT_THROW(net.port_of_neighbor(0, topo.num_routers()),
+               std::invalid_argument);
+}
+
+TEST(Network, PortOfNeighborSparseFallbackAboveDenseLimit) {
+  // Above kDenseNeighborPortLimit routers the dense table is skipped and
+  // lookups binary-search the adjacency list — same answers, same errors.
+  Torus topo({13, 13, 13});  // 2197 routers > 2048
+  ASSERT_GT(topo.num_routers(), Network::kDenseNeighborPortLimit);
+  auto routing = make_routing(RoutingKind::Minimal, topo);
+  auto traffic = make_uniform(topo.num_endpoints());
+  SimConfig cfg = quick_config();
+  cfg.num_vcs = routing.algorithm->max_hops();  // diameter 18 on this torus
+  Network net(topo, *routing.algorithm, *traffic, cfg, 0.0);
+  const Graph& g = topo.graph();
+  for (int r = 0; r < topo.num_routers(); r += 97) {
     const auto& nbrs = g.neighbors(r);
     for (int i = 0; i < static_cast<int>(nbrs.size()); ++i) {
       EXPECT_EQ(net.port_of_neighbor(r, nbrs[static_cast<std::size_t>(i)]), i);

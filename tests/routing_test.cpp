@@ -18,7 +18,8 @@
 namespace slimfly::sim {
 namespace {
 
-bool is_walk(const Graph& g, const std::vector<int>& path) {
+template <typename PathLike>  // InlinePath or std::vector<int>
+bool is_walk(const Graph& g, const PathLike& path) {
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     if (!g.has_edge(path[i], path[i + 1])) return false;
   }
@@ -55,7 +56,7 @@ TEST(DistanceTable, SampledPathsAreMinimalWalks) {
   Rng rng(7);
   for (int trial = 0; trial < 200; ++trial) {
     int u = rng.next_int(0, 31), v = rng.next_int(0, 31);
-    std::vector<int> path{u};
+    InlinePath path{u};
     dt.sample_minimal_path(hc.graph(), u, v, rng, path);
     EXPECT_EQ(static_cast<int>(path.size()) - 1, dt.dist(u, v));
     EXPECT_TRUE(is_walk(hc.graph(), path));
@@ -74,7 +75,7 @@ TEST(DistanceTable, SamplingCoversAllMinimalNextHops) {
   int u = 0, v = 3;  // distance 2, two minimal intermediates: 1 and 2
   std::set<int> intermediates;
   for (int t = 0; t < 100; ++t) {
-    std::vector<int> path{u};
+    InlinePath path{u};
     dt.sample_minimal_path(hc.graph(), u, v, rng, path);
     ASSERT_EQ(path.size(), 3u);
     intermediates.insert(path[1]);
@@ -94,9 +95,13 @@ class RoutingPaths : public ::testing::Test {
     Packet p;
     p.src_endpoint = src_ep;
     p.dst_endpoint = dst_ep;
-    p.src_router = topo_.endpoint_router(src_ep);
-    p.dst_router = topo_.endpoint_router(dst_ep);
+    p.dst_router =
+        static_cast<std::uint16_t>(topo_.endpoint_router(dst_ep));
     return p;
+  }
+
+  int src_router_of(const Packet& p) const {
+    return topo_.endpoint_router(p.src_endpoint);
   }
 
   sf::SlimFlyMMS topo_;
@@ -114,7 +119,7 @@ TEST_F(RoutingPaths, MinimalAtMostTwoHops) {
     routing.route_at_injection(net_, p, rng);
     EXPECT_LE(p.path.size(), 3u);  // <= 2 links
     EXPECT_TRUE(is_walk(topo_.graph(), p.path));
-    EXPECT_EQ(p.path.front(), p.src_router);
+    EXPECT_EQ(p.path.front(), src_router_of(p));
     EXPECT_EQ(p.path.back(), p.dst_router);
   }
 }
@@ -149,7 +154,7 @@ TEST_F(RoutingPaths, UgalChoosesMinimalAtZeroLoad) {
     Packet p = make_pkt(5, rng.next_int(0, topo_.num_endpoints() - 1));
     routing.route_at_injection(net_, p, rng);
     EXPECT_EQ(static_cast<int>(p.path.size()) - 1,
-              bundle_.distances->dist(p.src_router, p.dst_router));
+              bundle_.distances->dist(src_router_of(p), p.dst_router));
   }
 }
 
@@ -160,7 +165,7 @@ TEST_F(RoutingPaths, UgalGlobalChoosesMinimalAtZeroLoad) {
     Packet p = make_pkt(9, rng.next_int(0, topo_.num_endpoints() - 1));
     routing.route_at_injection(net_, p, rng);
     EXPECT_EQ(static_cast<int>(p.path.size()) - 1,
-              bundle_.distances->dist(p.src_router, p.dst_router));
+              bundle_.distances->dist(src_router_of(p), p.dst_router));
   }
 }
 
@@ -172,13 +177,25 @@ TEST(DragonflySampler, PathsStayValid) {
   for (int t = 0; t < 200; ++t) {
     int src = rng.next_int(0, df->num_routers() - 1);
     int dst = rng.next_int(0, df->num_routers() - 1);
-    std::vector<int> path;
+    InlinePath path;
     sampler(src, dst, rng, path);
     EXPECT_EQ(path.front(), src);
     if (src != dst) EXPECT_EQ(path.back(), dst);
     EXPECT_TRUE(is_walk(df->graph(), path));
     EXPECT_LE(path.size(), 7u);  // <= 6 links for group-Valiant
   }
+}
+
+TEST(InlinePathLimits, OverflowThrowsNamedError) {
+  InlinePath p;
+  for (int i = 0; i < InlinePath::kMaxRouters; ++i) p.push_back(i);
+  EXPECT_EQ(p.size(), static_cast<std::size_t>(InlinePath::kMaxRouters));
+  EXPECT_THROW(p.push_back(1), PathOverflowError);
+  // Router ids are stored as uint16; anything wider is a named error, not
+  // silent truncation.
+  InlinePath q;
+  EXPECT_THROW(q.push_back(70000), PathOverflowError);
+  EXPECT_THROW(q.push_back(-1), PathOverflowError);
 }
 
 TEST(RoutingBase, NextRouterFollowsPath) {
