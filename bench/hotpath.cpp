@@ -1,19 +1,30 @@
-// Hot-path microbenchmark: runs one simulation point (default: the
-// slimfly:q=11 | UGAL-L | uniform @ 0.5 point the README's before/after
-// numbers use) on a directly-driven Network and reports the stepping
+// Hot-path microbenchmark: a small battery of simulation points, each run
+// under BOTH stepping engines (cycle and active), reporting the stepping
 // loop's work rate — simulated Mcycles/s and flit-hops/s (one flit-hop per
-// crossbar grant). Writes BENCH_hotpath.json for the CI perf-smoke job,
-// which uploads it as an artifact; throughput is reported, never gated,
-// matching the `sweep diff` wall-time policy.
+// crossbar grant) — plus how many cycles the active engine actually stepped
+// versus fast-forwarded. Writes BENCH_hotpath.json for the CI perf-smoke
+// job, which uploads it as an artifact; throughput is reported, never
+// gated, matching the `sweep diff` wall-time policy.
+//
+// Battery cells:
+//   * reference — slimfly:q=11 | UGAL-L | uniform @ 0.5, the README's
+//     before/after point (busy network; the cycle engine's home turf).
+//   * lowload   — torus:dims=8x8x8 | MIN | stencil3d @ 0.002, a mostly-idle
+//     network where the active engine's router skipping dominates.
+//   * drain     — slimfly:q=11 | UGAL-L | uniform @ 0.7, where the
+//     post-injection drain tail is the bulk of the simulated cycles.
 //
 //   hotpath [--topo SPEC] [--routing SPEC] [--traffic NAME] [--load L]
 //           [--out PATH]
 //
+// Passing any of --topo/--routing/--traffic/--load replaces the battery
+// with that single custom cell (still run under both engines).
 // SF_BENCH_SCALE / SF_INTRA_THREADS apply as everywhere else.
 
 #include <cstring>
 #include <fstream>
 #include <optional>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "exp/json.hpp"
@@ -21,23 +32,106 @@
 
 namespace {
 
+using namespace slimfly;
+
 int usage(const char* argv0, int code) {
   std::cout << "usage: " << argv0
             << " [--topo SPEC] [--routing SPEC] [--traffic NAME]\n"
                "       [--load L] [--out PATH]\n"
-               "defaults: slimfly:q=11 UGAL-L uniform @ 0.5, BENCH_hotpath.json\n";
+               "defaults: the three-cell battery (reference / lowload / "
+               "drain),\nBENCH_hotpath.json; any cell flag switches to a "
+               "single custom cell.\nEvery cell runs under both stepping "
+               "engines.\n";
   return code;
+}
+
+struct Cell {
+  std::string name;
+  std::string topo;
+  std::string routing;
+  std::string traffic;
+  double load = 0.5;
+  /// Extra simulated cycles for cells whose wall time would otherwise be
+  /// too short to time reliably (0 = the SF_BENCH_SCALE default).
+  std::int64_t min_measure = 0;
+};
+
+struct EngineRun {
+  sim::SimResult res;
+  double wall = 0.0;
+  double mcyc = 0.0;
+  double fhps = 0.0;
+};
+
+struct CellResult {
+  Cell cell;
+  EngineRun cycle;
+  EngineRun active;
+  double speedup = 0.0;  ///< active Mcycles/s over cycle Mcycles/s
+};
+
+EngineRun run_cell(const Cell& cell, sim::StepEngine engine) {
+  auto topo = topo::make(cell.topo);
+  auto bundle = sim::make_routing_spec(cell.routing, *topo);
+  auto traffic = sim::make_traffic(cell.traffic, *topo);
+  sim::SimConfig cfg = bench::make_sim_config();
+  cfg.engine = engine;
+  if (cfg.num_vcs < bundle.algorithm->max_hops()) {
+    cfg.num_vcs = bundle.algorithm->max_hops();
+  }
+  if (cfg.measure_cycles < cell.min_measure) {
+    cfg.measure_cycles = cell.min_measure;
+  }
+
+  sim::Network net(*topo, *bundle.algorithm, *traffic, cfg, cell.load);
+  // Pre-reserve the latency pools so the measured region is exactly the
+  // allocation-free steady-state loop (tests/hotpath_test.cpp asserts
+  // that property under a counting allocator, for both engines).
+  net.reserve_measurement_stats();
+  Timer timer;
+  EngineRun run;
+  run.res = net.run();
+  run.wall = timer.seconds();
+  if (run.wall > 0.0) {
+    run.mcyc = static_cast<double>(run.res.cycles) / run.wall / 1e6;
+    run.fhps = static_cast<double>(run.res.flit_hops) / run.wall;
+  }
+  return run;
+}
+
+void print_engine_line(const char* name, const EngineRun& r) {
+  std::cout << "  " << name << ": " << exp::json::number(r.mcyc)
+            << " Mcycles/s, " << exp::json::number(r.fhps)
+            << " flit-hops/s, wall " << exp::json::number(r.wall) << " s\n"
+            << "    cycles " << r.res.cycles << " (stepped "
+            << r.res.cycles_stepped << ", fast-forwarded "
+            << (r.res.cycles - r.res.cycles_stepped) << ")\n";
+}
+
+void write_engine_json(std::ostream& os, const EngineRun& r) {
+  const char* in = "          ";
+  os << in << "\"cycles\": " << r.res.cycles << ",\n"
+     << in << "\"cycles_stepped\": " << r.res.cycles_stepped << ",\n"
+     << in << "\"cycles_fast_forwarded\": "
+     << (r.res.cycles - r.res.cycles_stepped) << ",\n"
+     << in << "\"flit_hops\": " << r.res.flit_hops << ",\n"
+     << in << "\"wall_seconds\": " << exp::json::number(r.wall) << ",\n"
+     << in << "\"mcycles_per_sec\": " << exp::json::number(r.mcyc) << ",\n"
+     << in << "\"flit_hops_per_sec\": " << exp::json::number(r.fhps) << ",\n"
+     << in << "\"latency\": " << exp::json::number(r.res.avg_latency)
+     << ",\n"
+     << in << "\"accepted\": " << exp::json::number(r.res.accepted_load)
+     << ",\n"
+     << in << "\"saturated\": " << (r.res.saturated ? "true" : "false")
+     << "\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace slimfly;
-  std::string topo_spec = "slimfly:q=11";
-  std::string routing_spec = "UGAL-L";
-  std::string traffic_name = "uniform";
   std::string out_path = "BENCH_hotpath.json";
-  double load = 0.5;
+  Cell custom{"custom", "slimfly:q=11", "UGAL-L", "uniform", 0.5, 0};
+  bool single = false;
 
   auto next_arg = [&](int& i) -> const char* {
     if (i + 1 >= argc) throw std::invalid_argument("missing value for flag");
@@ -46,15 +140,20 @@ int main(int argc, char** argv) {
   try {
     for (int i = 1; i < argc; ++i) {
       if (!std::strcmp(argv[i], "--topo")) {
-        topo_spec = next_arg(i);
+        custom.topo = next_arg(i);
+        single = true;
       } else if (!std::strcmp(argv[i], "--routing")) {
-        routing_spec = next_arg(i);
+        custom.routing = next_arg(i);
+        single = true;
       } else if (!std::strcmp(argv[i], "--traffic")) {
-        traffic_name = next_arg(i);
+        custom.traffic = next_arg(i);
+        single = true;
       } else if (!std::strcmp(argv[i], "--load")) {
         std::size_t pos = 0;
-        load = std::stod(next_arg(i), &pos);
-        if (load <= 0.0) throw std::invalid_argument("--load must be > 0");
+        custom.load = std::stod(next_arg(i), &pos);
+        if (custom.load <= 0.0)
+          throw std::invalid_argument("--load must be > 0");
+        single = true;
       } else if (!std::strcmp(argv[i], "--out")) {
         out_path = next_arg(i);
       } else {
@@ -62,58 +161,83 @@ int main(int argc, char** argv) {
       }
     }
 
-    auto topo = topo::make(topo_spec);
-    auto bundle = sim::make_routing_spec(routing_spec, *topo);
-    auto traffic = sim::make_traffic(traffic_name, *topo);
-    sim::SimConfig cfg = bench::make_sim_config();
-    if (cfg.num_vcs < bundle.algorithm->max_hops()) {
-      cfg.num_vcs = bundle.algorithm->max_hops();
+    std::vector<Cell> cells;
+    if (single) {
+      cells.push_back(custom);
+    } else {
+      cells.push_back(
+          {"reference", "slimfly:q=11", "UGAL-L", "uniform", 0.5, 0});
+      // The low-load cell gets a longer measured window: at ~1 injected
+      // packet per cycle network-wide its wall time under the active
+      // engine would otherwise be too short to time.
+      cells.push_back({"lowload", "torus:dims=8x8x8", "MIN", "stencil3d",
+                       0.002, 6000});
+      cells.push_back(
+          {"drain", "slimfly:q=11", "UGAL-L", "uniform", 0.7, 0});
     }
 
-    sim::Network net(*topo, *bundle.algorithm, *traffic, cfg, load);
-    // Pre-reserve the latency pools so the measured region is exactly the
-    // allocation-free steady-state loop (tests/hotpath_test.cpp asserts
-    // that property under a counting allocator).
-    net.reserve_measurement_stats();
-    Timer timer;
-    sim::SimResult res = net.run();
-    const double wall = timer.seconds();
-
-    const double mcyc = wall > 0.0
-                            ? static_cast<double>(res.cycles) / wall / 1e6
-                            : 0.0;
-    const double fhps = wall > 0.0
-                            ? static_cast<double>(res.flit_hops) / wall
-                            : 0.0;
-    std::cout << "hotpath: " << topo_spec << " | " << routing_spec << " | "
-              << traffic_name << " @ " << load << "\n"
-              << "  cycles          " << res.cycles << "\n"
-              << "  flit-hops       " << res.flit_hops << "\n"
-              << "  wall            " << exp::json::number(wall) << " s\n"
-              << "  Mcycles/s       " << exp::json::number(mcyc) << "\n"
-              << "  flit-hops/s     " << exp::json::number(fhps) << "\n"
-              << "  avg latency     " << exp::json::number(res.avg_latency) << "\n"
-              << "  accepted load   " << exp::json::number(res.accepted_load)
-              << (res.saturated ? "  [saturated]" : "") << "\n";
+    std::vector<CellResult> results;
+    for (const Cell& cell : cells) {
+      std::cout << "hotpath[" << cell.name << "]: " << cell.topo << " | "
+                << cell.routing << " | " << cell.traffic << " @ "
+                << cell.load << "\n";
+      CellResult r;
+      r.cell = cell;
+      r.cycle = run_cell(cell, sim::StepEngine::Cycle);
+      r.active = run_cell(cell, sim::StepEngine::Active);
+      r.speedup = r.cycle.mcyc > 0.0 ? r.active.mcyc / r.cycle.mcyc : 0.0;
+      print_engine_line("engine cycle ", r.cycle);
+      print_engine_line("engine active", r.active);
+      std::cout << "  active/cycle speedup: "
+                << exp::json::number(r.speedup) << "x\n";
+      results.push_back(std::move(r));
+    }
 
     std::ofstream os(out_path);
     if (!os) throw std::invalid_argument("cannot write \"" + out_path + "\"");
-    os << "{\n"
-       << "  \"bench\": \"hotpath\",\n"
-       << "  \"topology\": \"" << topo_spec << "\",\n"
-       << "  \"routing\": \"" << routing_spec << "\",\n"
-       << "  \"traffic\": \"" << traffic_name << "\",\n"
-       << "  \"load\": " << exp::json::number(load) << ",\n"
-       << "  \"intra_threads\": " << static_cast<int>(net.intra_threads())
+    os << "{\n  \"bench\": \"hotpath\",\n  \"cells\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const CellResult& r = results[i];
+      os << "    {\n"
+         << "      \"name\": " << exp::json::quote(r.cell.name) << ",\n"
+         << "      \"topology\": " << exp::json::quote(r.cell.topo) << ",\n"
+         << "      \"routing\": " << exp::json::quote(r.cell.routing)
+         << ",\n"
+         << "      \"traffic\": " << exp::json::quote(r.cell.traffic)
+         << ",\n"
+         << "      \"load\": " << exp::json::number(r.cell.load) << ",\n"
+         << "      \"active_speedup\": " << exp::json::number(r.speedup)
+         << ",\n"
+         << "      \"engines\": {\n        \"cycle\": {\n";
+      write_engine_json(os, r.cycle);
+      os << "        },\n        \"active\": {\n";
+      write_engine_json(os, r.active);
+      os << "        }\n      }\n    }"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    // The first cell's cycle-engine numbers also land at the top level,
+    // keeping older BENCH_hotpath.json consumers working.
+    const CellResult& head = results.front();
+    os << "  ],\n"
+       << "  \"topology\": " << exp::json::quote(head.cell.topo) << ",\n"
+       << "  \"routing\": " << exp::json::quote(head.cell.routing) << ",\n"
+       << "  \"traffic\": " << exp::json::quote(head.cell.traffic) << ",\n"
+       << "  \"load\": " << exp::json::number(head.cell.load) << ",\n"
+       << "  \"intra_threads\": " << exp::intra_threads_from_env() << ",\n"
+       << "  \"cycles\": " << head.cycle.res.cycles << ",\n"
+       << "  \"flit_hops\": " << head.cycle.res.flit_hops << ",\n"
+       << "  \"wall_seconds\": " << exp::json::number(head.cycle.wall)
        << ",\n"
-       << "  \"cycles\": " << res.cycles << ",\n"
-       << "  \"flit_hops\": " << res.flit_hops << ",\n"
-       << "  \"wall_seconds\": " << exp::json::number(wall) << ",\n"
-       << "  \"mcycles_per_sec\": " << exp::json::number(mcyc) << ",\n"
-       << "  \"flit_hops_per_sec\": " << exp::json::number(fhps) << ",\n"
-       << "  \"latency\": " << exp::json::number(res.avg_latency) << ",\n"
-       << "  \"accepted\": " << exp::json::number(res.accepted_load) << ",\n"
-       << "  \"saturated\": " << (res.saturated ? "true" : "false") << "\n"
+       << "  \"mcycles_per_sec\": " << exp::json::number(head.cycle.mcyc)
+       << ",\n"
+       << "  \"flit_hops_per_sec\": " << exp::json::number(head.cycle.fhps)
+       << ",\n"
+       << "  \"latency\": "
+       << exp::json::number(head.cycle.res.avg_latency) << ",\n"
+       << "  \"accepted\": "
+       << exp::json::number(head.cycle.res.accepted_load) << ",\n"
+       << "  \"saturated\": "
+       << (head.cycle.res.saturated ? "true" : "false") << "\n"
        << "}\n";
     std::cout << "wrote " << out_path << "\n";
   } catch (const std::exception& e) {

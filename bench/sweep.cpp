@@ -8,6 +8,7 @@
 //   sweep --config examples/suites/fig06a.json --scale small
 //   sweep --name t --topo slimfly:q=5 --emit-config t.json   # export, no run
 //   sweep diff tests/golden/BENCH_golden_mini.json BENCH_golden_mini.json
+//   sweep diff --against HEAD~1 BENCH_hotpath.json   # old side from git
 //   sweep --list
 //
 // Axes repeat; the engine runs the compatible cross-product over all cores
@@ -15,7 +16,9 @@
 // grammar and the suite-file schema are documented in docs/SPEC_GRAMMAR.md.
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -79,16 +82,19 @@ int usage(const char* argv0, int exit_code) {
       << "usage: " << argv0
       << " [--name TAG] [--topo SPEC]... [--routing SPEC]...\n"
          "       [--traffic NAME]... [--loads L1,L2,...] [--seed N]\n"
-         "       [--intra N] [--no-truncate] [--list] [--help]\n"
+         "       [--intra N] [--engine NAME] [--no-truncate] [--list] [--help]\n"
          "   or: " << argv0
       << " --config SUITE.json [--scale NAME] [--name TAG]\n"
-         "       [--seed N] [--intra N] [--no-truncate]\n"
+         "       [--seed N] [--intra N] [--engine NAME] [--no-truncate]\n"
          "   or: " << argv0
       << " ... --emit-config PATH   (write the suite JSON, run nothing;\n"
          "       PATH \"-\" = stdout)\n"
          "   or: " << argv0
       << " diff A.json B.json [--rel-tol R] [--abs-tol A]\n"
          "       [--allow-missing] [--verbose]\n"
+         "   or: " << argv0
+      << " diff --against GIT-REV B.json   (A = GIT-REV's version of B's\n"
+         "       path, via `git show`; compares history against the tree)\n"
          "defaults: the Section V evaluation trio, MIN routing, uniform\n"
          "traffic, the Figure 6 load grid, SF_BENCH_SCALE-dependent cycles.\n"
          "--config: run a suite file (checked-in suites: examples/suites/);\n"
@@ -100,16 +106,62 @@ int usage(const char* argv0, int exit_code) {
          "--intra N: router-parallel workers inside each point (0 = auto\n"
          "  split with the across-point level; default SF_INTRA_THREADS or\n"
          "  1). Results are bit-identical for every worker count.\n"
+         "--engine NAME: stepping engine, cycle or active (default\n"
+         "  SF_ENGINE or cycle). Bit-identical results either way; active\n"
+         "  skips quiet routers and fast-forwards idle stretches.\n"
          "env: SF_THREADS (across-point workers, 0/unset = all cores),\n"
-         "  SF_INTRA_THREADS (as --intra), SF_BENCH_SCALE (small|paper).\n"
+         "  SF_INTRA_THREADS (as --intra), SF_ENGINE (as --engine),\n"
+         "  SF_BENCH_SCALE (small|paper).\n"
          "Spec-string grammar and suite schema: docs/SPEC_GRAMMAR.md;\n"
          "paper->code map and engine internals: docs/ARCHITECTURE.md.\n";
   return exit_code;
 }
 
+// `git show REV:./PATH` through a pipe — the old side of `diff --against`.
+// REV and PATH are embedded in a shell command line, so both are
+// whitelist-validated first; PATH is additionally anchored to the
+// repository-relative form (the leading "./" makes git resolve it against
+// the current directory, and absolute paths are rejected outright).
+std::string git_show_file(const std::string& rev, const std::string& path) {
+  auto ok_chars = [](const std::string& s, const char* extra) {
+    for (char c : s) {
+      if (std::isalnum(static_cast<unsigned char>(c))) continue;
+      if (std::strchr(extra, c)) continue;
+      return false;
+    }
+    return !s.empty();
+  };
+  if (!ok_chars(rev, "._/^~@-") || rev.front() == '-') {
+    throw std::invalid_argument("malformed --against revision \"" + rev +
+                                "\" (want a git rev: letters, digits, "
+                                "._/^~@-)");
+  }
+  if (!ok_chars(path, "._/-") || path.front() == '/' ||
+      path.find("..") != std::string::npos) {
+    throw std::invalid_argument("malformed path \"" + path +
+                                "\" for --against (want a relative path)");
+  }
+  const std::string cmd =
+      "git show '" + rev + ":./" + path + "' 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) throw std::runtime_error("cannot run git show");
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) text.append(buf, n);
+  const int status = pclose(pipe);
+  if (status != 0) {
+    throw std::runtime_error("git show " + rev + ":./" + path +
+                             " failed (unknown revision, or the file does "
+                             "not exist at that revision?)");
+  }
+  return text;
+}
+
 int run_diff(int argc, char** argv) {
   using namespace slimfly;
   std::vector<std::string> files;
+  std::string against;
   exp::DiffOptions options;
   bool verbose = false;
   auto next_arg = [&](int& i) -> const char* {
@@ -123,6 +175,8 @@ int run_diff(int argc, char** argv) {
       options.abs_tol = parse_tolerance(next_arg(i), "--abs-tol");
     } else if (!std::strcmp(argv[i], "--allow-missing")) {
       options.allow_missing = true;
+    } else if (!std::strcmp(argv[i], "--against")) {
+      against = next_arg(i);
     } else if (!std::strcmp(argv[i], "--verbose")) {
       verbose = true;
     } else if (argv[i][0] == '-') {
@@ -131,14 +185,32 @@ int run_diff(int argc, char** argv) {
       files.push_back(argv[i]);
     }
   }
-  if (files.size() != 2) {
-    std::cerr << "error: diff needs exactly two BENCH_*.json files\n";
-    return 2;
+  exp::Trajectory a, b;
+  std::string a_name;
+  if (!against.empty()) {
+    // Historical mode: the old side comes out of git, the new side is the
+    // working-tree file at the same repository-relative path.
+    if (files.size() != 1) {
+      std::cerr << "error: diff --against needs exactly one BENCH_*.json "
+                   "file (the working-tree side; the old side is read from "
+                   "git at " << against << ")\n";
+      return 2;
+    }
+    a_name = against + ":" + files[0];
+    a = exp::parse_bench_json(git_show_file(against, files[0]), a_name);
+    b = exp::load_bench_file(files[0]);
+  } else {
+    if (files.size() != 2) {
+      std::cerr << "error: diff needs exactly two BENCH_*.json files "
+                   "(or one file with --against GIT-REV)\n";
+      return 2;
+    }
+    a_name = files[0];
+    a = exp::load_bench_file(files[0]);
+    b = exp::load_bench_file(files[1]);
   }
-  exp::Trajectory a = exp::load_bench_file(files[0]);
-  exp::Trajectory b = exp::load_bench_file(files[1]);
-  std::cout << "diff " << files[0] << " (" << a.points.size() << " points) vs "
-            << files[1] << " (" << b.points.size() << " points)\n";
+  std::cout << "diff " << a_name << " (" << a.points.size() << " points) vs "
+            << files.back() << " (" << b.points.size() << " points)\n";
   exp::DiffReport report = exp::diff_trajectories(a, b, options);
   exp::print_diff(std::cout, report, verbose);
   return report.passed ? 0 : 1;
@@ -164,6 +236,7 @@ int main(int argc, char** argv) {
   std::string config_path, scale, emit_path;
   std::optional<std::uint64_t> seed;
   std::optional<int> intra;
+  std::optional<sim::StepEngine> engine;
   bool truncate = true, truncate_flag = false;
 
   auto next_arg = [&](int& i) -> const char* {
@@ -212,6 +285,8 @@ int main(int argc, char** argv) {
                                       "\" (want 0..4096; 0 = auto)");
         }
         intra = static_cast<int>(std::stoul(value));
+      } else if (!std::strcmp(argv[i], "--engine")) {
+        engine = exp::step_engine_from_string(next_arg(i), "--engine");
       } else if (!std::strcmp(argv[i], "--no-truncate")) {
         truncate = false;
         truncate_flag = true;
@@ -247,6 +322,11 @@ int main(int argc, char** argv) {
       if (!intra && !exp::suite_sets_config_key(suite, scale, "intra_threads")) {
         spec.config.intra_threads = exp::intra_threads_from_env();
       }
+      // Engine precedence, same shape: --engine flag, then an explicit
+      // suite value, then SF_ENGINE, then the cycle default.
+      if (!engine && !exp::suite_sets_config_key(suite, scale, "engine")) {
+        spec.config.engine = exp::engine_from_env();
+      }
     } else {
       if (!scale.empty()) {
         throw std::invalid_argument("--scale requires --config");
@@ -262,6 +342,7 @@ int main(int argc, char** argv) {
     }
     if (seed) spec.config.seed = *seed;
     if (intra) spec.config.intra_threads = *intra;
+    if (engine) spec.config.engine = *engine;
     if (spec.series.empty()) {
       std::cerr << "no compatible (topology, routing, traffic) combination\n";
       return 1;

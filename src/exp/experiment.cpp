@@ -131,6 +131,11 @@ sim::SimConfig apply_config_overrides(sim::SimConfig base,
                                     "positive (got " + json_num(value) + ")");
       }
       base.latency_cap = value;
+    } else if (key == "engine") {
+      // Allowed per series (unlike seed/intra_threads): the stepping engine
+      // cannot change results, point_seed skips it, and golden_mini's
+      // engine=active cell relies on the per-series form.
+      base.engine = static_cast<sim::StepEngine>(integral(key, value, 0, 1));
     } else if (allow_run_keys && key == "seed") {
       // Doubles carry integers exactly up to 2^53 — far beyond any seed in
       // use; suite files wanting full 64 bits should derive via --seed.
@@ -142,7 +147,7 @@ sim::SimConfig apply_config_overrides(sim::SimConfig base,
           context + ": unknown config key \"" + key +
           "\" (known: num_vcs, buffer_per_port, channel_latency, "
           "router_pipeline, credit_delay, alloc_iterations, output_staging, "
-          "warmup_cycles, measure_cycles, drain_cycles, latency_cap" +
+          "warmup_cycles, measure_cycles, drain_cycles, latency_cap, engine" +
           (allow_run_keys ? ", seed, intra_threads)" :
                             "; seed and intra_threads are experiment-level)"));
     }
@@ -185,6 +190,10 @@ std::uint64_t point_seed(const ExperimentSpec& spec, std::size_t series_index,
   // study runs the same topo/routing/traffic six times); an empty map keeps
   // every pre-override seed unchanged.
   for (const auto& [key, value] : s.config_overrides) {
+    // The stepping engine is "hashed into nothing": it cannot change
+    // results, so an engine override must not change the point's streams
+    // (golden_mini's engine=active cell reproduces the cycle rows exactly).
+    if (key == "engine") continue;
     h = fnv1a("|" + key + "=" + json_num(value), h);
   }
   h = splitmix64(h ^ spec.config.seed);
@@ -197,6 +206,22 @@ std::size_t threads_from_env() {
 
 int intra_threads_from_env() {
   return static_cast<int>(parse_worker_env("SF_INTRA_THREADS", 1));
+}
+
+sim::StepEngine step_engine_from_string(const std::string& name,
+                                        const std::string& context) {
+  if (name == "cycle") return sim::StepEngine::Cycle;
+  if (name == "active") return sim::StepEngine::Active;
+  throw std::invalid_argument(context + ": unknown stepping engine \"" + name +
+                              "\" (known: cycle, active)");
+}
+
+sim::StepEngine engine_from_env() {
+  const char* env = std::getenv("SF_ENGINE");
+  if (!env) return sim::StepEngine::Cycle;
+  const std::string name(env);
+  if (name == "active") return sim::StepEngine::Active;
+  return sim::StepEngine::Cycle;  // unset/junk: the tolerant env fallback
 }
 
 ExperimentEngine::ExperimentEngine(std::size_t threads) {
@@ -446,7 +471,8 @@ void write_json(std::ostream& os, const ExperimentSpec& spec,
      << ", \"num_vcs\": " << spec.config.num_vcs
      << ", \"buffer_per_port\": " << spec.config.buffer_per_port
      << ", \"intra_threads\": " << spec.config.intra_threads
-     << ", \"seed\": " << spec.config.seed << "},\n";
+     << ", \"engine\": \"" << sim::to_string(spec.config.engine)
+     << "\", \"seed\": " << spec.config.seed << "},\n";
   os << "  \"series\": [\n";
   for (std::size_t s = 0; s < spec.series.size(); ++s) {
     const SeriesSpec& series = spec.series[s];

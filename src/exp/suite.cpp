@@ -36,6 +36,13 @@ ConfigOverrides parse_config_block(const json::Value& v,
                                    bool allow_run_keys) {
   ConfigOverrides out;
   for (const auto& [key, value] : v.as_object(context)) {
+    if (key == "engine" && value.is_string()) {
+      // The one string-valued config key: "cycle" | "active", stored as the
+      // StepEngine enum value (serialize_config writes the name back).
+      out[key] = static_cast<double>(step_engine_from_string(
+          value.as_string(context + "." + key), context + "." + key));
+      continue;
+    }
     out[key] = value.as_number(context + "." + key);
   }
   // Validate keys and ranges once against a scratch config so errors
@@ -126,7 +133,13 @@ void serialize_config(std::ostream& os, const ConfigOverrides& config,
   bool first = true;
   for (const auto& [key, value] : config) {
     os << (first ? "" : ",") << "\n" << indent << "  " << json::quote(key)
-       << ": " << json_num(value);
+       << ": ";
+    if (key == "engine") {
+      os << json::quote(
+          sim::to_string(static_cast<sim::StepEngine>(value != 0.0)));
+    } else {
+      os << json_num(value);
+    }
     first = false;
   }
   os << "\n" << indent << "}";
@@ -429,7 +442,8 @@ Suite suite_from_spec(const ExperimentSpec& spec, std::size_t threads) {
                   {"drain_cycles", static_cast<double>(c.drain_cycles)},
                   {"latency_cap", c.latency_cap},
                   {"seed", static_cast<double>(c.seed)},
-                  {"intra_threads", static_cast<double>(c.intra_threads)}};
+                  {"intra_threads", static_cast<double>(c.intra_threads)},
+                  {"engine", static_cast<double>(c.engine)}};
   for (const SeriesSpec& s : spec.series) {
     SuiteSeries series;
     series.topology[""] = s.topology;

@@ -9,6 +9,21 @@
 
 namespace slimfly::sim {
 
+/// Stepping engine selection. Both engines produce bit-identical results —
+/// the knob only trades wall-clock time (like intra_threads), so it is
+/// excluded from exp::point_seed hashing and allowed per-series in suites.
+///
+///   Cycle  — visit every router every cycle (the PR 5 data-oriented loop).
+///   Active — per-shard active-router sets plus a min-heap of future wake
+///            times: quiet routers are skipped and globally-idle stretches
+///            fast-forward the cycle counter in one jump
+///            (docs/ARCHITECTURE.md §"Stepping engines").
+enum class StepEngine : std::uint8_t { Cycle = 0, Active = 1 };
+
+inline const char* to_string(StepEngine engine) {
+  return engine == StepEngine::Active ? "active" : "cycle";
+}
+
 struct SimConfig {
   int num_vcs = 4;             ///< VC = hop index (Gopal); 4 covers <=4-hop paths
   int buffer_per_port = 64;    ///< total flit slots per input port (all VCs)
@@ -32,6 +47,9 @@ struct SimConfig {
   /// ExperimentEngine does — see exp/experiment.hpp). Results are
   /// bit-identical for every value: the knob only trades wall-clock time.
   int intra_threads = 1;
+
+  /// Stepping engine (cycle | active). Never changes results; see StepEngine.
+  StepEngine engine = StepEngine::Cycle;
 
   /// Flit slots available to each VC.
   int buffer_per_vc() const { return buffer_per_port / num_vcs; }

@@ -26,6 +26,12 @@ struct EndpointState {
   int credits = 0;                 ///< slots free in the injection buffer
   Rng rng{};                       ///< private stream, seeded from (seed, id)
   std::int64_t next_seq = 0;       ///< per-endpoint packet sequence number
+  /// Active engine only: the precomputed cycle of the next Bernoulli
+  /// arrival while the source queue is empty (kUnplanned = not planned —
+  /// backlog mode draws live per cycle; INT64_MAX = never, for load 0).
+  /// The cycle engine ignores it, so the field is pure scheduling state
+  /// and never observable in results.
+  std::int64_t next_arrival = -1;
   // (Returning uplink credits ride the owning router's ep_credits event
   // line — see sim/router.hpp — so idle endpoints are never polled.)
 };

@@ -26,6 +26,10 @@ inline int ctz64(std::uint64_t mask) {
 #endif
 }
 
+// EndpointState::next_arrival sentinels (active engine only).
+constexpr std::int64_t kUnplannedArrival = -1;  // backlog mode: draw live
+constexpr std::int64_t kNeverArrives = std::numeric_limits<std::int64_t>::max();
+
 std::size_t resolve_intra_threads(int requested, int num_routers) {
   std::size_t w;
   if (requested > 1) {
@@ -77,6 +81,7 @@ Network::Network(const Topology& topo, RoutingAlgorithm& routing,
   for (int e = 0; e < topo_.num_endpoints(); ++e) {
     if (traffic_.is_active(e)) ++active_endpoints_;
   }
+  if (config_.engine == StepEngine::Active) init_active();
 }
 
 void Network::wire() {
@@ -275,44 +280,86 @@ int Network::port_of_neighbor_sparse(int router, int neighbor) const {
   return static_cast<int>(it - nbrs.begin());
 }
 
+void Network::arrivals_router(std::size_t shard, int r) {
+  RouterState& router = routers_[static_cast<std::size_t>(r)];
+  // Credits coming back from downstream consumption of my outputs.
+  // Network ports only: nothing ever returns credits to an ejection port
+  // (endpoints always consume), so polling them would be pure overhead.
+  for (int p = 0; p < router.network_ports; ++p) {
+    OutputPort& out = router.outputs[static_cast<std::size_t>(p)];
+    while (auto vc = out.credit_return.pop_ready(cycle_)) {
+      ++out.credits[static_cast<std::size_t>(*vc)];
+      --out.consumed;
+    }
+  }
+  // Flit lines ending at my inputs live *in* my inputs, so the readiness
+  // poll walks my own contiguous state; front_ready/drop_front is the
+  // copy-free path: the packet is copied exactly once, line slot to VC
+  // buffer slot.
+  for (int i = 0; i < router.network_ports; ++i) {
+    InputPort& in = router.inputs[static_cast<std::size_t>(i)];
+    if (const Packet* pkt = in.incoming.front_ready(cycle_)) {
+      int vc = pkt->wire_vc;  // VC used on the link just traversed
+      in.vcs[static_cast<std::size_t>(vc)].push(*pkt);
+      router.vc_occupied[static_cast<std::size_t>(i)] |= std::uint64_t{1} << vc;
+      in.incoming.drop_front();
+    }
+  }
+  // My aggregated ejection line completes deliveries to my endpoints
+  // (same per-cycle delivery set as per-port lines: at most one flit per
+  // ejection port matures per cycle, in port order).
+  while (const Packet* pkt = router.ejection.front_ready(cycle_)) {
+    deliver(shard, *pkt);
+    router.ejection.drop_front();
+  }
+  // Uplink credits for my endpoints, as events on the per-router line.
+  int first_ep = topo_.first_endpoint(r);
+  while (auto j = router.ep_credits.pop_ready(cycle_)) {
+    ++injector_.endpoint(first_ep + *j).credits;
+  }
+}
+
 void Network::phase_arrivals(std::size_t shard) {
   auto [lo, hi] = shard_ranges_[shard];
-  for (int r = lo; r < hi; ++r) {
-    RouterState& router = routers_[static_cast<std::size_t>(r)];
-    // Credits coming back from downstream consumption of my outputs.
-    // Network ports only: nothing ever returns credits to an ejection port
-    // (endpoints always consume), so polling them would be pure overhead.
-    for (int p = 0; p < router.network_ports; ++p) {
-      OutputPort& out = router.outputs[static_cast<std::size_t>(p)];
-      while (auto vc = out.credit_return.pop_ready(cycle_)) {
-        ++out.credits[static_cast<std::size_t>(*vc)];
-        --out.consumed;
+  for (int r = lo; r < hi; ++r) arrivals_router(shard, r);
+}
+
+void Network::injection_router(std::size_t shard, int r, bool in_measurement) {
+  for (int j = 0; j < topo_.endpoints_at(r); ++j) {
+    int e = topo_.first_endpoint(r) + j;
+    auto& ep = injector_.endpoint(e);
+    // Bernoulli generation, drawing only from the endpoint's own stream.
+    if (ep.rng.bernoulli(load_)) {
+      int dst = traffic_.destination(e, ep.rng);
+      if (dst >= 0) {
+        Packet pkt;
+        // Unique and schedule-independent: the endpoint's sequence number
+        // strided by endpoint count.
+        pkt.id = ep.next_seq++ * topo_.num_endpoints() + e;
+        pkt.src_endpoint = e;
+        pkt.dst_endpoint = dst;
+        pkt.dst_router =
+            static_cast<std::uint16_t>(topo_.endpoint_router(dst));
+        pkt.t_generated = static_cast<std::int32_t>(cycle_);
+        pkt.measured = in_measurement;
+        if (pkt.measured) ++shard_totals_[shard].measured_generated;
+        ep.source_queue.push_back(pkt);
       }
     }
-    // Flit lines ending at my inputs live *in* my inputs, so the readiness
-    // poll walks my own contiguous state; front_ready/drop_front is the
-    // copy-free path: the packet is copied exactly once, line slot to VC
-    // buffer slot.
-    for (int i = 0; i < router.network_ports; ++i) {
-      InputPort& in = router.inputs[static_cast<std::size_t>(i)];
-      if (const Packet* pkt = in.incoming.front_ready(cycle_)) {
-        int vc = pkt->wire_vc;  // VC used on the link just traversed
-        in.vcs[static_cast<std::size_t>(vc)].push(*pkt);
-        router.vc_occupied[static_cast<std::size_t>(i)] |= std::uint64_t{1} << vc;
-        in.incoming.drop_front();
-      }
-    }
-    // My aggregated ejection line completes deliveries to my endpoints
-    // (same per-cycle delivery set as per-port lines: at most one flit per
-    // ejection port matures per cycle, in port order).
-    while (const Packet* pkt = router.ejection.front_ready(cycle_)) {
-      deliver(shard, *pkt);
-      router.ejection.drop_front();
-    }
-    // Uplink credits for my endpoints, as events on the per-router line.
-    int first_ep = topo_.first_endpoint(r);
-    while (auto j = router.ep_credits.pop_ready(cycle_)) {
-      ++injector_.endpoint(first_ep + *j).credits;
+    // Uplink: move the head of the source queue into the router's
+    // injection buffer (VC 0) when a credit is available. Routing happens
+    // here so UGAL sees the queue state at the moment of injection; that
+    // state is frozen for the whole phase, so the endpoint order cannot
+    // influence the decision.
+    if (!ep.source_queue.empty() && ep.credits > 0) {
+      Packet pkt = ep.source_queue.pop_front();
+      --ep.credits;
+      pkt.t_injected = static_cast<std::int32_t>(cycle_);
+      routing_.route_at_injection(*this, pkt, ep.rng);
+      RouterState& router = routers_[static_cast<std::size_t>(r)];
+      int port = router.network_ports + j;
+      router.inputs[static_cast<std::size_t>(port)].vcs[0].push(pkt);
+      router.vc_occupied[static_cast<std::size_t>(port)] |= 1;
     }
   }
 }
@@ -321,45 +368,7 @@ void Network::phase_injection(std::size_t shard) {
   bool in_measurement = cycle_ >= config_.warmup_cycles &&
                         cycle_ < config_.warmup_cycles + config_.measure_cycles;
   auto [lo, hi] = shard_ranges_[shard];
-  for (int r = lo; r < hi; ++r) {
-    for (int j = 0; j < topo_.endpoints_at(r); ++j) {
-      int e = topo_.first_endpoint(r) + j;
-      auto& ep = injector_.endpoint(e);
-      // Bernoulli generation, drawing only from the endpoint's own stream.
-      if (ep.rng.bernoulli(load_)) {
-        int dst = traffic_.destination(e, ep.rng);
-        if (dst >= 0) {
-          Packet pkt;
-          // Unique and schedule-independent: the endpoint's sequence number
-          // strided by endpoint count.
-          pkt.id = ep.next_seq++ * topo_.num_endpoints() + e;
-          pkt.src_endpoint = e;
-          pkt.dst_endpoint = dst;
-          pkt.dst_router =
-              static_cast<std::uint16_t>(topo_.endpoint_router(dst));
-          pkt.t_generated = static_cast<std::int32_t>(cycle_);
-          pkt.measured = in_measurement;
-          if (pkt.measured) ++shard_totals_[shard].measured_generated;
-          ep.source_queue.push_back(pkt);
-        }
-      }
-      // Uplink: move the head of the source queue into the router's
-      // injection buffer (VC 0) when a credit is available. Routing happens
-      // here so UGAL sees the queue state at the moment of injection; that
-      // state is frozen for the whole phase, so the endpoint order cannot
-      // influence the decision.
-      if (!ep.source_queue.empty() && ep.credits > 0) {
-        Packet pkt = ep.source_queue.pop_front();
-        --ep.credits;
-        pkt.t_injected = static_cast<std::int32_t>(cycle_);
-        routing_.route_at_injection(*this, pkt, ep.rng);
-        RouterState& router = routers_[static_cast<std::size_t>(r)];
-        int port = router.network_ports + j;
-        router.inputs[static_cast<std::size_t>(port)].vcs[0].push(pkt);
-        router.vc_occupied[static_cast<std::size_t>(port)] |= 1;
-      }
-    }
-  }
+  for (int r = lo; r < hi; ++r) injection_router(shard, r, in_measurement);
 }
 
 void Network::phase_allocation(std::size_t shard) {
@@ -472,6 +481,9 @@ void Network::allocate_router(std::size_t shard, int r) {
           staged_pkt = &routers_[static_cast<std::size_t>(out.dest_router)]
                             .inputs[static_cast<std::size_t>(out.dest_port)]
                             .incoming.push_slot(ready);
+          // The downstream router must run arrivals when this flit matures,
+          // even if it is asleep by then.
+          if (engine_active_) schedule_wake(shard, out.dest_router, ready);
         } else {
           staged_pkt = &out.staging.push_slot();
         }
@@ -501,9 +513,19 @@ void Network::allocate_router(std::size_t shard, int r) {
           routers_[static_cast<std::size_t>(in.src_router)]
               .outputs[static_cast<std::size_t>(in.src_port)]
               .credit_return.push(cycle_ + config_.credit_delay, req.vc);
+          // Credit maturation must run on time even on a sleeping upstream
+          // router: UGAL's queue_estimate reads `consumed` remotely, so a
+          // stale counter would change adaptive decisions.
+          if (engine_active_) {
+            schedule_wake(shard, in.src_router, cycle_ + config_.credit_delay);
+          }
         } else {
           router.ep_credits.push(cycle_ + config_.credit_delay,
                                  req.input_port - router.network_ports);
+          // This router may drain to idle before the uplink credit matures.
+          if (engine_active_) {
+            schedule_wake(shard, r, cycle_ + config_.credit_delay);
+          }
         }
         break;
       }
@@ -514,35 +536,41 @@ void Network::allocate_router(std::size_t shard, int r) {
   }
 }
 
-void Network::phase_transmission(std::size_t shard) {
-  std::int64_t ready = cycle_ + config_.channel_latency + config_.router_pipeline;
-  auto [lo, hi] = shard_ranges_[shard];
-  for (int r = lo; r < hi; ++r) {
-    RouterState& router = routers_[static_cast<std::size_t>(r)];
-    int num_words = static_cast<int>(router.staging_nonempty.size());
-    for (int w = 0; w < num_words; ++w) {
-      std::uint64_t mask = router.staging_nonempty[w];
-      while (mask) {
-        const int op = w * 64 + ctz64(mask);
-        mask &= mask - 1;
-        OutputPort& out = router.outputs[static_cast<std::size_t>(op)];
-        // One flit leaves the staging stage per cycle. Network-port
-        // packets already sit in the downstream incoming line (written at
-        // grant time with their final ready), so only the occupancy
-        // counter advances here; ejection packets hop from the staging
-        // ring onto the router's aggregated ejection line now, keeping
-        // that line's pushes time-ordered across ports.
-        if (op >= router.network_ports) {
-          router.ejection.push_slot(ready) = out.staging.front();
-          out.staging.drop_front();
-        }
-        if (--out.staged == 0) {
-          router.staging_nonempty[static_cast<std::size_t>(w)] &=
-              ~(std::uint64_t{1} << (op % 64));
-        }
+void Network::transmission_router(std::size_t shard, int r) {
+  const std::int64_t ready =
+      cycle_ + config_.channel_latency + config_.router_pipeline;
+  RouterState& router = routers_[static_cast<std::size_t>(r)];
+  int num_words = static_cast<int>(router.staging_nonempty.size());
+  for (int w = 0; w < num_words; ++w) {
+    std::uint64_t mask = router.staging_nonempty[w];
+    while (mask) {
+      const int op = w * 64 + ctz64(mask);
+      mask &= mask - 1;
+      OutputPort& out = router.outputs[static_cast<std::size_t>(op)];
+      // One flit leaves the staging stage per cycle. Network-port
+      // packets already sit in the downstream incoming line (written at
+      // grant time with their final ready), so only the occupancy
+      // counter advances here; ejection packets hop from the staging
+      // ring onto the router's aggregated ejection line now, keeping
+      // that line's pushes time-ordered across ports.
+      if (op >= router.network_ports) {
+        router.ejection.push_slot(ready) = out.staging.front();
+        out.staging.drop_front();
+        // The delivery must run when the flit matures, and nothing else
+        // keeps this router awake once its buffers drain.
+        if (engine_active_) schedule_wake(shard, r, ready);
+      }
+      if (--out.staged == 0) {
+        router.staging_nonempty[static_cast<std::size_t>(w)] &=
+            ~(std::uint64_t{1} << (op % 64));
       }
     }
   }
+}
+
+void Network::phase_transmission(std::size_t shard) {
+  auto [lo, hi] = shard_ranges_[shard];
+  for (int r = lo; r < hi; ++r) transmission_router(shard, r);
 }
 
 void Network::deliver(std::size_t shard, const Packet& pkt) {
@@ -570,13 +598,23 @@ void Network::step_shard(std::size_t shard) {
       shard_errors_[shard] = std::current_exception();
     }
   };
-  guarded(&Network::phase_arrivals);
-  sync();
-  guarded(&Network::phase_injection);
-  sync();
-  guarded(&Network::phase_allocation);
-  sync();
-  guarded(&Network::phase_transmission);
+  if (engine_active_) {
+    guarded(&Network::active_phase_arrivals);
+    sync();
+    guarded(&Network::active_phase_injection);
+    sync();
+    guarded(&Network::active_phase_allocation);
+    sync();
+    guarded(&Network::active_phase_transmission);
+  } else {
+    guarded(&Network::phase_arrivals);
+    sync();
+    guarded(&Network::phase_injection);
+    sync();
+    guarded(&Network::phase_allocation);
+    sync();
+    guarded(&Network::phase_transmission);
+  }
 }
 
 void Network::step() {
@@ -596,8 +634,268 @@ void Network::step() {
   for (auto& err : shard_errors_) {
     if (err) std::rethrow_exception(err);
   }
+  // Merge cross-shard wake events serially, before ++cycle_, so every heap
+  // is complete when fast_forward inspects the tops between steps.
+  if (engine_active_ && shards_ > 1) drain_wake_outboxes();
   ++cycle_;
+  ++cycles_stepped_;
   stats_dirty_ = true;
+}
+
+// ---- active engine ---------------------------------------------------------
+
+void Network::init_active() {
+  engine_active_ = true;
+  shard_of_router_.assign(static_cast<std::size_t>(num_routers_), 0);
+  for (std::size_t s = 0; s < shards_; ++s) {
+    for (int r = shard_ranges_[s].first; r < shard_ranges_[s].second; ++r) {
+      shard_of_router_[static_cast<std::size_t>(r)] =
+          static_cast<std::uint16_t>(s);
+    }
+  }
+  wake_heaps_.assign(shards_, {});
+  wake_outbox_.assign(shards_, {});
+  busy_.assign(shards_, {});
+  woken_.assign(shards_, {});
+  active_list_.assign(shards_, {});
+  for (std::size_t s = 0; s < shards_; ++s) {
+    auto [lo, hi] = shard_ranges_[s];
+    const std::size_t owned = static_cast<std::size_t>(hi - lo);
+    busy_[s].assign((owned + 63) / 64, 0);
+    woken_[s].assign((owned + 63) / 64, 0);
+    active_list_[s].reserve(owned);
+    // Live wakes targeting a router are bounded by the un-matured entries
+    // of its event lines (each push schedules exactly one wake at the
+    // entry's ready cycle, popped at that cycle's build) plus one pending
+    // injector arrival per endpoint — so the heap's worst case is the sum
+    // of the line capacities wire() chose. Reserving it keeps the
+    // steady-state push_heap/push_back allocation-free.
+    std::size_t cap = 1, inputs = 0;
+    for (int r = lo; r < hi; ++r) {
+      const RouterState& router = routers_[static_cast<std::size_t>(r)];
+      for (int i = 0; i < router.network_ports; ++i) {
+        cap += router.inputs[static_cast<std::size_t>(i)].incoming.capacity();
+        cap += router.outputs[static_cast<std::size_t>(i)]
+                   .credit_return.capacity();
+      }
+      cap += router.ejection.capacity() + router.ep_credits.capacity();
+      cap += static_cast<std::size_t>(topo_.endpoints_at(r));
+      inputs += router.inputs.size();
+    }
+    wake_heaps_[s].reserve(cap);
+    // Outbox: cleared every cycle; bounded by this shard's grant count per
+    // cycle (one flit wake + one credit wake per grant, <= inputs per
+    // allocation iteration).
+    wake_outbox_[s].reserve(
+        inputs * static_cast<std::size_t>(config_.alloc_iterations) * 2 + 1);
+  }
+  // Initial injector plans: the cycle engine draws each endpoint's first
+  // Bernoulli at cycle 0, so planning starts there.
+  for (std::size_t s = 0; s < shards_; ++s) {
+    auto [lo, hi] = shard_ranges_[s];
+    for (int r = lo; r < hi; ++r) {
+      for (int j = 0; j < topo_.endpoints_at(r); ++j) {
+        plan_arrival_from(s, r, topo_.first_endpoint(r) + j, 0);
+      }
+    }
+  }
+}
+
+void Network::schedule_wake(std::size_t shard, int router, std::int64_t at) {
+  const std::int64_t event =
+      (at << 16) | static_cast<std::int64_t>(router & 0xffff);
+  const std::size_t owner = shard_of_router_[static_cast<std::size_t>(router)];
+  if (owner == shard) {
+    auto& heap = wake_heaps_[owner];
+    heap.push_back(event);
+    std::push_heap(heap.begin(), heap.end(), std::greater<std::int64_t>{});
+  } else {
+    wake_outbox_[shard].push_back(event);
+  }
+}
+
+void Network::drain_wake_outboxes() {
+  for (auto& box : wake_outbox_) {
+    for (std::int64_t event : box) {
+      auto& heap = wake_heaps_[shard_of_router_[static_cast<std::size_t>(
+          event & 0xffff)]];
+      heap.push_back(event);
+      std::push_heap(heap.begin(), heap.end(), std::greater<std::int64_t>{});
+    }
+    box.clear();
+  }
+}
+
+void Network::build_active_list(std::size_t shard) {
+  auto [lo, hi] = shard_ranges_[shard];
+  auto& woken = woken_[shard];
+  std::fill(woken.begin(), woken.end(), 0);
+  // Pop every event due at or before this cycle. Stale events (a busy
+  // router stepped at its wake cycle anyway) just re-activate a router —
+  // stepping a quiet router is a no-op, so duplicates are harmless.
+  auto& heap = wake_heaps_[shard];
+  const std::int64_t limit = (cycle_ + 1) << 16;
+  while (!heap.empty() && heap.front() < limit) {
+    const int local = static_cast<int>(heap.front() & 0xffff) - lo;
+    woken[static_cast<std::size_t>(local) / 64] |=
+        std::uint64_t{1} << (local % 64);
+    std::pop_heap(heap.begin(), heap.end(), std::greater<std::int64_t>{});
+    heap.pop_back();
+  }
+  auto& list = active_list_[shard];
+  list.clear();
+  const auto& busy = busy_[shard];
+  for (std::size_t w = 0; w < woken.size(); ++w) {
+    std::uint64_t mask = woken[w] | busy[w];
+    while (mask) {
+      const int local = static_cast<int>(w) * 64 + ctz64(mask);
+      mask &= mask - 1;
+      list.push_back(lo + local);  // ascending: same order as a full scan
+    }
+  }
+}
+
+bool Network::router_is_busy(int r) const {
+  const RouterState& router = routers_[static_cast<std::size_t>(r)];
+  for (std::uint64_t w : router.staging_nonempty) {
+    if (w) return true;
+  }
+  for (std::uint64_t w : router.vc_occupied) {
+    if (w) return true;
+  }
+  for (int j = 0; j < topo_.endpoints_at(r); ++j) {
+    if (!injector_.endpoint(topo_.first_endpoint(r) + j).source_queue.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Network::update_busy(std::size_t shard) {
+  const int lo = shard_ranges_[shard].first;
+  auto& busy = busy_[shard];
+  for (int r : active_list_[shard]) {
+    const int local = r - lo;
+    const std::uint64_t bit = std::uint64_t{1} << (local % 64);
+    if (router_is_busy(r)) {
+      busy[static_cast<std::size_t>(local) / 64] |= bit;
+    } else {
+      busy[static_cast<std::size_t>(local) / 64] &= ~bit;
+    }
+  }
+}
+
+void Network::active_phase_arrivals(std::size_t shard) {
+  build_active_list(shard);
+  for (int r : active_list_[shard]) arrivals_router(shard, r);
+}
+
+void Network::active_phase_injection(std::size_t shard) {
+  bool in_measurement = cycle_ >= config_.warmup_cycles &&
+                        cycle_ < config_.warmup_cycles + config_.measure_cycles;
+  for (int r : active_list_[shard]) {
+    active_injection_router(shard, r, in_measurement);
+  }
+}
+
+void Network::active_phase_allocation(std::size_t shard) {
+  for (int r : active_list_[shard]) allocate_router(shard, r);
+}
+
+void Network::active_phase_transmission(std::size_t shard) {
+  for (int r : active_list_[shard]) transmission_router(shard, r);
+  // Shard-local busy refresh: reads only state this shard's phases wrote
+  // (VC masks, staging counters, endpoint queues), so it needs no barrier.
+  update_busy(shard);
+}
+
+void Network::plan_arrival_from(std::size_t shard, int r, int e,
+                                std::int64_t from) {
+  auto& ep = injector_.endpoint(e);
+  if (load_ <= 0.0) {
+    ep.next_arrival = kNeverArrives;
+    return;
+  }
+  // Batch the per-cycle Bernoulli draws the sleeping endpoint would have
+  // made — one draw per cycle, the exact cycle-engine sequence. Draws are
+  // capped at the run's absolute last cycle: past it neither engine can
+  // materialize a packet, so the leftover stream divergence is unobservable.
+  const std::int64_t last = config_.warmup_cycles + config_.measure_cycles +
+                            config_.drain_cycles;
+  std::int64_t t = from;
+  while (t < last && !ep.rng.bernoulli(load_)) ++t;
+  if (t >= last) {
+    ep.next_arrival = kNeverArrives;
+    return;
+  }
+  ep.next_arrival = t;
+  schedule_wake(shard, r, t);
+}
+
+void Network::active_injection_router(std::size_t shard, int r,
+                                      bool in_measurement) {
+  for (int j = 0; j < topo_.endpoints_at(r); ++j) {
+    int e = topo_.first_endpoint(r) + j;
+    auto& ep = injector_.endpoint(e);
+    bool generate = false;
+    if (ep.next_arrival == kUnplannedArrival) {
+      // Backlog mode: the source queue is nonempty, so the router is busy
+      // and steps every cycle — draw live, exactly like the cycle engine.
+      generate = ep.rng.bernoulli(load_);
+    } else if (cycle_ == ep.next_arrival) {
+      // Materialize the precomputed arrival. The Bernoulli draws through
+      // this cycle were consumed at plan time; the destination (and any
+      // routing) draws happen now, on the same cycle and in the same order
+      // the cycle engine makes them.
+      generate = true;
+      ep.next_arrival = kUnplannedArrival;
+    }
+    if (generate) {
+      int dst = traffic_.destination(e, ep.rng);
+      if (dst >= 0) {
+        Packet pkt;
+        pkt.id = ep.next_seq++ * topo_.num_endpoints() + e;
+        pkt.src_endpoint = e;
+        pkt.dst_endpoint = dst;
+        pkt.dst_router =
+            static_cast<std::uint16_t>(topo_.endpoint_router(dst));
+        pkt.t_generated = static_cast<std::int32_t>(cycle_);
+        pkt.measured = in_measurement;
+        if (pkt.measured) ++shard_totals_[shard].measured_generated;
+        ep.source_queue.push_back(pkt);
+      }
+    }
+    // Uplink — identical to the cycle engine.
+    if (!ep.source_queue.empty() && ep.credits > 0) {
+      Packet pkt = ep.source_queue.pop_front();
+      --ep.credits;
+      pkt.t_injected = static_cast<std::int32_t>(cycle_);
+      routing_.route_at_injection(*this, pkt, ep.rng);
+      RouterState& router = routers_[static_cast<std::size_t>(r)];
+      int port = router.network_ports + j;
+      router.inputs[static_cast<std::size_t>(port)].vcs[0].push(pkt);
+      router.vc_occupied[static_cast<std::size_t>(port)] |= 1;
+    }
+    // Invariant: an empty queue always has a plan (or the never sentinel),
+    // so a sleeping endpoint's next arrival is a heap event, not a poll.
+    if (ep.source_queue.empty() && ep.next_arrival == kUnplannedArrival) {
+      plan_arrival_from(shard, r, e, cycle_ + 1);
+    }
+  }
+}
+
+void Network::fast_forward(std::int64_t bound) {
+  if (!engine_active_) return;
+  for (const auto& words : busy_) {
+    for (std::uint64_t w : words) {
+      if (w) return;  // someone has work every cycle: no idle stretch
+    }
+  }
+  std::int64_t next = bound;
+  for (const auto& heap : wake_heaps_) {
+    if (!heap.empty()) next = std::min(next, heap.front() >> 16);
+  }
+  if (next > cycle_) cycle_ = next;
 }
 
 const Stats& Network::stats() const {
@@ -661,10 +959,22 @@ void Network::reserve_measurement_stats() {
 }
 
 SimResult Network::run() {
+  // fast_forward runs at the top of each iteration (a no-op for the cycle
+  // engine): jumping before the bounds check keeps result.cycles identical
+  // between engines — a jump straight to the bound ends the loop exactly
+  // where the cycle engine's per-cycle stepping would have.
   std::int64_t horizon = config_.warmup_cycles + config_.measure_cycles;
-  while (cycle_ < horizon) step();
+  while (cycle_ < horizon) {
+    fast_forward(horizon);
+    if (cycle_ >= horizon) break;
+    step();
+  }
   std::int64_t drain_end = horizon + config_.drain_cycles;
-  while (!all_measured_delivered() && cycle_ < drain_end) step();
+  while (!all_measured_delivered() && cycle_ < drain_end) {
+    fast_forward(drain_end);
+    if (cycle_ >= drain_end) break;
+    step();
+  }
 
   const Stats& merged = stats();
   SimResult result;
@@ -674,6 +984,7 @@ SimResult Network::run() {
   result.p99_latency = merged.percentile_latency(0.99);
   result.delivered = merged.total_delivered();
   result.cycles = cycle_;
+  result.cycles_stepped = cycles_stepped_;
   result.flit_hops = flit_hops();
   // Accepted throughput counts ejections *during* the measurement window
   // (Dally & Towles methodology); packets delivered later in the drain

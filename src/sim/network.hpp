@@ -69,6 +69,33 @@
 // Serial between cycles: ++cycle_ and the run() loop checks. Anything not
 // listed as writable in a phase must not be written there; widening a
 // phase's write set requires re-auditing every cross-shard read above.
+//
+// ---- Stepping engines ------------------------------------------------------
+//
+// SimConfig::engine selects how the four phases are scheduled; results are
+// bit-identical either way (golden_test + engine_test enforce it):
+//
+//   cycle   Every router runs every phase every cycle (the loop above).
+//   active  Each shard keeps (a) a busy bitmask over its routers — busy iff
+//           any input VC is occupied, any staging counter is nonzero, or an
+//           attached endpoint's source queue is nonempty — and (b) a
+//           min-heap of future wake times fed by every event with a known
+//           maturity cycle: granted flits (downstream incoming-line ready),
+//           returning credits (upstream credit_return ready — keeps UGAL's
+//           remote queue_estimate reads exact on sleeping routers),
+//           ejection-line readies, endpoint uplink credits, and injector
+//           next-arrival cycles (precomputed: the Bernoulli draws a sleeping
+//           endpoint would have made are batched at plan time, the
+//           destination/routing draws stay at the materialize cycle, so
+//           every stream consumes values in exactly the cycle-engine
+//           order). A step() runs the phases only over busy|woken routers;
+//           run() fast-forwards cycle_ to the earliest heap entry when
+//           every shard is idle. step() itself always advances exactly one
+//           cycle, so step-level instrumentation sees identical state.
+//
+// Stepping a quiet router is always a no-op, so spurious wakes are safe;
+// only a *missed* wake could break equivalence — which is why every remote
+// push above doubles as a wake-event source under the active engine.
 
 #include <exception>
 #include <memory>
@@ -100,6 +127,9 @@ class Network {
   SimResult run();
 
   std::int64_t cycle() const { return cycle_; }
+  /// Cycles whose phases actually executed; cycle() - cycles_stepped() is
+  /// the fast-forwarded count (always 0 for the cycle engine).
+  std::int64_t cycles_stepped() const { return cycles_stepped_; }
   /// Aggregated measurement view (per-shard accumulators merged on demand).
   const Stats& stats() const;
 
@@ -179,11 +209,42 @@ class Network {
   void phase_injection(std::size_t shard);
   void phase_allocation(std::size_t shard);
   void phase_transmission(std::size_t shard);
+  /// Per-router phase bodies shared by both stepping engines.
+  void arrivals_router(std::size_t shard, int r);
+  void transmission_router(std::size_t shard, int r);
+  void injection_router(std::size_t shard, int r, bool in_measurement);
   /// One router's allocator (both internal-speedup iterations).
   void allocate_router(std::size_t shard, int r);
   void deliver(std::size_t shard, const Packet& pkt);
   bool all_measured_delivered() const;  ///< cheap per-cycle drain check
   std::int64_t delivered_in_window() const;
+
+  // ---- active engine (config_.engine == StepEngine::Active) -------------
+  void init_active();
+  /// Ensures `router` is stepped at cycle `at`. Own-shard events go
+  /// straight into the producing shard's heap (single writer during
+  /// phases); cross-shard events land in the producer's outbox, merged
+  /// serially by step() after the parallel region.
+  void schedule_wake(std::size_t shard, int router, std::int64_t at);
+  void drain_wake_outboxes();
+  /// Pops every due heap event and merges with the busy mask into the
+  /// shard's index-ordered active router list.
+  void build_active_list(std::size_t shard);
+  /// Recomputes busy bits for the routers this shard just stepped.
+  void update_busy(std::size_t shard);
+  bool router_is_busy(int r) const;
+  void active_phase_arrivals(std::size_t shard);
+  void active_phase_injection(std::size_t shard);
+  void active_phase_allocation(std::size_t shard);
+  void active_phase_transmission(std::size_t shard);
+  void active_injection_router(std::size_t shard, int r, bool in_measurement);
+  /// Batches the endpoint's Bernoulli draws for cycles >= `from` until the
+  /// first hit, records it in EndpointState::next_arrival, and schedules
+  /// the wake. Draws past the run's absolute end are capped (unobservable).
+  void plan_arrival_from(std::size_t shard, int r, int e, std::int64_t from);
+  /// When every shard is idle, jumps cycle_ to the earliest future wake
+  /// (clamped to `bound`). run()-only: step() always advances one cycle.
+  void fast_forward(std::int64_t bound);
 
   const Topology& topo_;
   RoutingAlgorithm& routing_;
@@ -250,6 +311,23 @@ class Network {
     std::vector<std::uint8_t> granted;
   };
   std::vector<AllocScratch> alloc_scratch_;  // [shard]
+
+  // ---- active-engine state (sized once by init_active; the steady-state
+  // loop pushes/pops within the reserved capacities and never allocates) --
+  bool engine_active_ = false;
+  std::int64_t cycles_stepped_ = 0;
+  std::vector<std::uint16_t> shard_of_router_;
+  /// Per-shard min-heap (std::push_heap/pop_heap with std::greater) of
+  /// packed (cycle << 16) | router events. Router ids fit 16 bits (the
+  /// constructor enforces <= 65536 routers), cycles fit 31 (ditto).
+  std::vector<std::vector<std::int64_t>> wake_heaps_;
+  /// Cross-shard wake events, indexed by the *producing* shard.
+  std::vector<std::vector<std::int64_t>> wake_outbox_;
+  /// Busy/woken bitmasks over shard-LOCAL router indices (local indexing
+  /// keeps shard-boundary routers out of shared words).
+  std::vector<std::vector<std::uint64_t>> busy_;
+  std::vector<std::vector<std::uint64_t>> woken_;
+  std::vector<std::vector<int>> active_list_;  // [shard] global router ids
 
   /// Head-of-line decision for `pkt` at router r: the output port
   /// (network or ejection) and the VC on the outgoing link. Inlines the

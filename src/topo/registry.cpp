@@ -126,6 +126,8 @@ class Params {
     return dims;
   }
 
+  bool has(const std::string& key) const { return params_.count(key) != 0; }
+
   void reject_leftovers() const {
     if (params_.empty()) return;
     fail(spec_, "unknown key \"" + params_.begin()->first + "\"");
@@ -138,6 +140,16 @@ class Params {
 
 using Factory =
     std::function<std::unique_ptr<Topology>(const std::string& spec, Params&)>;
+
+/// Nested-spec encoding for augmented's base=<spec>: the outer spec splits
+/// parameters on ',', so the inner spec spells its own ',' as ';'
+/// ("augmented:base=torus:dims=4x4;c=2,extra=3" augments
+/// "torus:dims=4x4,c=2"). ':' and '=' pass through untouched — parse_spec
+/// only splits the family at the FIRST ':' and a pair at the FIRST '='.
+std::string translate_base_spec(std::string base) {
+  std::replace(base.begin(), base.end(), ';', ',');
+  return base;
+}
 
 /// Factory plus the key names it understands, so specs can be structurally
 /// validated without paying for construction (validate_spec below).
@@ -253,23 +265,43 @@ const std::map<std::string, FamilyInfo>& factories() {
           return std::make_unique<LongHop>(n, extra, conc, seed);
         }}},
       {"augmented",
-       {{"q", "extra"},
-        {"p", "seed"},
+       {{"extra"},
+        {"q", "p", "seed", "base"},
         [](const std::string& spec, Params& p) -> std::unique_ptr<Topology> {
-          int q = p.require_int("q");
           int extra = p.require_int("extra");
-          int conc = p.optional_int("p", 0);
           std::uint64_t seed = p.optional_seed("seed", AugmentedTopology::kDefaultSeed);
           if (extra < 1) {
             fail(spec, "extra must be >= 1 (spare ports carrying random "
-                       "cables on top of the Slim Fly base)");
+                       "cables on top of the base topology)");
           }
-          // The base is a temporary: AugmentedTopology copies the packaging
-          // (racks, concentration) it needs and owns its own graph.
+          // Two spellings of the base: base=<spec> augments any registry
+          // topology (',' spelled ';' inside the value); the legacy
+          // q=/p= shorthand augments a Slim Fly. Exactly one is required.
+          std::string base_spec = p.optional_str("base", "");
+          if (!base_spec.empty()) {
+            if (p.has("q") || p.has("p")) {
+              fail(spec, "base= cannot be combined with q/p (those "
+                         "describe the implicit Slim Fly base; fold them "
+                         "into the base spec instead)");
+            }
+            // The base is a temporary: AugmentedTopology copies the
+            // packaging (racks, concentration) it needs and owns its own
+            // graph.
+            auto base = make(translate_base_spec(base_spec));
+            return std::make_unique<AugmentedTopology>(
+                *base, extra, /*intra_rack_only=*/false, seed);
+          }
+          if (!p.has("q")) {
+            fail(spec, "missing required key \"q\" (or base=<spec> to "
+                       "augment any registry topology)");
+          }
+          int q = p.require_int("q");
+          int conc = p.optional_int("p", 0);
           sf::SlimFlyMMS base(q, conc);
           return std::make_unique<AugmentedTopology>(
               base, extra, /*intra_rack_only=*/false, seed);
-        }}},
+        },
+        {"base"}}},
   };
   return table;
 }
@@ -374,6 +406,21 @@ void validate_spec(const std::string& spec) {
       fail(spec, "unknown key \"" + key + "\"");
     }
     check_value_syntax(spec, info, key, value);
+  }
+  // augmented's conditional requirements: exactly one of base=<spec> (any
+  // registry topology, validated recursively) or the legacy q= Slim Fly
+  // shorthand; p= only concretizes the latter.
+  auto base_it = parsed.params.find("base");
+  if (base_it != parsed.params.end()) {
+    if (parsed.params.count("q") || parsed.params.count("p")) {
+      fail(spec, "base= cannot be combined with q/p (those describe the "
+                 "implicit Slim Fly base; fold them into the base spec "
+                 "instead)");
+    }
+    validate_spec(translate_base_spec(base_it->second));
+  } else if (parsed.family == "augmented" && !parsed.params.count("q")) {
+    fail(spec, "missing required key \"q\" (or base=<spec> to augment any "
+               "registry topology)");
   }
 }
 

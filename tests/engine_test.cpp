@@ -1,0 +1,232 @@
+// Stepping-engine equivalence: the active engine (active-set scheduling +
+// idle fast-forward) is a pure wall-time optimization — every simulation it
+// runs must be bit-identical to the cycle engine's, across routings
+// (including per-hop adaptive FT-ANCA), traffic patterns, saturation, and
+// every intra-thread worker count. Only the cycles-stepped audit counter may
+// differ, and only downward.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "exp/experiment.hpp"
+#include "sf/mms.hpp"
+#include "sim/simulation.hpp"
+#include "topo/fattree.hpp"
+#include "topo/registry.hpp"
+
+namespace slimfly::sim {
+namespace {
+
+SimConfig quick_config() {
+  SimConfig cfg;
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 400;
+  cfg.drain_cycles = 4000;
+  cfg.seed = 11;
+  return cfg;
+}
+
+void expect_same_result(const SimResult& a, const SimResult& b,
+                        const std::string& what) {
+  // Byte-identical, not approximately equal: the engine knob promises the
+  // stepping strategy cannot leak into the simulation.
+  EXPECT_EQ(a.avg_latency, b.avg_latency) << what;
+  EXPECT_EQ(a.avg_network_latency, b.avg_network_latency) << what;
+  EXPECT_EQ(a.p99_latency, b.p99_latency) << what;
+  EXPECT_EQ(a.accepted_load, b.accepted_load) << what;
+  EXPECT_EQ(a.delivered, b.delivered) << what;
+  EXPECT_EQ(a.saturated, b.saturated) << what;
+  EXPECT_EQ(a.cycles, b.cycles) << what;
+  EXPECT_EQ(a.flit_hops, b.flit_hops) << what;
+}
+
+SimResult run_point(const Topology& topo, RoutingKind kind, double load,
+                    StepEngine engine, int intra_threads = 1) {
+  auto bundle = make_routing(kind, topo);
+  auto traffic = make_uniform(topo.num_endpoints());
+  SimConfig cfg = quick_config();
+  cfg.engine = engine;
+  cfg.intra_threads = intra_threads;
+  return simulate(topo, *bundle.algorithm, *traffic, cfg, load);
+}
+
+TEST(Engine, EveryRoutingBitIdenticalAcrossEngines) {
+  sf::SlimFlyMMS sf(5);
+  for (RoutingKind kind : {RoutingKind::Minimal, RoutingKind::Valiant,
+                           RoutingKind::UgalL, RoutingKind::UgalG}) {
+    for (double load : {0.1, 0.4}) {
+      SimResult cycle = run_point(sf, kind, load, StepEngine::Cycle);
+      SimResult active = run_point(sf, kind, load, StepEngine::Active);
+      expect_same_result(cycle, active,
+                         to_string(kind) + " load=" + std::to_string(load));
+      // The cycle engine steps every cycle by definition; the active engine
+      // may step fewer, never more.
+      EXPECT_EQ(cycle.cycles_stepped, cycle.cycles);
+      EXPECT_LE(active.cycles_stepped, active.cycles);
+    }
+  }
+}
+
+TEST(Engine, PerHopAdaptiveRoutingBitIdentical) {
+  // FT-ANCA reads queue estimates during allocation; a missed wake would
+  // surface as a stale estimate on a sleeping router and diverging ports.
+  FatTree3 ft(4);
+  expect_same_result(run_point(ft, RoutingKind::FatTreeAnca, 0.3,
+                               StepEngine::Cycle),
+                     run_point(ft, RoutingKind::FatTreeAnca, 0.3,
+                               StepEngine::Active),
+                     "FT-ANCA");
+}
+
+TEST(Engine, SaturatedWorstCaseBitIdentical) {
+  // Past saturation every router is live every cycle — the active set is
+  // the whole network, so this is the adversarial case for busy-mask and
+  // wake bookkeeping (any router wrongly put to sleep changes results).
+  sf::SlimFlyMMS sf(5);
+  SimConfig cfg = quick_config();
+  cfg.drain_cycles = 800;
+  auto run_at = [&](StepEngine engine) {
+    auto bundle = make_routing(RoutingKind::Minimal, sf);
+    auto traffic = make_worst_case_sf(sf);
+    SimConfig c = cfg;
+    c.engine = engine;
+    return simulate(sf, *bundle.algorithm, *traffic, c, 0.9);
+  };
+  SimResult cycle = run_at(StepEngine::Cycle);
+  EXPECT_TRUE(cycle.saturated);
+  expect_same_result(cycle, run_at(StepEngine::Active), "saturated");
+}
+
+TEST(Engine, ActiveEngineBitIdenticalAcrossIntraThreadCounts) {
+  // The active engine composes with router-parallel stepping: per-shard
+  // heaps plus cross-shard wake outboxes must keep the full
+  // engine x worker-count matrix on one trajectory.
+  sf::SlimFlyMMS sf(5);
+  SimResult want = run_point(sf, RoutingKind::UgalL, 0.3, StepEngine::Cycle);
+  for (int intra : {1, 2, 4}) {
+    expect_same_result(want,
+                       run_point(sf, RoutingKind::UgalL, 0.3,
+                                 StepEngine::Active, intra),
+                       "active intra=" + std::to_string(intra));
+  }
+}
+
+TEST(Engine, StepLevelStateMatchesCycleEngine) {
+  // Beyond the SimResult summary: the in-flight population and delivery
+  // counters agree cycle by cycle. step() always advances exactly one cycle
+  // under both engines (fast-forward lives in run() only), so lock-step
+  // stepping is well defined.
+  sf::SlimFlyMMS sf(5);
+  auto bundle_a = make_routing(RoutingKind::Minimal, sf);
+  auto bundle_b = make_routing(RoutingKind::Minimal, sf);
+  auto traffic_a = make_uniform(sf.num_endpoints());
+  auto traffic_b = make_uniform(sf.num_endpoints());
+  SimConfig cfg = quick_config();
+  cfg.engine = StepEngine::Cycle;
+  Network cycle(sf, *bundle_a.algorithm, *traffic_a, cfg, 0.4);
+  cfg.engine = StepEngine::Active;
+  Network active(sf, *bundle_b.algorithm, *traffic_b, cfg, 0.4);
+  for (int c = 0; c < 300; ++c) {
+    cycle.step();
+    active.step();
+    if (c % 25 == 0) {
+      EXPECT_EQ(cycle.flits_in_flight(), active.flits_in_flight())
+          << "cycle " << c;
+      EXPECT_EQ(cycle.stats().total_delivered(),
+                active.stats().total_delivered())
+          << "cycle " << c;
+    }
+  }
+  EXPECT_EQ(cycle.cycles_stepped(), 300);
+  EXPECT_EQ(active.cycles_stepped(), 300);
+}
+
+TEST(Engine, FastForwardSkipsIdleStretchesWithoutChangingResults) {
+  // A near-idle network: injections are rare enough that the whole network
+  // regularly empties, so run() under the active engine must fast-forward
+  // (cycles_stepped < cycles) while reproducing the cycle engine's result —
+  // including the total cycle count, which stats windows hang off.
+  auto topo = topo::make("torus:dims=4x4");
+  auto run_at = [&](StepEngine engine) {
+    auto bundle = make_routing(RoutingKind::Minimal, *topo);
+    auto traffic = make_uniform(topo->num_endpoints());
+    SimConfig cfg = quick_config();
+    cfg.engine = engine;
+    return simulate(*topo, *bundle.algorithm, *traffic, cfg, 0.005);
+  };
+  SimResult cycle = run_at(StepEngine::Cycle);
+  SimResult active = run_at(StepEngine::Active);
+  expect_same_result(cycle, active, "near-idle");
+  EXPECT_GT(cycle.delivered, 0);
+  EXPECT_EQ(cycle.cycles_stepped, cycle.cycles);
+  EXPECT_LT(active.cycles_stepped, active.cycles)
+      << "active engine never fast-forwarded a near-idle run";
+}
+
+TEST(Engine, ZeroLoadRunFastForwardsToTheEnd) {
+  // load <= 0 means no endpoint ever injects: the active engine should
+  // step (almost) nothing and still agree on the empty-run summary.
+  sf::SlimFlyMMS sf(5);
+  auto run_at = [&](StepEngine engine) {
+    auto bundle = make_routing(RoutingKind::Minimal, sf);
+    auto traffic = make_uniform(sf.num_endpoints());
+    SimConfig cfg = quick_config();
+    cfg.engine = engine;
+    return simulate(sf, *bundle.algorithm, *traffic, cfg, 0.0);
+  };
+  SimResult cycle = run_at(StepEngine::Cycle);
+  SimResult active = run_at(StepEngine::Active);
+  expect_same_result(cycle, active, "zero load");
+  EXPECT_EQ(cycle.delivered, 0);
+  EXPECT_EQ(active.cycles_stepped, 0);
+}
+
+TEST(Engine, RegistryEngineOverrideBitIdentical) {
+  // The per-series "engine" config override — the golden_mini mechanism —
+  // reproduces the unoverridden trajectory, including per-point seeds
+  // (point_seed skips the engine key so both series draw the same streams).
+  exp::ExperimentSpec spec;
+  spec.name = "engines";
+  spec.loads = {0.1, 0.4};
+  spec.config = quick_config();
+  spec.series = {{"slimfly:q=5", "UGAL-L", "uniform", "SF"},
+                 {"fattree:k=4", "FT-ANCA", "uniform", "FT"}};
+  exp::ExperimentSpec overridden = spec;
+  for (auto& series : overridden.series) {
+    series.config_overrides["engine"] =
+        static_cast<double>(StepEngine::Active);
+  }
+  exp::ExperimentEngine engine(1);
+  auto want = engine.run(spec);
+  auto got = engine.run(overridden);
+  ASSERT_FALSE(want.empty());
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].seed, got[i].seed) << "point " << i;
+    expect_same_result(want[i].result, got[i].result,
+                       "override point " + std::to_string(i));
+  }
+}
+
+TEST(Engine, StepEngineFromString) {
+  EXPECT_EQ(exp::step_engine_from_string("cycle", "t"), StepEngine::Cycle);
+  EXPECT_EQ(exp::step_engine_from_string("active", "t"), StepEngine::Active);
+  EXPECT_THROW(exp::step_engine_from_string("warp", "t"),
+               std::invalid_argument);
+  EXPECT_THROW(exp::step_engine_from_string("", "t"), std::invalid_argument);
+}
+
+TEST(Engine, EngineFromEnv) {
+  setenv("SF_ENGINE", "active", 1);
+  EXPECT_EQ(exp::engine_from_env(), StepEngine::Active);
+  setenv("SF_ENGINE", "cycle", 1);
+  EXPECT_EQ(exp::engine_from_env(), StepEngine::Cycle);
+  setenv("SF_ENGINE", "junk", 1);
+  EXPECT_EQ(exp::engine_from_env(), StepEngine::Cycle);
+  unsetenv("SF_ENGINE");
+  EXPECT_EQ(exp::engine_from_env(), StepEngine::Cycle);
+}
+
+}  // namespace
+}  // namespace slimfly::sim

@@ -289,6 +289,40 @@ TEST(TopologyRegistry, SeedIsPartOfSpecIdentity) {
   EXPECT_NE(g1->graph().edges(), g3->graph().edges());
 }
 
+TEST(TopologyRegistry, AugmentedTakesAnyBaseSpec) {
+  // base=<spec> port-augments any registry topology; the nested spec
+  // spells its ',' as ';' so the outer parameter list still splits cleanly.
+  auto torus = topo::make("augmented:base=torus:dims=4x4,extra=2");
+  EXPECT_EQ(topo::family_of(*torus), "augmented");
+  EXPECT_EQ(torus->num_endpoints(), topo::make("torus:dims=4x4")->num_endpoints());
+  auto with_conc = topo::make("augmented:base=torus:dims=4x4;c=2,extra=2");
+  EXPECT_EQ(with_conc->num_endpoints(),
+            topo::make("torus:dims=4x4,c=2")->num_endpoints());
+  EXPECT_NO_THROW(topo::make("augmented:base=hypercube:n=5,extra=1"));
+  // validate_spec recursively validates the translated base without
+  // constructing, so structural errors surface on --emit-config paths too.
+  EXPECT_NO_THROW(topo::validate_spec("augmented:base=torus:dims=4x4;c=2,extra=2"));
+  EXPECT_THROW(topo::validate_spec("augmented:base=nosuch:q=1,extra=2"),
+               std::invalid_argument);
+  EXPECT_THROW(topo::validate_spec("augmented:base=torus:dims=4x,extra=2"),
+               std::invalid_argument);
+  // Exactly one base spelling: base= excludes the legacy q=/p= shorthand.
+  EXPECT_THROW(topo::validate_spec("augmented:base=torus:dims=4x4,q=5,extra=2"),
+               std::invalid_argument);
+  EXPECT_THROW(topo::make("augmented:base=torus:dims=4x4,p=2,extra=2"),
+               std::invalid_argument);
+  EXPECT_THROW(topo::make("augmented:extra=2"), std::invalid_argument);
+  // The legacy shorthand is sugar for an explicit Slim Fly base: same
+  // default seed, same graph.
+  EXPECT_EQ(topo::make("augmented:q=5,extra=2")->graph().edges(),
+            topo::make("augmented:base=slimfly:q=5,extra=2")->graph().edges());
+  // Seed identity extends to base= specs.
+  EXPECT_EQ(topo::make("augmented:base=hypercube:n=5,extra=1")->graph().edges(),
+            topo::make("augmented:base=hypercube:n=5,extra=1,seed=11")
+                ->graph()
+                .edges());
+}
+
 TEST(RoutingRegistry, GenericStackSupportsExoticFamilies) {
   // MIN/VAL/UGAL-L/UGAL-G only need Graph + DistanceTable, so every new
   // comparison family must pass routing_supported and actually build.

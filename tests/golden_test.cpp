@@ -79,20 +79,28 @@ TEST(GoldenTrajectory, MatchesCheckedInTrajectoryExactly) {
          "regenerate with SF_UPDATE_GOLDEN=1 (see tests/golden/README.md)";
 }
 
-TEST(GoldenTrajectory, BitIdenticalAcrossThreadMatrix) {
+TEST(GoldenTrajectory, BitIdenticalAcrossThreadAndEngineMatrix) {
   exp::ExperimentSpec spec = golden_spec();
   const std::string want = read_file(source_path(kTrajectoryPath));
-  // SF_THREADS x SF_INTRA_THREADS matrix, constructed directly so the test
-  // is hermetic against the environment. engine(1) with intra=2 clamps to
-  // sequential (one worker owns the whole budget) — still compared.
+  // SF_THREADS x SF_INTRA_THREADS x SF_ENGINE matrix, constructed directly
+  // so the test is hermetic against the environment. engine(1) with intra=2
+  // clamps to sequential (one worker owns the whole budget) — still
+  // compared. The stepping engine is a scheduling knob like the other two:
+  // every cell reproduces the same pinned trajectory (the SF-UGAL-L-active
+  // series keeps its per-series engine=active override in every cell).
   for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
     for (int intra : {1, 2}) {
-      exp::ExperimentSpec run = spec;
-      run.config.intra_threads = intra;
-      exp::ExperimentEngine engine(threads);
-      const std::string got = exp::golden_trajectory(run, engine.run(run));
-      EXPECT_EQ(want, got) << "SF_THREADS=" << threads
-                           << " SF_INTRA_THREADS=" << intra;
+      for (sim::StepEngine step_engine :
+           {sim::StepEngine::Cycle, sim::StepEngine::Active}) {
+        exp::ExperimentSpec run = spec;
+        run.config.intra_threads = intra;
+        run.config.engine = step_engine;
+        exp::ExperimentEngine engine(threads);
+        const std::string got = exp::golden_trajectory(run, engine.run(run));
+        EXPECT_EQ(want, got)
+            << "SF_THREADS=" << threads << " SF_INTRA_THREADS=" << intra
+            << " SF_ENGINE=" << sim::to_string(step_engine);
+      }
     }
   }
 }
@@ -111,7 +119,7 @@ TEST(GoldenTrajectory, DiffAgainstCheckedInBenchPasses) {
               "BENCH_golden_mini.json:\n"
            << os.str();
   }
-  EXPECT_EQ(report.compared, 12u);  // 6 series x 2 loads, no truncation
+  EXPECT_EQ(report.compared, 14u);  // 7 series x 2 loads, no truncation
 }
 
 TEST(GoldenTrajectory, PerturbedTrajectoryIsCaught) {

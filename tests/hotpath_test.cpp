@@ -54,43 +54,67 @@ SimConfig guard_config() {
 // Steps `settle` cycles (allocations allowed: source rings grow on first
 // use), then asserts the next `measured` cycles allocate nothing. The
 // window straddles warmup -> measurement, covering every phase plus stats
-// recording.
-void expect_allocation_free_steady_state(RoutingKind kind, double load) {
+// recording. Both stepping engines must hold the guarantee: the active
+// engine's wake heaps, outboxes and active lists are sized at wire() for
+// their worst case, so steady-state scheduling never grows them.
+void expect_allocation_free_steady_state(RoutingKind kind, double load,
+                                         StepEngine engine) {
   sf::SlimFlyMMS topo(5);
   auto routing = make_routing(kind, topo);
   auto traffic = make_uniform(topo.num_endpoints());
-  Network net(topo, *routing.algorithm, *traffic, guard_config(), load);
+  SimConfig cfg = guard_config();
+  cfg.engine = engine;
+  Network net(topo, *routing.algorithm, *traffic, cfg, load);
   net.reserve_measurement_stats();
   for (int i = 0; i < 300; ++i) net.step();
   const long long before = g_allocations.load(std::memory_order_relaxed);
   for (int i = 0; i < 200; ++i) net.step();
   const long long during =
       g_allocations.load(std::memory_order_relaxed) - before;
-  EXPECT_EQ(during, 0) << to_string(kind)
+  EXPECT_EQ(during, 0) << to_string(kind) << " engine=" << to_string(engine)
                        << ": steady-state stepping must not allocate";
   EXPECT_GT(net.flit_hops(), 0);  // the guard window did real work
 }
 
 TEST(HotPathAllocationGuard, MinimalRoutingSteadyStateIsAllocationFree) {
-  expect_allocation_free_steady_state(RoutingKind::Minimal, 0.3);
+  expect_allocation_free_steady_state(RoutingKind::Minimal, 0.3,
+                                      StepEngine::Cycle);
+  expect_allocation_free_steady_state(RoutingKind::Minimal, 0.3,
+                                      StepEngine::Active);
 }
 
 TEST(HotPathAllocationGuard, UgalSteadyStateIsAllocationFree) {
-  expect_allocation_free_steady_state(RoutingKind::UgalL, 0.3);
+  expect_allocation_free_steady_state(RoutingKind::UgalL, 0.3,
+                                      StepEngine::Cycle);
+  expect_allocation_free_steady_state(RoutingKind::UgalL, 0.3,
+                                      StepEngine::Active);
+}
+
+TEST(HotPathAllocationGuard, ActiveEngineLowLoadIsAllocationFree) {
+  // Low load is the active engine's hot regime: routers sleep, injector
+  // arrivals are batch-planned, and the wake heaps churn constantly — all
+  // of it must run out of the capacity reserved at construction.
+  expect_allocation_free_steady_state(RoutingKind::Minimal, 0.05,
+                                      StepEngine::Active);
 }
 
 TEST(HotPathAllocationGuard, FatTreeGatherPathIsAllocationFree) {
   // FT-ANCA takes the non-cacheable allocator path (per-iteration
   // re-derivation), which must be just as allocation-free.
-  FatTree3 topo(4);
-  auto routing = make_routing(RoutingKind::FatTreeAnca, topo);
-  auto traffic = make_uniform(topo.num_endpoints());
-  Network net(topo, *routing.algorithm, *traffic, guard_config(), 0.3);
-  net.reserve_measurement_stats();
-  for (int i = 0; i < 300; ++i) net.step();
-  const long long before = g_allocations.load(std::memory_order_relaxed);
-  for (int i = 0; i < 200; ++i) net.step();
-  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0);
+  for (StepEngine engine : {StepEngine::Cycle, StepEngine::Active}) {
+    FatTree3 topo(4);
+    auto routing = make_routing(RoutingKind::FatTreeAnca, topo);
+    auto traffic = make_uniform(topo.num_endpoints());
+    SimConfig cfg = guard_config();
+    cfg.engine = engine;
+    Network net(topo, *routing.algorithm, *traffic, cfg, 0.3);
+    net.reserve_measurement_stats();
+    for (int i = 0; i < 300; ++i) net.step();
+    const long long before = g_allocations.load(std::memory_order_relaxed);
+    for (int i = 0; i < 200; ++i) net.step();
+    EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0)
+        << "engine=" << to_string(engine);
+  }
 }
 
 TEST(HotPathStorage, BitIdenticalAcrossThreadMatrix) {
@@ -104,11 +128,15 @@ TEST(HotPathStorage, BitIdenticalAcrossThreadMatrix) {
   const std::string want = exp::golden_trajectory(spec, reference.run(spec));
   for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
     for (int intra : {1, 2}) {
-      exp::ExperimentSpec run = spec;
-      run.config.intra_threads = intra;
-      exp::ExperimentEngine engine(threads);
-      EXPECT_EQ(want, exp::golden_trajectory(run, engine.run(run)))
-          << "threads=" << threads << " intra=" << intra;
+      for (StepEngine step_engine : {StepEngine::Cycle, StepEngine::Active}) {
+        exp::ExperimentSpec run = spec;
+        run.config.intra_threads = intra;
+        run.config.engine = step_engine;
+        exp::ExperimentEngine engine(threads);
+        EXPECT_EQ(want, exp::golden_trajectory(run, engine.run(run)))
+            << "threads=" << threads << " intra=" << intra
+            << " engine=" << to_string(step_engine);
+      }
     }
   }
 }
