@@ -93,6 +93,9 @@ inline sim::SimConfig make_sim_config() {
   // Stepping engine (SF_ENGINE: cycle | active). Bit-identical results
   // either way; active wins when the network is mostly idle.
   cfg.engine = exp::engine_from_env();
+  // Distance oracle (SF_ORACLE: auto | table | family). Bit-identical
+  // results either way; family sidesteps the O(N^2) BFS table at scale.
+  cfg.oracle = exp::oracle_from_env();
   return cfg;
 }
 

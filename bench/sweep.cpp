@@ -82,10 +82,12 @@ int usage(const char* argv0, int exit_code) {
       << "usage: " << argv0
       << " [--name TAG] [--topo SPEC]... [--routing SPEC]...\n"
          "       [--traffic NAME]... [--loads L1,L2,...] [--seed N]\n"
-         "       [--intra N] [--engine NAME] [--no-truncate] [--list] [--help]\n"
+         "       [--intra N] [--engine NAME] [--oracle NAME] [--no-truncate]\n"
+         "       [--list] [--help]\n"
          "   or: " << argv0
       << " --config SUITE.json [--scale NAME] [--name TAG]\n"
-         "       [--seed N] [--intra N] [--engine NAME] [--no-truncate]\n"
+         "       [--seed N] [--intra N] [--engine NAME] [--oracle NAME]\n"
+         "       [--no-truncate]\n"
          "   or: " << argv0
       << " ... --emit-config PATH   (write the suite JSON, run nothing;\n"
          "       PATH \"-\" = stdout)\n"
@@ -109,9 +111,13 @@ int usage(const char* argv0, int exit_code) {
          "--engine NAME: stepping engine, cycle or active (default\n"
          "  SF_ENGINE or cycle). Bit-identical results either way; active\n"
          "  skips quiet routers and fast-forwards idle stretches.\n"
+         "--oracle NAME: distance oracle, auto, table, or family (default\n"
+         "  SF_ORACLE or auto). Bit-identical results either way; family\n"
+         "  answers from per-topology structure instead of the O(N^2) BFS\n"
+         "  table, auto picks table below 4096 routers and family above.\n"
          "env: SF_THREADS (across-point workers, 0/unset = all cores),\n"
          "  SF_INTRA_THREADS (as --intra), SF_ENGINE (as --engine),\n"
-         "  SF_BENCH_SCALE (small|paper).\n"
+         "  SF_ORACLE (as --oracle), SF_BENCH_SCALE (small|paper).\n"
          "Spec-string grammar and suite schema: docs/SPEC_GRAMMAR.md;\n"
          "paper->code map and engine internals: docs/ARCHITECTURE.md.\n";
   return exit_code;
@@ -237,6 +243,7 @@ int main(int argc, char** argv) {
   std::optional<std::uint64_t> seed;
   std::optional<int> intra;
   std::optional<sim::StepEngine> engine;
+  std::optional<sim::OracleMode> oracle;
   bool truncate = true, truncate_flag = false;
 
   auto next_arg = [&](int& i) -> const char* {
@@ -287,6 +294,8 @@ int main(int argc, char** argv) {
         intra = static_cast<int>(std::stoul(value));
       } else if (!std::strcmp(argv[i], "--engine")) {
         engine = exp::step_engine_from_string(next_arg(i), "--engine");
+      } else if (!std::strcmp(argv[i], "--oracle")) {
+        oracle = exp::oracle_from_string(next_arg(i), "--oracle");
       } else if (!std::strcmp(argv[i], "--no-truncate")) {
         truncate = false;
         truncate_flag = true;
@@ -327,6 +336,11 @@ int main(int argc, char** argv) {
       if (!engine && !exp::suite_sets_config_key(suite, scale, "engine")) {
         spec.config.engine = exp::engine_from_env();
       }
+      // Oracle precedence, same shape again: --oracle flag, then an
+      // explicit suite value, then SF_ORACLE, then auto.
+      if (!oracle && !exp::suite_sets_config_key(suite, scale, "oracle")) {
+        spec.config.oracle = exp::oracle_from_env();
+      }
     } else {
       if (!scale.empty()) {
         throw std::invalid_argument("--scale requires --config");
@@ -343,6 +357,7 @@ int main(int argc, char** argv) {
     if (seed) spec.config.seed = *seed;
     if (intra) spec.config.intra_threads = *intra;
     if (engine) spec.config.engine = *engine;
+    if (oracle) spec.config.oracle = *oracle;
     if (spec.series.empty()) {
       std::cerr << "no compatible (topology, routing, traffic) combination\n";
       return 1;

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "exp/json.hpp"
 
@@ -87,6 +88,9 @@ Trajectory parse_bench_json(const std::string& text,
       if (const json::Value* v = pv.find("wall_seconds")) {
         point.wall_seconds = v->as_number(pctx + ".wall_seconds");
       }
+      if (const json::Value* v = pv.find("peak_rss_bytes")) {
+        point.peak_rss_bytes = v->as_uint64(pctx + ".peak_rss_bytes");
+      }
       if (const json::Value* v = pv.find("cycles")) {
         point.cycles = static_cast<std::int64_t>(v->as_number(pctx + ".cycles"));
       }
@@ -139,6 +143,7 @@ Trajectory trajectory_of(const ExperimentSpec& spec,
     point.load = r.load;
     point.seed = r.seed;
     point.wall_seconds = r.wall_seconds;
+    point.peak_rss_bytes = r.peak_rss_bytes;
     point.cycles = r.result.cycles;
     point.mcycles_per_sec = mcycles_per_sec(r);
     point.latency = r.result.avg_latency;
@@ -172,6 +177,8 @@ DiffReport diff_trajectories(const Trajectory& a, const Trajectory& b,
     delta.key = pa.key();
     delta.wall_a = pa.wall_seconds;
     delta.wall_b = pb.wall_seconds;
+    delta.rss_a = pa.peak_rss_bytes;
+    delta.rss_b = pb.peak_rss_bytes;
     delta.metrics = {
         {"latency", pa.latency, pb.latency, false},
         {"network_latency", pa.network_latency, pb.network_latency, false},
@@ -235,6 +242,10 @@ void print_diff(std::ostream& os, const DiffReport& report, bool verbose) {
     if (verbose || delta.out_of_tolerance) {
       os << "       wall: " << json_num(delta.wall_a) << "s -> "
          << json_num(delta.wall_b) << "s (informational)\n";
+      if (delta.rss_a != 0 || delta.rss_b != 0) {
+        os << "       peak_rss: " << delta.rss_a << " -> " << delta.rss_b
+           << " bytes (informational)\n";
+      }
     }
   }
   for (const std::string& key : report.only_in_a) {
@@ -254,9 +265,10 @@ void print_diff(std::ostream& os, const DiffReport& report, bool verbose) {
 std::size_t preserve_wall_seconds(const Trajectory& prior,
                                   const ExperimentSpec& spec,
                                   std::vector<RunResult>& results) {
-  std::unordered_map<std::string, double> prior_wall;
+  std::unordered_map<std::string, std::pair<double, std::uint64_t>> prior_wall;
   for (const TrajectoryPoint& point : prior.points) {
-    prior_wall.emplace(point.key(), point.wall_seconds);
+    prior_wall.emplace(point.key(),
+                       std::make_pair(point.wall_seconds, point.peak_rss_bytes));
   }
   std::size_t patched = 0;
   for (RunResult& r : results) {
@@ -268,7 +280,10 @@ std::size_t preserve_wall_seconds(const Trajectory& prior,
     key_point.load = r.load;
     auto it = prior_wall.find(key_point.key());
     if (it == prior_wall.end()) continue;
-    r.wall_seconds = it->second;
+    r.wall_seconds = it->second.first;
+    // A prior file predating peak_rss_bytes parses as 0 — keep the fresh
+    // measurement so the field appears on first regeneration.
+    if (it->second.second > 0) r.peak_rss_bytes = it->second.second;
     ++patched;
   }
   return patched;

@@ -27,6 +27,9 @@ struct TrajectoryPoint {
   double load = 0.0;
   std::uint64_t seed = 0;
   double wall_seconds = 0.0;
+  /// Process peak RSS in bytes (reported, never gated — the wall_seconds
+  /// policy; 0 in BENCH files predating the field).
+  std::uint64_t peak_rss_bytes = 0;
   /// Simulated cycles (deterministic; gated when both sides carry it —
   /// absent in BENCH files predating the field, parsed as -1).
   std::int64_t cycles = -1;
@@ -86,6 +89,7 @@ struct PointDelta {
   bool seed_mismatch = false;      ///< different seeds = different experiment
   bool saturated_flip = false;
   double wall_a = 0.0, wall_b = 0.0;  ///< informational only
+  std::uint64_t rss_a = 0, rss_b = 0;  ///< peak RSS bytes; informational only
   bool out_of_tolerance = false;   ///< any metric/seed/saturation failure
 };
 
@@ -105,11 +109,14 @@ DiffReport diff_trajectories(const Trajectory& a, const Trajectory& b,
 /// missing points, and a one-line summary with total wall-time change.
 void print_diff(std::ostream& os, const DiffReport& report, bool verbose);
 
-/// Copies wall_seconds from matching points of `prior` (joined on
-/// run-point identity) onto `results`, returning the number patched.
-/// Golden regeneration uses this so a regenerated BENCH file differs only
-/// in result-bearing fields — wall time (and the throughput derived from
-/// it) stays at the checked-in values instead of churning every regen.
+/// Copies wall_seconds — and peak_rss_bytes, when the prior point carries a
+/// nonzero value — from matching points of `prior` (joined on run-point
+/// identity) onto `results`, returning the number patched. Golden
+/// regeneration uses this so a regenerated BENCH file differs only in
+/// result-bearing fields — wall time (and the throughput derived from it)
+/// and the machine-dependent RSS stay at the checked-in values instead of
+/// churning every regen. A prior file predating peak_rss_bytes (parsed as
+/// 0) keeps the fresh measurement, so the field appears on first regen.
 std::size_t preserve_wall_seconds(const Trajectory& prior,
                                  const ExperimentSpec& spec,
                                  std::vector<RunResult>& results);

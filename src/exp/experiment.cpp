@@ -17,7 +17,9 @@
 #include "sim/simulation.hpp"
 #include "topo/registry.hpp"
 #include "topo/topology.hpp"
+#include "sim/routing/oracle.hpp"
 #include "util/rng.hpp"
+#include "util/rss.hpp"
 #include "util/threadpool.hpp"
 #include "util/timer.hpp"
 
@@ -136,6 +138,11 @@ sim::SimConfig apply_config_overrides(sim::SimConfig base,
       // cannot change results, point_seed skips it, and golden_mini's
       // engine=active cell relies on the per-series form.
       base.engine = static_cast<sim::StepEngine>(integral(key, value, 0, 1));
+    } else if (key == "oracle") {
+      // Same contract as engine: every oracle is bit-identical with the
+      // dense table (tests/oracle_test.cpp), point_seed skips the key, and
+      // golden_mini's oracle=family cell relies on the per-series form.
+      base.oracle = static_cast<sim::OracleMode>(integral(key, value, 0, 2));
     } else if (allow_run_keys && key == "seed") {
       // Doubles carry integers exactly up to 2^53 — far beyond any seed in
       // use; suite files wanting full 64 bits should derive via --seed.
@@ -147,7 +154,8 @@ sim::SimConfig apply_config_overrides(sim::SimConfig base,
           context + ": unknown config key \"" + key +
           "\" (known: num_vcs, buffer_per_port, channel_latency, "
           "router_pipeline, credit_delay, alloc_iterations, output_staging, "
-          "warmup_cycles, measure_cycles, drain_cycles, latency_cap, engine" +
+          "warmup_cycles, measure_cycles, drain_cycles, latency_cap, engine, "
+          "oracle" +
           (allow_run_keys ? ", seed, intra_threads)" :
                             "; seed and intra_threads are experiment-level)"));
     }
@@ -190,10 +198,11 @@ std::uint64_t point_seed(const ExperimentSpec& spec, std::size_t series_index,
   // study runs the same topo/routing/traffic six times); an empty map keeps
   // every pre-override seed unchanged.
   for (const auto& [key, value] : s.config_overrides) {
-    // The stepping engine is "hashed into nothing": it cannot change
-    // results, so an engine override must not change the point's streams
-    // (golden_mini's engine=active cell reproduces the cycle rows exactly).
-    if (key == "engine") continue;
+    // The stepping engine and distance oracle are "hashed into nothing":
+    // they cannot change results, so overriding them must not change the
+    // point's streams (golden_mini's engine=active and oracle=family cells
+    // reproduce their sibling rows exactly).
+    if (key == "engine" || key == "oracle") continue;
     h = fnv1a("|" + key + "=" + json_num(value), h);
   }
   h = splitmix64(h ^ spec.config.seed);
@@ -222,6 +231,24 @@ sim::StepEngine engine_from_env() {
   const std::string name(env);
   if (name == "active") return sim::StepEngine::Active;
   return sim::StepEngine::Cycle;  // unset/junk: the tolerant env fallback
+}
+
+sim::OracleMode oracle_from_string(const std::string& name,
+                                   const std::string& context) {
+  if (name == "auto") return sim::OracleMode::Auto;
+  if (name == "table") return sim::OracleMode::Table;
+  if (name == "family") return sim::OracleMode::Family;
+  throw std::invalid_argument(context + ": unknown distance oracle \"" + name +
+                              "\" (known: auto, table, family)");
+}
+
+sim::OracleMode oracle_from_env() {
+  const char* env = std::getenv("SF_ORACLE");
+  if (!env) return sim::OracleMode::Auto;
+  const std::string name(env);
+  if (name == "table") return sim::OracleMode::Table;
+  if (name == "family") return sim::OracleMode::Family;
+  return sim::OracleMode::Auto;  // unset/junk: the tolerant env fallback
 }
 
 ExperimentEngine::ExperimentEngine(std::size_t threads) {
@@ -282,18 +309,30 @@ std::pair<std::size_t, int> ExperimentEngine::schedule(
 
 std::vector<RunResult> ExperimentEngine::run(const ExperimentSpec& spec,
                                              const ProgressFn& on_point) {
-  // One shared, immutable (Topology, DistanceTable) per distinct topology
-  // spec string; run points only ever read them.
+  // One shared, immutable Topology per distinct topology spec string, and
+  // one shared distance oracle per distinct (topology, resolved OracleMode)
+  // — a series may pick its own oracle backend via the per-series "oracle"
+  // override, but two series agreeing on both share one instance. Run
+  // points only ever read them.
   struct TopoEntry {
     std::string spec;
-    bool needs_distances = false;  // any non-FT-ANCA routing rides this topo
     std::unique_ptr<Topology> topo;
-    std::shared_ptr<const sim::DistanceTable> distances;
+  };
+  struct OracleEntry {
+    std::size_t topo_index = 0;
+    sim::OracleMode mode = sim::OracleMode::Auto;
+    std::shared_ptr<const sim::DistanceOracle> oracle;
   };
   std::vector<TopoEntry> topos;
   std::unordered_map<std::string, std::size_t> topo_index;
+  std::vector<OracleEntry> oracles;
+  std::map<std::pair<std::size_t, int>, std::size_t> oracle_index;
   std::vector<std::size_t> series_topo;
+  // Oracle entry per series; npos for FT-ANCA, which needs no distances.
+  constexpr std::size_t kNoOracle = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> series_oracle;
   series_topo.reserve(spec.series.size());
+  series_oracle.reserve(spec.series.size());
   const auto known_traffics = sim::traffic_names();
   for (const auto& s : spec.series) {
     // Fail fast on unknown names and incompatible combinations using the
@@ -320,23 +359,32 @@ std::vector<RunResult> ExperimentEngine::run(const ExperimentSpec& spec,
                                   "\": traffic " + s.traffic +
                                   " cannot run on topology " + s.topology);
     }
-    // Validate per-series overrides before any expensive build, too.
-    apply_config_overrides(spec.config, s.config_overrides, false,
-                           "experiment \"" + spec.name + "\" series \"" +
-                               s.display_label() + "\"");
+    // Validate per-series overrides before any expensive build, too — and
+    // capture the resolved config, whose oracle field keys the oracle cache.
+    const sim::SimConfig resolved =
+        apply_config_overrides(spec.config, s.config_overrides, false,
+                               "experiment \"" + spec.name + "\" series \"" +
+                                   s.display_label() + "\"");
     auto [it, inserted] = topo_index.emplace(s.topology, topos.size());
-    if (inserted) topos.push_back({s.topology, false, nullptr, nullptr});
-    if (kind != sim::RoutingKind::FatTreeAnca)
-      topos[it->second].needs_distances = true;
+    if (inserted) topos.push_back({s.topology, nullptr});
     series_topo.push_back(it->second);
+    if (kind == sim::RoutingKind::FatTreeAnca) {
+      series_oracle.push_back(kNoOracle);
+    } else {
+      const std::pair<std::size_t, int> key{it->second,
+                                            static_cast<int>(resolved.oracle)};
+      auto [oit, oinserted] = oracle_index.emplace(key, oracles.size());
+      if (oinserted) oracles.push_back({it->second, resolved.oracle, nullptr});
+      series_oracle.push_back(oit->second);
+    }
   }
 
   for_indices(topos.size(), threads_, [&](std::size_t i) {
     topos[i].topo = topo::make(topos[i].spec);
-    if (topos[i].needs_distances) {
-      topos[i].distances =
-          std::make_shared<sim::DistanceTable>(topos[i].topo->graph());
-    }
+  });
+  for_indices(oracles.size(), threads_, [&](std::size_t i) {
+    oracles[i].oracle = sim::make_distance_oracle(
+        *topos[oracles[i].topo_index].topo, oracles[i].mode);
   });
 
   PreparedExperiment prepared;
@@ -348,15 +396,17 @@ std::vector<RunResult> ExperimentEngine::run(const ExperimentSpec& spec,
   };
   for (std::size_t i = 0; i < spec.series.size(); ++i) {
     const TopoEntry& entry = topos[series_topo[i]];
+    std::shared_ptr<const sim::DistanceOracle> dist =
+        series_oracle[i] == kNoOracle ? nullptr : oracles[series_oracle[i]].oracle;
     PreparedSeries ps;
     ps.topo = entry.topo.get();
     ps.label = spec.series[i].display_label();
     ps.config_overrides = spec.series[i].config_overrides;
     ps.make_routing = [routing = spec.series[i].routing,
-                       topo = entry.topo.get(), dist = entry.distances]() {
+                       topo = entry.topo.get(), dist = std::move(dist)]() {
       auto bundle = sim::make_routing_spec(routing, *topo, dist);
       // The closure's `dist` copy outlives every point, so the algorithm's
-      // reference into the shared table stays valid.
+      // reference into the shared oracle stays valid.
       return std::shared_ptr<sim::RoutingAlgorithm>(std::move(bundle.algorithm));
     };
     ps.make_traffic = [name = spec.series[i].traffic,
@@ -396,6 +446,7 @@ std::vector<RunResult> ExperimentEngine::run_prepared(
     out.result = sim::simulate(*series.topo, *routing, *traffic, cfg,
                                prepared.loads[l]);
     out.wall_seconds = timer.seconds();
+    out.peak_rss_bytes = peak_rss_bytes();
     if (on_point) {
       std::lock_guard<std::mutex> lock(progress_mutex);
       on_point(series, out);
@@ -488,6 +539,7 @@ void write_json(std::ostream& os, const ExperimentSpec& spec,
       first = false;
       os << "      {\"load\": " << json_num(r.load) << ", \"seed\": " << r.seed
          << ", \"wall_seconds\": " << json_num(r.wall_seconds)
+         << ", \"peak_rss_bytes\": " << r.peak_rss_bytes
          << ", \"cycles\": " << r.result.cycles
          << ", \"mcycles_per_sec\": " << json_num(mcycles_per_sec(r))
          << ", \"latency\": " << json_num(r.result.avg_latency)
@@ -518,7 +570,8 @@ std::string write_json_file(const ExperimentSpec& spec,
 
 void write_csv(std::ostream& os, const ExperimentSpec& spec,
                const std::vector<RunResult>& results) {
-  os << "label,topology,routing,traffic,load,seed,wall_seconds,cycles,"
+  os << "label,topology,routing,traffic,load,seed,wall_seconds,"
+        "peak_rss_bytes,cycles,"
         "mcycles_per_sec,latency,"
         "network_latency,p99_latency,accepted,delivered,saturated\n";
   for (const auto& r : results) {
@@ -526,7 +579,8 @@ void write_csv(std::ostream& os, const ExperimentSpec& spec,
     os << csv_field(s.display_label()) << ',' << csv_field(s.topology) << ','
        << csv_field(s.routing) << ',' << csv_field(s.traffic) << ','
        << json_num(r.load) << ',' << r.seed << ','
-       << json_num(r.wall_seconds) << ',' << r.result.cycles << ','
+       << json_num(r.wall_seconds) << ',' << r.peak_rss_bytes << ','
+       << r.result.cycles << ','
        << json_num(mcycles_per_sec(r)) << ','
        << json_num(r.result.avg_latency)
        << ',' << json_num(r.result.avg_network_latency) << ','

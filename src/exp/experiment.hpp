@@ -11,10 +11,11 @@
 //     deterministically from the spec and the point, never from thread
 //     identity), its RoutingAlgorithm instance, and its TrafficPattern
 //     instance.
-//   * Topology and DistanceTable are built once per topology spec and
-//     shared across points strictly read-only (const references /
-//     shared_ptr<const>-style usage; DistanceTable::sample_minimal_path is
-//     const and draws from the caller's Rng).
+//   * Topology and DistanceOracle are built once per topology spec (one
+//     oracle per distinct (topology, resolved OracleMode)) and shared
+//     across points strictly read-only (const references /
+//     shared_ptr<const>-style usage; sample_minimal_path is const and
+//     draws from the caller's Rng).
 // Consequently a parallel run is bit-identical to a single-threaded run of
 // the same spec (covered by tests/experiment_test.cpp).
 //
@@ -61,10 +62,11 @@ using ConfigOverrides = std::map<std::string, double>;
 /// Applies overrides onto `base`. Keys are the SimConfig field names
 /// (num_vcs, buffer_per_port, channel_latency, router_pipeline,
 /// credit_delay, alloc_iterations, output_staging, warmup_cycles,
-/// measure_cycles, drain_cycles, latency_cap, engine); with `allow_run_keys`
-/// also seed and intra_threads (suite-level blocks own those; per-series
-/// blocks must not — engine is allowed per series because, like
-/// intra_threads, it cannot change results and point_seed skips it).
+/// measure_cycles, drain_cycles, latency_cap, engine, oracle); with
+/// `allow_run_keys` also seed and intra_threads (suite-level blocks own
+/// those; per-series blocks must not — engine and oracle are allowed per
+/// series because, like intra_threads, they cannot change results and
+/// point_seed skips them).
 /// Unknown keys and non-integral values for integer fields throw
 /// std::invalid_argument naming the key and `context`.
 sim::SimConfig apply_config_overrides(sim::SimConfig base,
@@ -112,6 +114,9 @@ struct RunResult {
   double load = 0.0;
   std::uint64_t seed = 0;      ///< per-point seed actually used
   double wall_seconds = 0.0;   ///< wall time of this point on its worker
+  /// Process peak RSS in bytes when the point finished (util/rss.hpp);
+  /// monotone across points. Reported in BENCH files, never gated.
+  std::uint64_t peak_rss_bytes = 0;
   sim::SimResult result;
 };
 
@@ -145,6 +150,16 @@ sim::StepEngine step_engine_from_string(const std::string& name,
 /// (matching the tolerance of the other env knobs — the engine cannot
 /// change results, so junk safely falls back).
 sim::StepEngine engine_from_env();
+
+/// Parses a distance-oracle mode ("auto" | "table" | "family"); anything
+/// else throws std::invalid_argument naming `context`.
+sim::OracleMode oracle_from_string(const std::string& name,
+                                   const std::string& context);
+
+/// Distance-oracle policy: SF_ORACLE env var when set to a known name;
+/// unset or unparsable means OracleMode::Auto, the SimConfig default (the
+/// oracle cannot change results, so junk safely falls back).
+sim::OracleMode oracle_from_env();
 
 // ---- prepared (non-registry) form ------------------------------------------
 // The compatibility path for callers that already hold topology / routing /

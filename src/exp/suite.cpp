@@ -37,9 +37,15 @@ ConfigOverrides parse_config_block(const json::Value& v,
   ConfigOverrides out;
   for (const auto& [key, value] : v.as_object(context)) {
     if (key == "engine" && value.is_string()) {
-      // The one string-valued config key: "cycle" | "active", stored as the
+      // String-valued config key: "cycle" | "active", stored as the
       // StepEngine enum value (serialize_config writes the name back).
       out[key] = static_cast<double>(step_engine_from_string(
+          value.as_string(context + "." + key), context + "." + key));
+      continue;
+    }
+    if (key == "oracle" && value.is_string()) {
+      // Likewise "auto" | "table" | "family" for the distance oracle.
+      out[key] = static_cast<double>(oracle_from_string(
           value.as_string(context + "." + key), context + "." + key));
       continue;
     }
@@ -137,6 +143,9 @@ void serialize_config(std::ostream& os, const ConfigOverrides& config,
     if (key == "engine") {
       os << json::quote(
           sim::to_string(static_cast<sim::StepEngine>(value != 0.0)));
+    } else if (key == "oracle") {
+      os << json::quote(sim::to_string(
+          static_cast<sim::OracleMode>(static_cast<int>(value))));
     } else {
       os << json_num(value);
     }
@@ -443,7 +452,8 @@ Suite suite_from_spec(const ExperimentSpec& spec, std::size_t threads) {
                   {"latency_cap", c.latency_cap},
                   {"seed", static_cast<double>(c.seed)},
                   {"intra_threads", static_cast<double>(c.intra_threads)},
-                  {"engine", static_cast<double>(c.engine)}};
+                  {"engine", static_cast<double>(c.engine)},
+                  {"oracle", static_cast<double>(c.oracle)}};
   for (const SeriesSpec& s : spec.series) {
     SuiteSeries series;
     series.topology[""] = s.topology;

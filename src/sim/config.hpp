@@ -24,6 +24,30 @@ inline const char* to_string(StepEngine engine) {
   return engine == StepEngine::Active ? "active" : "cycle";
 }
 
+/// Distance-oracle selection. Every oracle returns exactly the BFS
+/// distances (certified by tests/oracle_test.cpp) and consumes the RNG
+/// stream bit-identically in sample_minimal_path, so — like StepEngine —
+/// the knob trades memory/build time only, is excluded from
+/// exp::point_seed hashing, and is allowed per-series in suites.
+///
+///   Auto   — dense DistanceTable for small networks (cheap and fastest to
+///            query), the per-family oracle beyond the threshold where the
+///            O(N^2) table stops being free.
+///   Table  — always the dense O(N^2) reference table.
+///   Family — always the per-family oracle (algebraic for slimfly,
+///            coordinate arithmetic for torus/hypercube/flatbutterfly,
+///            level rules for fattree/dragonfly, compressed BFS fallback
+///            for the random families) — see sim/routing/oracle.hpp.
+enum class OracleMode : std::uint8_t { Auto = 0, Table = 1, Family = 2 };
+
+inline const char* to_string(OracleMode mode) {
+  switch (mode) {
+    case OracleMode::Table: return "table";
+    case OracleMode::Family: return "family";
+    default: return "auto";
+  }
+}
+
 struct SimConfig {
   int num_vcs = 4;             ///< VC = hop index (Gopal); 4 covers <=4-hop paths
   int buffer_per_port = 64;    ///< total flit slots per input port (all VCs)
@@ -50,6 +74,10 @@ struct SimConfig {
 
   /// Stepping engine (cycle | active). Never changes results; see StepEngine.
   StepEngine engine = StepEngine::Cycle;
+
+  /// Distance-oracle backend (auto | table | family). Never changes
+  /// results; see OracleMode.
+  OracleMode oracle = OracleMode::Auto;
 
   /// Flit slots available to each VC.
   int buffer_per_vc() const { return buffer_per_port / num_vcs; }

@@ -3,9 +3,9 @@
 namespace slimfly::sim {
 
 UgalRouting::CandidateSampler dragonfly_group_sampler(const Dragonfly& topo,
-                                                      const DistanceTable& dist) {
+                                                      const DistanceOracle& dist) {
   const Dragonfly* df = &topo;
-  const DistanceTable* dt = &dist;
+  const DistanceOracle* dt = &dist;
   return [df, dt](int src, int dst, Rng& rng, InlinePath& path) {
     path.clear();
     path.push_back(src);
@@ -29,7 +29,7 @@ UgalRouting::CandidateSampler dragonfly_group_sampler(const Dragonfly& topo,
 }
 
 std::unique_ptr<UgalRouting> make_dragonfly_ugal_l(const Dragonfly& topo,
-                                                   const DistanceTable& dist,
+                                                   const DistanceOracle& dist,
                                                    int candidates) {
   return std::make_unique<UgalRouting>(topo, dist, UgalMode::Local, candidates,
                                        dragonfly_group_sampler(topo, dist));

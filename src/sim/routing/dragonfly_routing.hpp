@@ -14,12 +14,12 @@ namespace slimfly::sim {
 
 /// Builds the paper's DF-UGAL-L: UGAL with group-Valiant candidates.
 std::unique_ptr<UgalRouting> make_dragonfly_ugal_l(const Dragonfly& topo,
-                                                   const DistanceTable& dist,
+                                                   const DistanceOracle& dist,
                                                    int candidates = 4);
 
 /// Group-Valiant sampler exposed for tests: minimal to a random router in a
 /// random intermediate group, then minimal to the destination.
 UgalRouting::CandidateSampler dragonfly_group_sampler(const Dragonfly& topo,
-                                                      const DistanceTable& dist);
+                                                      const DistanceOracle& dist);
 
 }  // namespace slimfly::sim

@@ -11,7 +11,7 @@ namespace slimfly::sim {
 
 class MinimalRouting : public PathFollowingRouting {
  public:
-  MinimalRouting(const Topology& topo, const DistanceTable& dist)
+  MinimalRouting(const Topology& topo, const DistanceOracle& dist)
       : topo_(topo), dist_(dist) {}
 
   std::string name() const override { return "MIN"; }
@@ -21,7 +21,7 @@ class MinimalRouting : public PathFollowingRouting {
 
  protected:
   const Topology& topo_;
-  const DistanceTable& dist_;
+  const DistanceOracle& dist_;
 };
 
 }  // namespace slimfly::sim

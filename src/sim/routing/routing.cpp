@@ -5,6 +5,35 @@
 
 namespace slimfly::sim {
 
+void DistanceOracle::sample_minimal_path(const Graph& g, int u, int v, Rng& rng,
+                                         InlinePath& out) const {
+  // Mirror of DistanceTable::sample_minimal_path below over virtual dist()
+  // — identical candidate sets scanned in identical (sorted adjacency)
+  // order, so both consume the RNG stream bit-identically.
+  int current = u;
+  while (current != v) {
+    const int d = dist(current, v);
+    if (d == 1) {
+      // Exactly one candidate (v itself), which would draw nothing from
+      // rng (next_below(1) is draw-free): skip the scan.
+      out.push_back(v);
+      break;
+    }
+    const int want = d - 1;
+    int chosen = -1;
+    int seen = 0;
+    for (int w : g.neighbors(current)) {
+      if (dist(w, v) == want) {
+        ++seen;
+        if (rng.next_below(static_cast<std::uint32_t>(seen)) == 0) chosen = w;
+      }
+    }
+    if (chosen < 0) throw std::logic_error("sample_minimal_path: no progress");
+    out.push_back(chosen);
+    current = chosen;
+  }
+}
+
 DistanceTable::DistanceTable(const Graph& g) : n_(g.num_vertices()) {
   table_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), 255);
   std::vector<int> frontier;

@@ -21,21 +21,53 @@ namespace slimfly::sim {
 
 class Network;
 
-/// All-pairs hop distances with minimal-path sampling.
-class DistanceTable {
+/// Hop-distance oracle: the query interface every routing algorithm
+/// consumes. Implementations must return EXACT shortest-path hop counts —
+/// sample_minimal_path's default walk relies on dist() dropping by exactly
+/// one per step, and simulate() sizes the VC set from diameter(), so an
+/// off-by-one here silently changes results. The dense DistanceTable below
+/// is the BFS reference implementation; the per-family oracles
+/// (sim/routing/oracle.hpp) answer the same queries from algebra,
+/// coordinates, or level rules without the O(N^2) table.
+///
+/// RNG contract: sample_minimal_path must consume the RNG stream exactly
+/// like the default implementation here — one reservoir scan over the
+/// sorted adjacency list per non-final hop, nothing drawn for the final
+/// hop. Every oracle with exact distances that keeps the default (or
+/// replicates its candidate sets in the same order) is bit-identical with
+/// the dense table, which is what keeps golden trajectories stable across
+/// OracleMode.
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+
+  /// Exact shortest-path hop count between routers u and v.
+  virtual int dist(int u, int v) const = 0;
+  /// Exact graph diameter (max over all pairs of dist).
+  virtual int diameter() const = 0;
+
+  /// Appends a uniformly-sampled minimal path from u to v onto `out`
+  /// (excluding u, including v). No-op when u == v. The default walks
+  /// greedily: at each router it reservoir-samples uniformly among the
+  /// neighbors (sorted adjacency order) that are one hop closer to v.
+  virtual void sample_minimal_path(const Graph& g, int u, int v, Rng& rng,
+                                   InlinePath& out) const;
+};
+
+/// All-pairs hop distances with minimal-path sampling — the dense BFS
+/// reference oracle and the small-N fast path (row-cached sampling).
+class DistanceTable : public DistanceOracle {
  public:
   explicit DistanceTable(const Graph& g);
 
-  int dist(int u, int v) const {
+  int dist(int u, int v) const override {
     return table_[static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
                   static_cast<std::size_t>(v)];
   }
-  int diameter() const { return diameter_; }
+  int diameter() const override { return diameter_; }
 
-  /// Appends a uniformly-sampled minimal path from u to v onto `out`
-  /// (excluding u, including v). No-op when u == v.
   void sample_minimal_path(const Graph& g, int u, int v, Rng& rng,
-                           InlinePath& out) const;
+                           InlinePath& out) const override;
 
  private:
   int n_;

@@ -6,7 +6,7 @@
 
 namespace slimfly::sim {
 
-UgalRouting::UgalRouting(const Topology& topo, const DistanceTable& dist,
+UgalRouting::UgalRouting(const Topology& topo, const DistanceOracle& dist,
                          UgalMode mode, int candidates, CandidateSampler sampler)
     : topo_(topo),
       dist_(dist),

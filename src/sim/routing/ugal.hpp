@@ -27,7 +27,7 @@ class UgalRouting : public PathFollowingRouting {
   using CandidateSampler =
       std::function<void(int, int, Rng&, InlinePath&)>;
 
-  UgalRouting(const Topology& topo, const DistanceTable& dist, UgalMode mode,
+  UgalRouting(const Topology& topo, const DistanceOracle& dist, UgalMode mode,
               int candidates = 4, CandidateSampler sampler = {});
 
   std::string name() const override {
@@ -41,7 +41,7 @@ class UgalRouting : public PathFollowingRouting {
   double path_cost(const Network& net, const InlinePath& path) const;
 
   const Topology& topo_;
-  const DistanceTable& dist_;
+  const DistanceOracle& dist_;
   UgalMode mode_;
   int candidates_;
   ValiantRouting valiant_;

@@ -14,7 +14,7 @@ namespace slimfly::sim {
 
 class ValiantRouting : public PathFollowingRouting {
  public:
-  ValiantRouting(const Topology& topo, const DistanceTable& dist,
+  ValiantRouting(const Topology& topo, const DistanceOracle& dist,
                  std::optional<int> hop_limit = std::nullopt)
       : topo_(topo), dist_(dist), hop_limit_(hop_limit) {}
 
@@ -31,7 +31,7 @@ class ValiantRouting : public PathFollowingRouting {
 
  private:
   const Topology& topo_;
-  const DistanceTable& dist_;
+  const DistanceOracle& dist_;
   std::optional<int> hop_limit_;
 };
 

@@ -6,6 +6,7 @@
 #include "sim/routing/dragonfly_routing.hpp"
 #include "sim/routing/fattree_routing.hpp"
 #include "sim/routing/minimal.hpp"
+#include "sim/routing/oracle.hpp"
 #include "sim/routing/ugal.hpp"
 #include "sim/routing/valiant.hpp"
 #include "topo/registry.hpp"
@@ -77,11 +78,12 @@ bool routing_supported(RoutingKind kind, const Topology& topo) {
 }
 
 RoutingBundle make_routing(RoutingKind kind, const Topology& topo,
-                           std::shared_ptr<const DistanceTable> distances) {
+                           std::shared_ptr<const DistanceOracle> distances) {
   RoutingBundle bundle;
   if (kind != RoutingKind::FatTreeAnca) {
-    bundle.distances = distances ? std::move(distances)
-                                 : std::make_shared<DistanceTable>(topo.graph());
+    bundle.distances = distances
+                           ? std::move(distances)
+                           : make_distance_oracle(topo, OracleMode::Auto);
   }
   switch (kind) {
     case RoutingKind::Minimal:
@@ -115,7 +117,7 @@ RoutingBundle make_routing(RoutingKind kind, const Topology& topo,
 }
 
 RoutingBundle make_routing(const std::string& name, const Topology& topo,
-                           std::shared_ptr<const DistanceTable> distances) {
+                           std::shared_ptr<const DistanceOracle> distances) {
   return make_routing(routing_kind_from_string(name), topo,
                       std::move(distances));
 }
@@ -182,11 +184,11 @@ RoutingSpec parse_routing_spec(const std::string& spec) {
 }
 
 RoutingBundle make_routing_spec(const std::string& spec, const Topology& topo,
-                                std::shared_ptr<const DistanceTable> distances) {
+                                std::shared_ptr<const DistanceOracle> distances) {
   const RoutingSpec parsed = parse_routing_spec(spec);
   RoutingBundle bundle = make_routing(parsed.kind, topo, std::move(distances));
   // Rebuild the two parameterizable algorithms when a non-default parameter
-  // was requested; the bundle already holds the shared distance table.
+  // was requested; the bundle already holds the shared distance oracle.
   if (parsed.kind == RoutingKind::Valiant && parsed.val_hop_limit) {
     bundle.algorithm = std::make_unique<ValiantRouting>(topo, *bundle.distances,
                                                         parsed.val_hop_limit);

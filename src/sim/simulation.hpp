@@ -38,23 +38,26 @@ std::string routing_requirement(RoutingKind kind);
 /// True when make_routing(kind, topo) would succeed.
 bool routing_supported(RoutingKind kind, const Topology& topo);
 
-/// Routing algorithm plus the distance table it borrows (kept alive here).
-/// The table is const so one instance can be shared read-only across
-/// concurrently-running simulation points (see exp/experiment.hpp).
+/// Routing algorithm plus the distance oracle it borrows (kept alive
+/// here). The oracle is const so one instance can be shared read-only
+/// across concurrently-running simulation points (see exp/experiment.hpp).
 struct RoutingBundle {
-  std::shared_ptr<const DistanceTable> distances;
+  std::shared_ptr<const DistanceOracle> distances;
   std::unique_ptr<RoutingAlgorithm> algorithm;
 };
 
 /// Builds a routing algorithm for `topo`. DragonflyUgalL requires a
 /// Dragonfly topology and FatTreeAnca a FatTree3 (checked at runtime).
-/// An existing distance table may be shared to avoid recomputation.
+/// An existing distance oracle may be shared to avoid recomputation; when
+/// none is passed, one is selected via make_distance_oracle(topo, Auto)
+/// (sim/routing/oracle.hpp) — the dense table on small networks, the
+/// per-family oracle beyond.
 RoutingBundle make_routing(RoutingKind kind, const Topology& topo,
-                           std::shared_ptr<const DistanceTable> distances = nullptr);
+                           std::shared_ptr<const DistanceOracle> distances = nullptr);
 
 /// String-keyed wrapper: make_routing(routing_kind_from_string(name), ...).
 RoutingBundle make_routing(const std::string& name, const Topology& topo,
-                           std::shared_ptr<const DistanceTable> distances = nullptr);
+                           std::shared_ptr<const DistanceOracle> distances = nullptr);
 
 // ---- parameterized routing specs ------------------------------------------
 // The routing analogue of topo::parse_spec: "NAME[:key=value,...]", so the
@@ -80,7 +83,7 @@ RoutingSpec parse_routing_spec(const std::string& spec);
 /// make_routing honouring spec parameters. A bare name behaves exactly like
 /// make_routing(name, ...).
 RoutingBundle make_routing_spec(const std::string& spec, const Topology& topo,
-                                std::shared_ptr<const DistanceTable> distances = nullptr);
+                                std::shared_ptr<const DistanceOracle> distances = nullptr);
 
 /// Runs one (topology, routing, traffic, load) point.
 SimResult simulate(const Topology& topo, RoutingAlgorithm& routing,

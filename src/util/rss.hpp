@@ -1,0 +1,31 @@
+#pragma once
+// Process peak resident set size, recorded per run point into BENCH
+// trajectories (reported, never gated — the wall_seconds policy) so the
+// memory footprint is tracked PR-over-PR alongside throughput.
+
+#include <cstdint>
+
+#if !defined(_WIN32)
+#include <sys/resource.h>
+#endif
+
+namespace slimfly {
+
+/// Peak RSS of the calling process in bytes; 0 when the platform cannot
+/// report it. Monotone over the process lifetime (the kernel high-water
+/// mark), so per-point values record the largest footprint reached so far.
+inline std::uint64_t peak_rss_bytes() {
+#if defined(_WIN32)
+  return 0;
+#else
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB elsewhere
+#endif
+#endif
+}
+
+}  // namespace slimfly

@@ -82,24 +82,30 @@ TEST(GoldenTrajectory, MatchesCheckedInTrajectoryExactly) {
 TEST(GoldenTrajectory, BitIdenticalAcrossThreadAndEngineMatrix) {
   exp::ExperimentSpec spec = golden_spec();
   const std::string want = read_file(source_path(kTrajectoryPath));
-  // SF_THREADS x SF_INTRA_THREADS x SF_ENGINE matrix, constructed directly
-  // so the test is hermetic against the environment. engine(1) with intra=2
-  // clamps to sequential (one worker owns the whole budget) — still
-  // compared. The stepping engine is a scheduling knob like the other two:
-  // every cell reproduces the same pinned trajectory (the SF-UGAL-L-active
-  // series keeps its per-series engine=active override in every cell).
+  // SF_THREADS x SF_INTRA_THREADS x SF_ENGINE x SF_ORACLE matrix,
+  // constructed directly so the test is hermetic against the environment.
+  // engine(1) with intra=2 clamps to sequential (one worker owns the whole
+  // budget) — still compared. The stepping engine is a scheduling knob and
+  // the distance oracle a memory knob: every cell reproduces the same
+  // pinned trajectory (the SF-UGAL-L-active and DLN-UGAL-L-oracle series
+  // keep their per-series overrides in every cell).
   for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
     for (int intra : {1, 2}) {
       for (sim::StepEngine step_engine :
            {sim::StepEngine::Cycle, sim::StepEngine::Active}) {
-        exp::ExperimentSpec run = spec;
-        run.config.intra_threads = intra;
-        run.config.engine = step_engine;
-        exp::ExperimentEngine engine(threads);
-        const std::string got = exp::golden_trajectory(run, engine.run(run));
-        EXPECT_EQ(want, got)
-            << "SF_THREADS=" << threads << " SF_INTRA_THREADS=" << intra
-            << " SF_ENGINE=" << sim::to_string(step_engine);
+        for (sim::OracleMode oracle :
+             {sim::OracleMode::Table, sim::OracleMode::Family}) {
+          exp::ExperimentSpec run = spec;
+          run.config.intra_threads = intra;
+          run.config.engine = step_engine;
+          run.config.oracle = oracle;
+          exp::ExperimentEngine engine(threads);
+          const std::string got = exp::golden_trajectory(run, engine.run(run));
+          EXPECT_EQ(want, got)
+              << "SF_THREADS=" << threads << " SF_INTRA_THREADS=" << intra
+              << " SF_ENGINE=" << sim::to_string(step_engine)
+              << " SF_ORACLE=" << sim::to_string(oracle);
+        }
       }
     }
   }
@@ -119,7 +125,7 @@ TEST(GoldenTrajectory, DiffAgainstCheckedInBenchPasses) {
               "BENCH_golden_mini.json:\n"
            << os.str();
   }
-  EXPECT_EQ(report.compared, 14u);  // 7 series x 2 loads, no truncation
+  EXPECT_EQ(report.compared, 16u);  // 8 series x 2 loads, no truncation
 }
 
 TEST(GoldenTrajectory, PerturbedTrajectoryIsCaught) {

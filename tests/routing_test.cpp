@@ -9,11 +9,13 @@
 #include "sim/network.hpp"
 #include "sim/routing/dragonfly_routing.hpp"
 #include "sim/routing/minimal.hpp"
+#include "sim/routing/oracle.hpp"
 #include "sim/routing/ugal.hpp"
 #include "sim/routing/valiant.hpp"
 #include "sim/simulation.hpp"
 #include "topo/dragonfly.hpp"
 #include "topo/hypercube.hpp"
+#include "topo/registry.hpp"
 
 namespace slimfly::sim {
 namespace {
@@ -212,6 +214,43 @@ TEST(RoutingBase, NextRouterFollowsPath) {
   p.hop = 2;
   EXPECT_EQ(bundle.algorithm->next_router(net, p, 13), -1);
   EXPECT_THROW(bundle.algorithm->next_router(net, p, 5), std::logic_error);
+}
+
+TEST(OracleBitIdentity, SimulateByteIdenticalUnderTableAndFamilyOracles) {
+  // One simulated point per (topology, routing) cell, run twice: once with
+  // the dense table, once with the per-family oracle. Every stats field
+  // must be byte-identical — the oracle is a memory knob, never a result
+  // knob. VAL and the UGAL pair consume RNG inside sample_minimal_path, so
+  // a single extra (or missing) draw anywhere would cascade into every
+  // field here.
+  SimConfig cfg;
+  cfg.warmup_cycles = 150;
+  cfg.measure_cycles = 300;
+  cfg.drain_cycles = 3000;
+  cfg.seed = 23;
+  for (const std::string& spec :
+       {std::string("slimfly:q=5"), std::string("torus:dims=4x4"),
+        std::string("hypercube:n=6"), std::string("dln:n=36,k=6,p=2,seed=3")}) {
+    SCOPED_TRACE(spec);
+    auto topo = topo::make(spec);
+    for (const char* routing : {"MIN", "VAL", "UGAL-L", "UGAL-G"}) {
+      SCOPED_TRACE(routing);
+      auto run_with = [&](OracleMode mode) {
+        auto bundle = make_routing_spec(
+            routing, *topo, make_distance_oracle(*topo, mode));
+        auto traffic = make_uniform(topo->num_endpoints());
+        return simulate(*topo, *bundle.algorithm, *traffic, cfg, 0.3);
+      };
+      const SimResult a = run_with(OracleMode::Table);
+      const SimResult b = run_with(OracleMode::Family);
+      EXPECT_EQ(a.avg_latency, b.avg_latency);
+      EXPECT_EQ(a.avg_network_latency, b.avg_network_latency);
+      EXPECT_EQ(a.p99_latency, b.p99_latency);
+      EXPECT_EQ(a.accepted_load, b.accepted_load);
+      EXPECT_EQ(a.delivered, b.delivered);
+      EXPECT_EQ(a.saturated, b.saturated);
+    }
+  }
 }
 
 TEST(RoutingFactory, TypeChecks) {
