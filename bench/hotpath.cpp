@@ -174,6 +174,12 @@ int main(int argc, char** argv) {
                        0.002, 6000});
       cells.push_back(
           {"drain", "slimfly:q=11", "UGAL-L", "uniform", 0.7, 0});
+      // Sparse ON/OFF tenants: long OFF segments leave most routers idle,
+      // so the cell records how much of the burst workload's idle time the
+      // active engine's wake scheduling reclaims.
+      cells.push_back({"sparse-burst", "slimfly:q=11", "MIN",
+                       "burst:on=40,off=2000,mult=25,base=uniform", 0.02,
+                       6000});
     }
 
     std::vector<CellResult> results;

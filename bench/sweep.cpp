@@ -74,7 +74,11 @@ void print_registries() {
                " :hoplimit=<1..255>)\n";
   std::cout << "traffics:\n ";
   for (const auto& name : sim::traffic_names()) std::cout << " " << name;
-  std::cout << "\n";
+  std::cout << "\n  parameterized workloads (docs/SPEC_GRAMMAR.md):\n"
+               "    burst:on=,off=,mult=[,seed=][,base=]\n"
+               "    hotspot:frac=,heat=[,seed=][,base=]\n"
+               "    allreduce:ranks=[,algo=ring|tree]\n"
+               "    trace:file=PATH.json\n";
 }
 
 int usage(const char* argv0, int exit_code) {

@@ -143,6 +143,11 @@ sim::SimConfig apply_config_overrides(sim::SimConfig base,
       // dense table (tests/oracle_test.cpp), point_seed skips the key, and
       // golden_mini's oracle=family cell relies on the per-series form.
       base.oracle = static_cast<sim::OracleMode>(integral(key, value, 0, 2));
+    } else if (key == "stats_window") {
+      // Pure observation (windowed counters never feed back into the
+      // simulation), so — like engine/oracle — allowed per series and
+      // skipped by point_seed.
+      base.stats_window = integral(key, value, 0, 1e9);
     } else if (allow_run_keys && key == "seed") {
       // Doubles carry integers exactly up to 2^53 — far beyond any seed in
       // use; suite files wanting full 64 bits should derive via --seed.
@@ -155,7 +160,7 @@ sim::SimConfig apply_config_overrides(sim::SimConfig base,
           "\" (known: num_vcs, buffer_per_port, channel_latency, "
           "router_pipeline, credit_delay, alloc_iterations, output_staging, "
           "warmup_cycles, measure_cycles, drain_cycles, latency_cap, engine, "
-          "oracle" +
+          "oracle, stats_window" +
           (allow_run_keys ? ", seed, intra_threads)" :
                             "; seed and intra_threads are experiment-level)"));
     }
@@ -198,11 +203,11 @@ std::uint64_t point_seed(const ExperimentSpec& spec, std::size_t series_index,
   // study runs the same topo/routing/traffic six times); an empty map keeps
   // every pre-override seed unchanged.
   for (const auto& [key, value] : s.config_overrides) {
-    // The stepping engine and distance oracle are "hashed into nothing":
-    // they cannot change results, so overriding them must not change the
-    // point's streams (golden_mini's engine=active and oracle=family cells
-    // reproduce their sibling rows exactly).
-    if (key == "engine" || key == "oracle") continue;
+    // The stepping engine, distance oracle and stats window are "hashed
+    // into nothing": they cannot change results, so overriding them must
+    // not change the point's streams (golden_mini's engine=active and
+    // oracle=family cells reproduce their sibling rows exactly).
+    if (key == "engine" || key == "oracle" || key == "stats_window") continue;
     h = fnv1a("|" + key + "=" + json_num(value), h);
   }
   h = splitmix64(h ^ spec.config.seed);
@@ -333,16 +338,18 @@ std::vector<RunResult> ExperimentEngine::run(const ExperimentSpec& spec,
   std::vector<std::size_t> series_oracle;
   series_topo.reserve(spec.series.size());
   series_oracle.reserve(spec.series.size());
-  const auto known_traffics = sim::traffic_names();
   for (const auto& s : spec.series) {
     // Fail fast on unknown names and incompatible combinations using the
     // spec strings alone — before any topology or distance-table build
     // (minutes at paper scale). Routing typos throw from
-    // routing_kind_from_string below.
-    if (std::find(known_traffics.begin(), known_traffics.end(), s.traffic) ==
-        known_traffics.end()) {
-      throw std::invalid_argument("experiment \"" + spec.name +
-                                  "\": unknown traffic \"" + s.traffic + "\"");
+    // routing_kind_from_string below. Traffic validation covers the full
+    // parameterized grammar (burst:/hotspot:/allreduce:/trace:) without
+    // touching the filesystem.
+    try {
+      sim::validate_traffic_spec(s.traffic);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("experiment \"" + spec.name + "\": " +
+                                  e.what());
     }
     topo::validate_spec(s.topology);
     const std::string family = topo::parse_spec(s.topology).family;
@@ -523,7 +530,8 @@ void write_json(std::ostream& os, const ExperimentSpec& spec,
      << ", \"buffer_per_port\": " << spec.config.buffer_per_port
      << ", \"intra_threads\": " << spec.config.intra_threads
      << ", \"engine\": \"" << sim::to_string(spec.config.engine)
-     << "\", \"seed\": " << spec.config.seed << "},\n";
+     << "\", \"stats_window\": " << spec.config.stats_window
+     << ", \"seed\": " << spec.config.seed << "},\n";
   os << "  \"series\": [\n";
   for (std::size_t s = 0; s < spec.series.size(); ++s) {
     const SeriesSpec& series = spec.series[s];
@@ -547,8 +555,22 @@ void write_json(std::ostream& os, const ExperimentSpec& spec,
          << ", \"p99_latency\": " << json_num(r.result.p99_latency)
          << ", \"accepted\": " << json_num(r.result.accepted_load)
          << ", \"delivered\": " << r.result.delivered
-         << ", \"saturated\": " << (r.result.saturated ? "true" : "false")
-         << "}";
+         << ", \"saturated\": " << (r.result.saturated ? "true" : "false");
+      if (!r.result.windows.empty()) {
+        // Compact per-window rows [generated, delivered, latency_sum,
+        // dep_stalled_sends, dep_stall_cycles]; sweep diff ignores unknown
+        // keys, so windowed runs stay comparable to older benches.
+        os << ", \"stats_window\": " << r.result.stats_window
+           << ", \"windows\": [";
+        for (std::size_t w = 0; w < r.result.windows.size(); ++w) {
+          const sim::WindowStats& ws = r.result.windows[w];
+          os << (w ? ", " : "") << "[" << ws.generated << ", " << ws.delivered
+             << ", " << ws.latency_sum << ", " << ws.dep_stalled_sends << ", "
+             << ws.dep_stall_cycles << "]";
+        }
+        os << "]";
+      }
+      os << "}";
     }
     os << "\n    ]}" << (s + 1 < spec.series.size() ? "," : "") << "\n";
   }

@@ -105,9 +105,12 @@ void validate_routing_and_traffic(const std::string& routing,
                                   const std::string& traffic,
                                   const std::string& context) {
   sim::parse_routing_spec(routing);  // throws with the named spec
-  const auto known = sim::traffic_names();
-  if (std::find(known.begin(), known.end(), traffic) == known.end()) {
-    fail(context, "unknown traffic \"" + traffic + "\"");
+  try {
+    // Full grammar check, parameterized specs included; no filesystem
+    // access (trace files are opened when the series actually runs).
+    sim::validate_traffic_spec(traffic);
+  } catch (const std::invalid_argument& e) {
+    fail(context, e.what());
   }
 }
 
@@ -314,9 +317,10 @@ Suite parse_suite(const std::string& text, const std::string& origin) {
     }
     for (const auto& t : traffics->as_array(cctx + ".traffics")) {
       const std::string traffic = t.as_string(cctx + ".traffics");
-      const auto known = sim::traffic_names();
-      if (std::find(known.begin(), known.end(), traffic) == known.end()) {
-        fail(cctx + ".traffics", "unknown traffic \"" + traffic + "\"");
+      try {
+        sim::validate_traffic_spec(traffic);
+      } catch (const std::invalid_argument& e) {
+        fail(cctx + ".traffics", e.what());
       }
       suite.cross_traffics.push_back(traffic);
     }
@@ -453,7 +457,8 @@ Suite suite_from_spec(const ExperimentSpec& spec, std::size_t threads) {
                   {"seed", static_cast<double>(c.seed)},
                   {"intra_threads", static_cast<double>(c.intra_threads)},
                   {"engine", static_cast<double>(c.engine)},
-                  {"oracle", static_cast<double>(c.oracle)}};
+                  {"oracle", static_cast<double>(c.oracle)},
+                  {"stats_window", static_cast<double>(c.stats_window)}};
   for (const SeriesSpec& s : spec.series) {
     SuiteSeries series;
     series.topology[""] = s.topology;

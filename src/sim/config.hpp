@@ -79,6 +79,15 @@ struct SimConfig {
   /// results; see OracleMode.
   OracleMode oracle = OracleMode::Auto;
 
+  /// Windowed-stats bucket width in cycles; 0 (the default) disables
+  /// windowed collection. When > 0, every window of W cycles accumulates a
+  /// WindowStats row (generated/delivered/latency/dependency stalls — see
+  /// stats.hpp) exposed as SimResult::windows and in BENCH JSON. Pure
+  /// observation: never changes simulation results, so — like engine and
+  /// oracle — it is excluded from exp::point_seed hashing and allowed
+  /// per-series in suites.
+  std::int64_t stats_window = 0;
+
   /// Flit slots available to each VC.
   int buffer_per_vc() const { return buffer_per_port / num_vcs; }
 };

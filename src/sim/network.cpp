@@ -81,6 +81,43 @@ Network::Network(const Topology& topo, RoutingAlgorithm& routing,
   for (int e = 0; e < topo_.num_endpoints(); ++e) {
     if (traffic_.is_active(e)) ++active_endpoints_;
   }
+  // ---- workload layer: cache the pattern's flags and preallocate every
+  // container the steady-state loop will touch (before init_active, whose
+  // initial wake/plan pass depends on traffic_self_clocked_).
+  traffic_modulated_ = traffic_.modulates_rate();
+  traffic_self_clocked_ = traffic_.self_clocked();
+  stats_window_ = config_.stats_window;
+  if (stats_window_ < 0) {
+    throw std::invalid_argument("Network: stats_window must be >= 0");
+  }
+  if (stats_window_ > 0) {
+    const std::int64_t total = config_.warmup_cycles + config_.measure_cycles +
+                               config_.drain_cycles;
+    const std::int64_t count =
+        total > 0 ? (total - 1) / stats_window_ + 1 : 1;
+    if (count > (std::int64_t{1} << 22)) {
+      throw std::invalid_argument(
+          "Network: stats_window " + std::to_string(stats_window_) + " needs " +
+          std::to_string(count) +
+          " window rows (cap 4194304) — widen the window");
+    }
+    for (auto& totals : shard_totals_) {
+      totals.windows.assign(static_cast<std::size_t>(count), WindowStats{});
+    }
+  }
+  if (traffic_self_clocked_) {
+    // Per cycle a shard can complete at most as many deliveries as its
+    // ejection lines hold, so that sum bounds the outbox high-water mark.
+    completion_outbox_.resize(shards_);
+    for (std::size_t s = 0; s < shards_; ++s) {
+      std::size_t cap = 0;
+      for (int r = shard_ranges_[s].first; r < shard_ranges_[s].second; ++r) {
+        cap += routers_[static_cast<std::size_t>(r)].ejection.capacity();
+      }
+      completion_outbox_[s].reserve(cap);
+    }
+    unlocked_scratch_.reserve(traffic_.completion_fanout());
+  }
   if (config_.engine == StepEngine::Active) init_active();
 }
 
@@ -324,26 +361,53 @@ void Network::phase_arrivals(std::size_t shard) {
   for (int r = lo; r < hi; ++r) arrivals_router(shard, r);
 }
 
+void Network::generate_packet(std::size_t shard, int e, int dst,
+                              bool in_measurement, std::int64_t dep_stall) {
+  auto& ep = injector_.endpoint(e);
+  Packet pkt;
+  // Unique and schedule-independent: the endpoint's sequence number
+  // strided by endpoint count.
+  pkt.id = ep.next_seq++ * topo_.num_endpoints() + e;
+  pkt.src_endpoint = e;
+  pkt.dst_endpoint = dst;
+  pkt.dst_router = static_cast<std::uint16_t>(topo_.endpoint_router(dst));
+  pkt.t_generated = static_cast<std::int32_t>(cycle_);
+  pkt.measured = in_measurement;
+  if (pkt.measured) ++shard_totals_[shard].measured_generated;
+  ep.source_queue.push_back(pkt);
+  if (stats_window_ > 0) {
+    auto& windows = shard_totals_[shard].windows;
+    WindowStats& w = windows[window_index(cycle_, windows.size())];
+    ++w.generated;
+    if (dep_stall > 0) {
+      ++w.dep_stalled_sends;
+      w.dep_stall_cycles += dep_stall;
+    }
+  }
+}
+
 void Network::injection_router(std::size_t shard, int r, bool in_measurement) {
   for (int j = 0; j < topo_.endpoints_at(r); ++j) {
     int e = topo_.first_endpoint(r) + j;
     auto& ep = injector_.endpoint(e);
-    // Bernoulli generation, drawing only from the endpoint's own stream.
-    if (ep.rng.bernoulli(load_)) {
-      int dst = traffic_.destination(e, ep.rng);
-      if (dst >= 0) {
-        Packet pkt;
-        // Unique and schedule-independent: the endpoint's sequence number
-        // strided by endpoint count.
-        pkt.id = ep.next_seq++ * topo_.num_endpoints() + e;
-        pkt.src_endpoint = e;
-        pkt.dst_endpoint = dst;
-        pkt.dst_router =
-            static_cast<std::uint16_t>(topo_.endpoint_router(dst));
-        pkt.t_generated = static_cast<std::int32_t>(cycle_);
-        pkt.measured = in_measurement;
-        if (pkt.measured) ++shard_totals_[shard].measured_generated;
-        ep.source_queue.push_back(pkt);
+    if (traffic_self_clocked_) {
+      // Self-clocked replay: the pattern decides when the next message is
+      // eligible (FIFO order plus `after:` dependency delivery); no load
+      // coin is consumed — the workload itself is the clock.
+      std::int64_t dep_stall = 0;
+      int dst = traffic_.next_send(e, cycle_, &dep_stall);
+      if (dst >= 0) generate_packet(shard, e, dst, in_measurement, dep_stall);
+    } else {
+      // Bernoulli generation, drawing only from the endpoint's own stream.
+      // Rate-modulated patterns scale the coin's probability per cycle; a
+      // hard-OFF cycle (multiplier 0) consumes no draw at all, so the
+      // stream position depends only on ON-cycle count — the invariant the
+      // active engine's batched planning relies on (see modulated_hit).
+      const bool hit = traffic_modulated_ ? modulated_hit(e, cycle_, ep.rng)
+                                          : ep.rng.bernoulli(load_);
+      if (hit) {
+        int dst = traffic_.destination(e, ep.rng);
+        if (dst >= 0) generate_packet(shard, e, dst, in_measurement, 0);
       }
     }
     // Uplink: move the head of the source queue into the router's
@@ -581,6 +645,46 @@ void Network::deliver(std::size_t shard, const Packet& pkt) {
       cycle_ < config_.warmup_cycles + config_.measure_cycles) {
     ++totals.delivered_in_window;
   }
+  if (stats_window_ > 0) {
+    WindowStats& w = totals.windows[window_index(cycle_, totals.windows.size())];
+    ++w.delivered;
+    w.latency_sum += cycle_ - pkt.t_generated;
+  }
+  if (traffic_self_clocked_) {
+    // Record the completion for the serial between-cycles pass. The message
+    // sequence number is recovered from the packet id (seq * N + src), so
+    // no Packet field is spent on it.
+    completion_outbox_[shard].push_back(
+        (static_cast<std::int64_t>(pkt.src_endpoint) << 32) |
+        (pkt.id / topo_.num_endpoints()));
+  }
+}
+
+// Serial between-cycles completion pass: every delivery recorded during this
+// cycle's arrivals unlocks its dependents in the pattern before the next
+// cycle begins. Running it serially — even with one shard, where deliver()
+// could have applied completions inline — gives every (shards, engine)
+// configuration the same uniform one-cycle eligibility deferral, which is
+// what makes replay schedules bit-identical across the whole matrix.
+void Network::apply_completions() {
+  for (std::size_t s = 0; s < shards_; ++s) {
+    for (std::int64_t packed : completion_outbox_[s]) {
+      const int src = static_cast<int>(packed >> 32);
+      const std::int64_t seq = packed & 0xffffffff;
+      unlocked_scratch_.clear();
+      traffic_.on_delivered(src, seq, cycle_, unlocked_scratch_);
+      if (engine_active_) {
+        for (int e : unlocked_scratch_) {
+          // Called serially, so pass the owner shard: the wake goes straight
+          // to its heap, never through an outbox.
+          const int r = topo_.endpoint_router(e);
+          schedule_wake(shard_of_router_[static_cast<std::size_t>(r)], r,
+                        cycle_ + 1);
+        }
+      }
+    }
+    completion_outbox_[s].clear();
+  }
 }
 
 void Network::sync() {
@@ -637,6 +741,7 @@ void Network::step() {
   // Merge cross-shard wake events serially, before ++cycle_, so every heap
   // is complete when fast_forward inspects the tops between steps.
   if (engine_active_ && shards_ > 1) drain_wake_outboxes();
+  if (traffic_self_clocked_) apply_completions();
   ++cycle_;
   ++cycles_stepped_;
   stats_dirty_ = true;
@@ -666,9 +771,11 @@ void Network::init_active() {
     active_list_[s].reserve(owned);
     // Live wakes targeting a router are bounded by the un-matured entries
     // of its event lines (each push schedules exactly one wake at the
-    // entry's ready cycle, popped at that cycle's build) plus one pending
-    // injector arrival per endpoint — so the heap's worst case is the sum
-    // of the line capacities wire() chose. Reserving it keeps the
+    // entry's ready cycle, popped at that cycle's build) plus one per
+    // endpoint — a pending injector arrival, or for self-clocked replay a
+    // dependency-unlock wake at cycle+1 (consumed next build, and each
+    // endpoint's head unlocks at most once) — so the heap's worst case is
+    // the sum of the line capacities wire() chose. Reserving it keeps the
     // steady-state push_heap/push_back allocation-free.
     std::size_t cap = 1, inputs = 0;
     for (int r = lo; r < hi; ++r) {
@@ -690,12 +797,20 @@ void Network::init_active() {
         inputs * static_cast<std::size_t>(config_.alloc_iterations) * 2 + 1);
   }
   // Initial injector plans: the cycle engine draws each endpoint's first
-  // Bernoulli at cycle 0, so planning starts there.
+  // Bernoulli at cycle 0, so planning starts there. Self-clocked replay
+  // draws no coins — instead, wake every router with an initially-eligible
+  // message at cycle 0 (pending_eligible then keeps it busy; blocked
+  // endpoints are woken later by apply_completions).
   for (std::size_t s = 0; s < shards_; ++s) {
     auto [lo, hi] = shard_ranges_[s];
     for (int r = lo; r < hi; ++r) {
       for (int j = 0; j < topo_.endpoints_at(r); ++j) {
-        plan_arrival_from(s, r, topo_.first_endpoint(r) + j, 0);
+        const int e = topo_.first_endpoint(r) + j;
+        if (traffic_self_clocked_) {
+          if (traffic_.pending_eligible(e)) schedule_wake(s, r, 0);
+        } else {
+          plan_arrival_from(s, r, e, 0);
+        }
       }
     }
   }
@@ -764,9 +879,12 @@ bool Network::router_is_busy(int r) const {
     if (w) return true;
   }
   for (int j = 0; j < topo_.endpoints_at(r); ++j) {
-    if (!injector_.endpoint(topo_.first_endpoint(r) + j).source_queue.empty()) {
-      return true;
-    }
+    const int e = topo_.first_endpoint(r) + j;
+    if (!injector_.endpoint(e).source_queue.empty()) return true;
+    // Self-clocked replay: an eligible pending send is work — the router
+    // must step so injection can pop it (the FIFO gate allows at most one
+    // pop per endpoint per cycle, so eligibility can outlive the queues).
+    if (traffic_self_clocked_ && traffic_.pending_eligible(e)) return true;
   }
   return false;
 }
@@ -823,7 +941,15 @@ void Network::plan_arrival_from(std::size_t shard, int r, int e,
   const std::int64_t last = config_.warmup_cycles + config_.measure_cycles +
                             config_.drain_cycles;
   std::int64_t t = from;
-  while (t < last && !ep.rng.bernoulli(load_)) ++t;
+  if (traffic_modulated_) {
+    // Modulated stream: query the multiplier cycle by cycle so OFF cycles
+    // consume no draw — the exact per-cycle sequence injection_router
+    // produces (rate_multiplier tolerates the monotone-with-gaps cycles
+    // this batch walks).
+    while (t < last && !modulated_hit(e, t, ep.rng)) ++t;
+  } else {
+    while (t < last && !ep.rng.bernoulli(load_)) ++t;
+  }
   if (t >= last) {
     ep.next_arrival = kNeverArrives;
     return;
@@ -837,32 +963,32 @@ void Network::active_injection_router(std::size_t shard, int r,
   for (int j = 0; j < topo_.endpoints_at(r); ++j) {
     int e = topo_.first_endpoint(r) + j;
     auto& ep = injector_.endpoint(e);
-    bool generate = false;
-    if (ep.next_arrival == kUnplannedArrival) {
-      // Backlog mode: the source queue is nonempty, so the router is busy
-      // and steps every cycle — draw live, exactly like the cycle engine.
-      generate = ep.rng.bernoulli(load_);
-    } else if (cycle_ == ep.next_arrival) {
-      // Materialize the precomputed arrival. The Bernoulli draws through
-      // this cycle were consumed at plan time; the destination (and any
-      // routing) draws happen now, on the same cycle and in the same order
-      // the cycle engine makes them.
-      generate = true;
-      ep.next_arrival = kUnplannedArrival;
-    }
-    if (generate) {
-      int dst = traffic_.destination(e, ep.rng);
-      if (dst >= 0) {
-        Packet pkt;
-        pkt.id = ep.next_seq++ * topo_.num_endpoints() + e;
-        pkt.src_endpoint = e;
-        pkt.dst_endpoint = dst;
-        pkt.dst_router =
-            static_cast<std::uint16_t>(topo_.endpoint_router(dst));
-        pkt.t_generated = static_cast<std::int32_t>(cycle_);
-        pkt.measured = in_measurement;
-        if (pkt.measured) ++shard_totals_[shard].measured_generated;
-        ep.source_queue.push_back(pkt);
+    if (traffic_self_clocked_) {
+      // Replay consumes no load coins, so there is nothing to plan: pop
+      // the next eligible message exactly as the cycle engine would.
+      // pending_eligible keeps this router busy while sends remain
+      // eligible; apply_completions wakes it when a dependency delivers.
+      std::int64_t dep_stall = 0;
+      int dst = traffic_.next_send(e, cycle_, &dep_stall);
+      if (dst >= 0) generate_packet(shard, e, dst, in_measurement, dep_stall);
+    } else {
+      bool generate = false;
+      if (ep.next_arrival == kUnplannedArrival) {
+        // Backlog mode: the source queue is nonempty, so the router is busy
+        // and steps every cycle — draw live, exactly like the cycle engine.
+        generate = traffic_modulated_ ? modulated_hit(e, cycle_, ep.rng)
+                                      : ep.rng.bernoulli(load_);
+      } else if (cycle_ == ep.next_arrival) {
+        // Materialize the precomputed arrival. The Bernoulli draws through
+        // this cycle were consumed at plan time; the destination (and any
+        // routing) draws happen now, on the same cycle and in the same order
+        // the cycle engine makes them.
+        generate = true;
+        ep.next_arrival = kUnplannedArrival;
+      }
+      if (generate) {
+        int dst = traffic_.destination(e, ep.rng);
+        if (dst >= 0) generate_packet(shard, e, dst, in_measurement, 0);
       }
     }
     // Uplink — identical to the cycle engine.
@@ -878,7 +1004,10 @@ void Network::active_injection_router(std::size_t shard, int r,
     }
     // Invariant: an empty queue always has a plan (or the never sentinel),
     // so a sleeping endpoint's next arrival is a heap event, not a poll.
-    if (ep.source_queue.empty() && ep.next_arrival == kUnplannedArrival) {
+    // Self-clocked replay plans nothing — eligibility keeps the router in
+    // the busy set instead (router_is_busy).
+    if (!traffic_self_clocked_ && ep.source_queue.empty() &&
+        ep.next_arrival == kUnplannedArrival) {
       plan_arrival_from(shard, r, e, cycle_ + 1);
     }
   }
@@ -995,6 +1124,21 @@ SimResult Network::run() {
       denom > 0 ? static_cast<double>(delivered_in_window()) / denom : 0.0;
   result.saturated = !merged.all_measured_delivered() ||
                      result.avg_latency > config_.latency_cap;
+  result.stats_window = stats_window_;
+  if (stats_window_ > 0 && cycle_ > 0) {
+    // Merge per-shard rows elementwise and trim to the windows the run
+    // actually reached; cycle_ is itself deterministic, so the trim is too.
+    const std::size_t allocated = shard_totals_[0].windows.size();
+    const std::size_t used = std::min(
+        allocated,
+        static_cast<std::size_t>((cycle_ - 1) / stats_window_) + 1);
+    result.windows.assign(used, WindowStats{});
+    for (const auto& totals : shard_totals_) {
+      for (std::size_t i = 0; i < used; ++i) {
+        result.windows[i].merge(totals.windows[i]);
+      }
+    }
+  }
   return result;
 }
 

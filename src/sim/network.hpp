@@ -66,9 +66,32 @@
 //                              ejection staging rings, ejection line.
 //                      reads:  cycle_.
 //
-// Serial between cycles: ++cycle_ and the run() loop checks. Anything not
-// listed as writable in a phase must not be written there; widening a
-// phase's write set requires re-auditing every cross-shard read above.
+// Serial between cycles: ++cycle_, the run() loop checks, and — for
+// self-clocked traffic — apply_completions(): deliveries recorded by each
+// shard during arrivals are fed back into the traffic pattern's dependency
+// state here, even when shards_ == 1, so a message delivered at cycle T
+// unlocks its dependents for injection at T+1 regardless of shard count or
+// stepping engine. Anything not listed as writable in a phase must not be
+// written there; widening a phase's write set requires re-auditing every
+// cross-shard read above.
+//
+// ---- Workload layer --------------------------------------------------------
+//
+// TrafficPattern's workload hooks (traffic.hpp) plug in here:
+//   * rate modulation (burst:) — the injection phase asks the pattern for a
+//     per-endpoint multiplier each cycle; a zero multiplier consumes NO
+//     Bernoulli draw, which keeps the cycle engine (querying every cycle)
+//     and the active engine (querying inside plan_arrival_from's batched
+//     loop) bit-identical. The unmodulated path is byte-for-byte the
+//     pre-workload code (the flag is cached at construction).
+//   * self-clocked replay (trace:/allreduce:) — injection pops eligible
+//     sends from the pattern instead of drawing coins; deliveries flow back
+//     through per-shard completion outboxes (drained serially, above), and
+//     the active engine treats an endpoint with an eligible head as busy
+//     and wakes the routers of endpoints a delivery unlocks.
+//   * windowed stats (SimConfig::stats_window) — per-shard WindowStats rows
+//     (preallocated; merged by elementwise sums) giving the time-resolved
+//     generated/delivered/latency/dependency-stall view.
 //
 // ---- Stepping engines ------------------------------------------------------
 //
@@ -97,6 +120,8 @@
 // only a *missed* wake could break equivalence — which is why every remote
 // push above doubles as a wake-event source under the active engine.
 
+#include <algorithm>
+#include <cstdint>
 #include <exception>
 #include <memory>
 #include <utility>
@@ -219,6 +244,29 @@ class Network {
   bool all_measured_delivered() const;  ///< cheap per-cycle drain check
   std::int64_t delivered_in_window() const;
 
+  // ---- workload layer ----------------------------------------------------
+  /// Creates one packet from endpoint e to dst at cycle_ — the single
+  /// generation body shared by both engines and both injection modes
+  /// (Bernoulli and self-clocked); `dep_stall` feeds the windowed
+  /// dependency-stall counters.
+  void generate_packet(std::size_t shard, int e, int dst, bool in_measurement,
+                       std::int64_t dep_stall);
+  /// Injection decision for a rate-modulated pattern at the current cycle
+  /// (multiplier query + at most one Bernoulli draw; zero multiplier draws
+  /// nothing). Shared verbatim by the cycle loop, the active backlog draw,
+  /// and plan_arrival_from's batched draws.
+  bool modulated_hit(int e, std::int64_t t, Rng& rng) {
+    const double m = traffic_.rate_multiplier(e, t);
+    return m > 0.0 && rng.bernoulli(std::min(1.0, load_ * m));
+  }
+  /// Drains the per-shard completion outboxes into the traffic pattern
+  /// (serially, between cycles) and wakes unlocked endpoints' routers.
+  void apply_completions();
+  std::size_t window_index(std::int64_t cycle, std::size_t count) const {
+    const auto idx = static_cast<std::size_t>(cycle / stats_window_);
+    return idx < count ? idx : count - 1;
+  }
+
   // ---- active engine (config_.engine == StepEngine::Active) -------------
   void init_active();
   /// Ensures `router` is stepped at cycle `at`. Own-shard events go
@@ -279,6 +327,9 @@ class Network {
     std::int64_t measured_generated = 0;
     std::int64_t delivered_in_window = 0;
     std::int64_t flit_hops = 0;  ///< crossbar grants in this shard
+    /// Windowed rows (stats_window > 0 only), preallocated for the whole
+    /// run; merged into SimResult::windows by elementwise sums.
+    std::vector<WindowStats> windows;
   };
   std::size_t shards_ = 1;
   std::vector<std::pair<int, int>> shard_ranges_;
@@ -328,6 +379,19 @@ class Network {
   std::vector<std::vector<std::uint64_t>> busy_;
   std::vector<std::vector<std::uint64_t>> woken_;
   std::vector<std::vector<int>> active_list_;  // [shard] global router ids
+
+  // ---- workload-layer state (sized once at construction; the steady-state
+  // loop stays allocation-free) -------------------------------------------
+  bool traffic_modulated_ = false;    ///< cached traffic_.modulates_rate()
+  bool traffic_self_clocked_ = false; ///< cached traffic_.self_clocked()
+  std::int64_t stats_window_ = 0;     ///< cached config_.stats_window
+  /// Per-shard delivered-message records, packed (src << 32) | seq; filled
+  /// by deliver() during arrivals (shard-owned), drained serially by
+  /// apply_completions(). Reserved to the shard's ejection-line capacity.
+  std::vector<std::vector<std::int64_t>> completion_outbox_;
+  /// Scratch for TrafficPattern::on_delivered, reserved to
+  /// completion_fanout(). Touched only in the serial completion pass.
+  std::vector<int> unlocked_scratch_;
 
   /// Head-of-line decision for `pkt` at router r: the output port
   /// (network or ejection) and the VC on the outgoing link. Inlines the

@@ -50,6 +50,33 @@ class Stats {
   std::int64_t total_delivered_ = 0;
 };
 
+/// One windowed-stats bucket (SimConfig::stats_window cycles wide): the
+/// time-resolved view of a run. Counters are plain integer sums over the
+/// window, so per-shard rows merge by elementwise addition and the merged
+/// result is bit-identical for any sharding. Windows are indexed by
+/// cycle / W from cycle 0 (warmup included — phase boundaries land on
+/// window boundaries when W divides the phase lengths).
+struct WindowStats {
+  std::int64_t generated = 0;  ///< packets created in the window
+  std::int64_t delivered = 0;  ///< packets ejected in the window
+  /// Sum of generation→ejection latencies of the window's deliveries.
+  std::int64_t latency_sum = 0;
+  /// Self-clocked replay only: sends whose dependency (`after:` edge) held
+  /// them past FIFO readiness, and the total cycles so spent. Independent
+  /// injection patterns have no dependencies and always report 0 — a
+  /// nonzero column is the signature of request→reply causality.
+  std::int64_t dep_stalled_sends = 0;
+  std::int64_t dep_stall_cycles = 0;
+
+  void merge(const WindowStats& other) {
+    generated += other.generated;
+    delivered += other.delivered;
+    latency_sum += other.latency_sum;
+    dep_stalled_sends += other.dep_stalled_sends;
+    dep_stall_cycles += other.dep_stall_cycles;
+  }
+};
+
 /// Result of one (topology, routing, traffic, load) simulation point.
 struct SimResult {
   double offered_load = 0.0;    ///< flits/cycle/endpoint offered
@@ -70,6 +97,11 @@ struct SimResult {
   /// Crossbar traversals granted over the whole run (one per packet per
   /// router hop); flit_hops / wall time is the hot path's work rate.
   std::int64_t flit_hops = 0;
+  /// Window width the run collected with (0 = windowed stats disabled).
+  std::int64_t stats_window = 0;
+  /// Per-window rows (empty unless stats_window > 0), already merged across
+  /// shards and trimmed to the cycles the run actually executed.
+  std::vector<WindowStats> windows;
 };
 
 }  // namespace slimfly::sim

@@ -1,9 +1,12 @@
 #include "sim/traffic.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <numeric>
 #include <stdexcept>
 
 #include "analysis/metrics.hpp"
+#include "sim/workload.hpp"
 #include "topo/registry.hpp"
 
 namespace slimfly::sim {
@@ -253,6 +256,9 @@ class TraceTraffic final : public TrafficPattern {
       if (src < 0 || src >= n || dst < 0 || dst >= n || src == dst) {
         throw std::invalid_argument("make_trace: bad flow endpoint");
       }
+      // Duplicates are kept by design: k copies of (src, dst) give dst k
+      // slots in src's round-robin, i.e. k× the flow's weight (see the
+      // make_trace contract in traffic.hpp).
       flows_[static_cast<std::size_t>(src)].push_back(dst);
     }
   }
@@ -273,6 +279,132 @@ class TraceTraffic final : public TrafficPattern {
  private:
   std::vector<std::vector<int>> flows_;
   std::vector<int> cursor_;
+};
+
+// ---- workload-layer wrappers ------------------------------------------------
+
+/// Dedicated RNG stream tags, disjoint from the injector's endpoint streams
+/// and the routers' tie-break streams: burst segment lengths and the hotspot
+/// endpoint choice come from their own substreams of the run seed, so
+/// wrapping a pattern never perturbs the base pattern's draws.
+constexpr std::uint64_t kBurstStreamTag = 0x6b75c2e9;
+constexpr std::uint64_t kHotspotStreamTag = 0x3fa8d17b;
+
+/// ON/OFF modulation (make_burst contract in traffic.hpp). Segment state
+/// advances lazily from the queried cycle: each endpoint keeps the end cycle
+/// of its current segment and rolls forward while t passes it, drawing each
+/// segment length as a uniform integer in [1, 2·mean−1] from the endpoint's
+/// own burst stream. Draw consumption therefore depends only on the largest
+/// t queried — which is what keeps the cycle engine (querying every cycle)
+/// and the active engine (querying with gaps while planning) bit-identical.
+class BurstTraffic final : public TrafficPattern {
+ public:
+  BurstTraffic(std::unique_ptr<TrafficPattern> base, int n, std::int64_t on,
+               std::int64_t off, double mult, std::uint64_t seed)
+      : base_(std::move(base)), on_(on), off_(off), mult_(mult) {
+    const double duty =
+        static_cast<double>(on) / static_cast<double>(on + off);
+    states_.reserve(static_cast<std::size_t>(n));
+    for (int e = 0; e < n; ++e) {
+      State s;
+      s.rng = rng_stream(seed, kBurstStreamTag, static_cast<std::uint64_t>(e));
+      // Random initial phase per endpoint (so tenants don't burst in
+      // lockstep): the first query toggles into the drawn starting state.
+      s.on = !(s.rng.next_double() < duty);
+      s.segment_end = 0;
+      states_.push_back(s);
+    }
+  }
+
+  std::string name() const override { return "burst(" + base_->name() + ")"; }
+  int destination(int src, Rng& rng) override {
+    return base_->destination(src, rng);
+  }
+  bool is_active(int src) const override { return base_->is_active(src); }
+
+  bool modulates_rate() const override { return true; }
+  double rate_multiplier(int src, std::int64_t t) override {
+    State& s = states_[static_cast<std::size_t>(src)];
+    while (t >= s.segment_end) {
+      s.on = !s.on;
+      const std::int64_t mean = s.on ? on_ : off_;
+      s.segment_end += 1 + static_cast<std::int64_t>(s.rng.next_below(
+                               static_cast<std::uint32_t>(2 * mean - 1)));
+    }
+    return (s.on ? mult_ : 0.0) * base_->rate_multiplier(src, t);
+  }
+
+ private:
+  struct State {
+    Rng rng;
+    bool on = false;
+    std::int64_t segment_end = 0;  ///< first cycle past the current segment
+  };
+  std::unique_ptr<TrafficPattern> base_;
+  std::int64_t on_;
+  std::int64_t off_;
+  double mult_;
+  std::vector<State> states_;
+};
+
+/// Hotspot skew (make_hotspot contract in traffic.hpp): with probability
+/// q = H(heat−1)/(N−H) a send is redirected to one of the H hot endpoints,
+/// so each hot endpoint receives heat× the uniform share while the
+/// remaining traffic keeps the base pattern's shape. A redirect that picks
+/// the sender itself falls through to the base pattern.
+class HotspotTraffic final : public TrafficPattern {
+ public:
+  HotspotTraffic(std::unique_ptr<TrafficPattern> base, int n, double frac,
+                 double heat, std::uint64_t seed)
+      : base_(std::move(base)) {
+    int h = static_cast<int>(frac * n + 0.5);
+    h = std::max(1, std::min(h, n - 1));
+    q_ = h * (heat - 1.0) / (n - h);
+    if (q_ > 1.0) {
+      throw std::invalid_argument(
+          "hotspot: heat=" + std::to_string(heat) + " with frac=" +
+          std::to_string(frac) + " needs redirect probability q=" +
+          std::to_string(q_) + " > 1 (q = H(heat-1)/(N-H), H=" +
+          std::to_string(h) + ", N=" + std::to_string(n) +
+          "); lower heat or frac");
+    }
+    // Seeded Fisher–Yates prefix: the hot set is a property of the pattern,
+    // drawn once at construction from its own stream.
+    Rng rng = rng_stream(seed, kHotspotStreamTag, 0);
+    std::vector<int> ids(static_cast<std::size_t>(n));
+    std::iota(ids.begin(), ids.end(), 0);
+    hot_.reserve(static_cast<std::size_t>(h));
+    for (int i = 0; i < h; ++i) {
+      const int j =
+          i + static_cast<int>(rng.next_below(static_cast<std::uint32_t>(n - i)));
+      std::swap(ids[static_cast<std::size_t>(i)], ids[static_cast<std::size_t>(j)]);
+      hot_.push_back(ids[static_cast<std::size_t>(i)]);
+    }
+  }
+
+  std::string name() const override {
+    return "hotspot(" + base_->name() + ")";
+  }
+  int destination(int src, Rng& rng) override {
+    if (q_ > 0.0 && rng.bernoulli(q_)) {
+      const int pick = hot_[static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint32_t>(hot_.size())))];
+      if (pick != src) return pick;
+      // self-hit: fall through to the base pattern
+    }
+    return base_->destination(src, rng);
+  }
+  bool is_active(int src) const override { return base_->is_active(src); }
+
+  bool modulates_rate() const override { return base_->modulates_rate(); }
+  double rate_multiplier(int src, std::int64_t t) override {
+    return base_->rate_multiplier(src, t);
+  }
+
+ private:
+  std::unique_ptr<TrafficPattern> base_;
+  double q_ = 0.0;
+  std::vector<int> hot_;
 };
 
 }  // namespace
@@ -313,6 +445,49 @@ std::unique_ptr<TrafficPattern> make_worst_case_df(const Dragonfly& topo) {
 }
 std::unique_ptr<TrafficPattern> make_worst_case_ft(const FatTree3& topo) {
   return std::make_unique<WorstCaseFtTraffic>(topo);
+}
+
+std::unique_ptr<TrafficPattern> make_burst(std::unique_ptr<TrafficPattern> base,
+                                           int n, std::int64_t on_mean,
+                                           std::int64_t off_mean, double mult,
+                                           std::uint64_t seed) {
+  if (!base) throw std::invalid_argument("make_burst: null base pattern");
+  if (base->self_clocked()) {
+    throw std::invalid_argument(
+        "burst cannot modulate a self-clocked base pattern (" + base->name() +
+        " has no injection rate to modulate)");
+  }
+  if (n < 2) throw std::invalid_argument("make_burst: need >= 2 endpoints");
+  if (on_mean < 1 || on_mean > 1000000000 || off_mean < 1 ||
+      off_mean > 1000000000) {
+    throw std::invalid_argument(
+        "burst: on/off mean segment lengths must be in [1, 1e9] cycles");
+  }
+  if (!(mult > 0.0) || mult > 1000000.0) {
+    throw std::invalid_argument("burst: mult must be in (0, 1e6]");
+  }
+  return std::make_unique<BurstTraffic>(std::move(base), n, on_mean, off_mean,
+                                        mult, seed);
+}
+
+std::unique_ptr<TrafficPattern> make_hotspot(
+    std::unique_ptr<TrafficPattern> base, int n, double frac, double heat,
+    std::uint64_t seed) {
+  if (!base) throw std::invalid_argument("make_hotspot: null base pattern");
+  if (base->self_clocked()) {
+    throw std::invalid_argument(
+        "hotspot cannot redirect a self-clocked base pattern (" +
+        base->name() + " replays fixed destinations)");
+  }
+  if (n < 2) throw std::invalid_argument("make_hotspot: need >= 2 endpoints");
+  if (!(frac > 0.0) || frac > 1.0) {
+    throw std::invalid_argument("hotspot: frac must be in (0, 1]");
+  }
+  if (heat < 1.0 || heat > 1000000.0) {
+    throw std::invalid_argument("hotspot: heat must be in [1, 1e6]");
+  }
+  return std::make_unique<HotspotTraffic>(std::move(base), n, frac, heat,
+                                          seed);
 }
 
 namespace {
@@ -360,22 +535,260 @@ constexpr TrafficEntry kTrafficRegistry[] = {
      }},
 };
 
+/// Decodes a nested base=<spec> value: inside an outer spec the base spells
+/// its own commas as ';' (the convention topo/registry.cpp established for
+/// augmented:base=).
+std::string decode_base_spec(std::string value) {
+  std::replace(value.begin(), value.end(), ';', ',');
+  return value;
+}
+
+[[noreturn]] void spec_fail(const std::string& spec, const std::string& msg) {
+  throw std::invalid_argument("traffic spec \"" + spec + "\": " + msg);
+}
+
+std::string spec_param(const TrafficSpec& parsed, const char* key,
+                       const std::string& fallback) {
+  const auto it = parsed.params.find(key);
+  return it == parsed.params.end() ? fallback : it->second;
+}
+
+/// Rejects parameters outside the pattern's key set with a named error.
+void check_spec_keys(const std::string& spec, const TrafficSpec& parsed,
+                     const std::vector<const char*>& required,
+                     const std::vector<const char*>& optional) {
+  for (const char* key : required) {
+    if (!parsed.params.count(key)) {
+      spec_fail(spec, "missing required parameter \"" + std::string(key) +
+                          "\"");
+    }
+  }
+  for (const auto& [key, value] : parsed.params) {
+    (void)value;
+    const auto known = [&](const std::vector<const char*>& set) {
+      return std::any_of(set.begin(), set.end(),
+                         [&](const char* k) { return key == k; });
+    };
+    if (!known(required) && !known(optional)) {
+      std::string allowed;
+      for (const char* k : required) allowed += std::string(" ") + k;
+      for (const char* k : optional) allowed += std::string(" ") + k;
+      spec_fail(spec, "unknown parameter \"" + key + "\" (takes:" + allowed +
+                          ")");
+    }
+  }
+}
+
+std::int64_t spec_int(const std::string& spec, const std::string& key,
+                      const std::string& value, std::int64_t lo,
+                      std::int64_t hi) {
+  if (value.empty() || value.size() > 10 ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    spec_fail(spec, key + "=" + value + " must be an integer in [" +
+                        std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  const std::int64_t v = std::stoll(value);
+  if (v < lo || v > hi) {
+    spec_fail(spec, key + "=" + value + " out of range [" +
+                        std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+double spec_double(const std::string& spec, const std::string& key,
+                   const std::string& value) {
+  const char* text = value.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (value.empty() || end != text + value.size() || !(v == v) ||
+      v > 1e18 || v < -1e18) {
+    spec_fail(spec, key + "=" + value + " must be a finite number");
+  }
+  return v;
+}
+
+std::uint64_t spec_seed(const std::string& spec, const std::string& value) {
+  if (value.empty() || value.size() > 20 ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    spec_fail(spec, "seed=" + value + " must be an unsigned integer");
+  }
+  try {
+    return std::stoull(value);
+  } catch (const std::out_of_range&) {
+    spec_fail(spec, "seed=" + value + " exceeds 64 bits");
+  }
+}
+
+bool registry_has(const std::string& name) {
+  for (const auto& entry : kTrafficRegistry) {
+    if (name == entry.name) return true;
+  }
+  return false;
+}
+
+bool is_self_clocked_name(const std::string& base_spec) {
+  const std::string name = base_spec.substr(0, base_spec.find(':'));
+  return name == "allreduce" || name == "trace";
+}
+
 }  // namespace
 
-std::unique_ptr<TrafficPattern> make_traffic(const std::string& name,
+TrafficSpec parse_traffic_spec(const std::string& spec) {
+  TrafficSpec out;
+  const auto colon = spec.find(':');
+  out.name = spec.substr(0, colon);
+  if (out.name.empty()) spec_fail(spec, "empty traffic name");
+  if (colon == std::string::npos) return out;
+  const std::string rest = spec.substr(colon + 1);
+  if (rest.empty()) spec_fail(spec, "expected key=value parameters after ':'");
+  std::size_t pos = 0;
+  while (pos <= rest.size()) {
+    auto comma = rest.find(',', pos);
+    if (comma == std::string::npos) comma = rest.size();
+    const std::string kv = rest.substr(pos, comma - pos);
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == kv.size()) {
+      spec_fail(spec, "expected key=value, got \"" + kv + "\"");
+    }
+    const std::string key = kv.substr(0, eq);
+    const std::string value = kv.substr(eq + 1);
+    if (!out.params.emplace(key, value).second) {
+      spec_fail(spec, "duplicate parameter \"" + key + "\"");
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void validate_traffic_spec(const std::string& spec) {
+  const TrafficSpec parsed = parse_traffic_spec(spec);
+  if (registry_has(parsed.name)) {
+    if (!parsed.params.empty()) {
+      spec_fail(spec, "traffic \"" + parsed.name + "\" takes no parameters");
+    }
+    return;
+  }
+  const auto validate_base = [&](const char* wrapper) {
+    const std::string base =
+        decode_base_spec(spec_param(parsed, "base", "uniform"));
+    if (is_self_clocked_name(base)) {
+      spec_fail(spec, std::string(wrapper) +
+                          " cannot wrap the self-clocked base \"" + base +
+                          "\"");
+    }
+    validate_traffic_spec(base);  // recursive: nested wrappers are legal
+  };
+  if (parsed.name == "burst") {
+    check_spec_keys(spec, parsed, {"on", "off", "mult"}, {"seed", "base"});
+    spec_int(spec, "on", parsed.params.at("on"), 1, 1000000000);
+    spec_int(spec, "off", parsed.params.at("off"), 1, 1000000000);
+    const double mult = spec_double(spec, "mult", parsed.params.at("mult"));
+    if (!(mult > 0.0) || mult > 1e6) {
+      spec_fail(spec, "mult must be in (0, 1e6]");
+    }
+    if (parsed.params.count("seed")) {
+      spec_seed(spec, parsed.params.at("seed"));
+    }
+    validate_base("burst");
+    return;
+  }
+  if (parsed.name == "hotspot") {
+    check_spec_keys(spec, parsed, {"frac", "heat"}, {"seed", "base"});
+    const double frac = spec_double(spec, "frac", parsed.params.at("frac"));
+    if (!(frac > 0.0) || frac > 1.0) {
+      spec_fail(spec, "frac must be in (0, 1]");
+    }
+    const double heat = spec_double(spec, "heat", parsed.params.at("heat"));
+    if (heat < 1.0 || heat > 1e6) {
+      spec_fail(spec, "heat must be in [1, 1e6]");
+    }
+    if (parsed.params.count("seed")) {
+      spec_seed(spec, parsed.params.at("seed"));
+    }
+    validate_base("hotspot");
+    return;
+  }
+  if (parsed.name == "allreduce") {
+    check_spec_keys(spec, parsed, {"ranks"}, {"algo"});
+    const std::int64_t ranks =
+        spec_int(spec, "ranks", parsed.params.at("ranks"), 2, 1000000);
+    const std::string algo = spec_param(parsed, "algo", "ring");
+    if (algo != "ring" && algo != "tree") {
+      spec_fail(spec, "algo=" + algo + " (ring or tree)");
+    }
+    if (algo == "tree" && (ranks & (ranks - 1)) != 0) {
+      spec_fail(spec, "algo=tree requires power-of-two ranks (got " +
+                          std::to_string(ranks) + ")");
+    }
+    return;
+  }
+  if (parsed.name == "trace") {
+    check_spec_keys(spec, parsed, {"file"}, {});
+    return;  // the file itself is read (and validated) by make_traffic
+  }
+  throw std::invalid_argument(
+      "unknown traffic pattern \"" + parsed.name +
+      "\" (bare patterns: sweep --list; parameterized: burst:, hotspot:, "
+      "allreduce:, trace: — see docs/SPEC_GRAMMAR.md)");
+}
+
+std::unique_ptr<TrafficPattern> make_traffic(const std::string& spec,
                                              const Topology& topo) {
+  const TrafficSpec parsed = parse_traffic_spec(spec);
   for (const auto& entry : kTrafficRegistry) {
-    if (name != entry.name) continue;
+    if (parsed.name != entry.name) continue;
+    if (!parsed.params.empty()) {
+      spec_fail(spec, "traffic \"" + parsed.name + "\" takes no parameters");
+    }
     // Central requirement check, driven by the same column cross() filters
     // on, so the factories can downcast unconditionally.
     if (*entry.requirement &&
         entry.requirement != topo::family_of(topo)) {
-      throw std::invalid_argument("traffic \"" + name + "\" requires a " +
-                                  entry.requirement + " topology");
+      throw std::invalid_argument("traffic \"" + parsed.name +
+                                  "\" requires a " + entry.requirement +
+                                  " topology");
     }
     return entry.make(topo);
   }
-  throw std::invalid_argument("unknown traffic pattern \"" + name + "\"");
+  validate_traffic_spec(spec);  // named grammar/range/unknown-name errors
+  const int n = topo.num_endpoints();
+  if (parsed.name == "burst") {
+    auto base =
+        make_traffic(decode_base_spec(spec_param(parsed, "base", "uniform")),
+                     topo);
+    return make_burst(std::move(base), n,
+                      spec_int(spec, "on", parsed.params.at("on"), 1,
+                               1000000000),
+                      spec_int(spec, "off", parsed.params.at("off"), 1,
+                               1000000000),
+                      spec_double(spec, "mult", parsed.params.at("mult")),
+                      spec_seed(spec, spec_param(parsed, "seed", "1")));
+  }
+  if (parsed.name == "hotspot") {
+    auto base =
+        make_traffic(decode_base_spec(spec_param(parsed, "base", "uniform")),
+                     topo);
+    return make_hotspot(std::move(base), n,
+                        spec_double(spec, "frac", parsed.params.at("frac")),
+                        spec_double(spec, "heat", parsed.params.at("heat")),
+                        spec_seed(spec, spec_param(parsed, "seed", "1")));
+  }
+  if (parsed.name == "allreduce") {
+    const std::int64_t ranks =
+        spec_int(spec, "ranks", parsed.params.at("ranks"), 2, 1000000);
+    if (ranks > n) {
+      spec_fail(spec, "ranks=" + std::to_string(ranks) +
+                          " exceeds the topology's " + std::to_string(n) +
+                          " endpoints");
+    }
+    const std::string algo = spec_param(parsed, "algo", "ring");
+    return make_dependency_replay(
+        n, make_allreduce_trace(static_cast<int>(ranks), algo),
+        "allreduce-" + algo);
+  }
+  // validate_traffic_spec leaves only trace: to reach here.
+  return make_dependency_replay(
+      n, load_workload_trace(parsed.params.at("file")), "trace");
 }
 
 std::vector<std::string> traffic_names() {
@@ -384,9 +797,20 @@ std::vector<std::string> traffic_names() {
   return names;
 }
 
-std::string traffic_requirement(const std::string& name) {
+std::string traffic_requirement(const std::string& spec) {
+  const std::string name = spec.substr(0, spec.find(':'));
   for (const auto& entry : kTrafficRegistry) {
     if (name == entry.name) return entry.requirement;
+  }
+  if (name == "burst" || name == "hotspot") {
+    // Wrappers inherit the topology restriction of their base pattern.
+    try {
+      const TrafficSpec parsed = parse_traffic_spec(spec);
+      return traffic_requirement(
+          decode_base_spec(spec_param(parsed, "base", "uniform")));
+    } catch (const std::invalid_argument&) {
+      return "";  // malformed specs fail later, in validation
+    }
   }
   return "";
 }

@@ -4,7 +4,18 @@
 // collectives and stencils; and the adversarial worst-case patterns for
 // Slim Fly (Figure 9), Dragonfly (Kim Section 4.2) and the fat tree
 // (forced core traversal).
+//
+// On top of the paper's independent-injection patterns sits the workload
+// layer (ROADMAP item 3): rate-modulated wrappers (`burst:`, `hotspot:`)
+// composable over any base pattern, and self-clocked dependency replay
+// (`trace:`, `allreduce:`) where a send becomes eligible only when the
+// message it waits on has been ejected. Both families are driven through
+// the parameterized spec grammar accepted by make_traffic (see
+// docs/SPEC_GRAMMAR.md).
 
+#include <cstddef>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +38,66 @@ class TrafficPattern {
     (void)src_endpoint;
     return true;
   }
+
+  // ---- workload hooks ------------------------------------------------------
+  // Defaults describe classic independent injection; only the workload-layer
+  // patterns override them. The engine caches modulates_rate()/self_clocked()
+  // once at construction, so the unmodulated hot path stays byte-identical
+  // to the pre-workload code.
+
+  /// True when the pattern scales the per-endpoint injection rate over time.
+  virtual bool modulates_rate() const { return false; }
+  /// Rate multiplier for endpoint e at cycle t. A multiplier of exactly 0
+  /// means hard-off: the engine consumes NO Bernoulli draw from e's stream
+  /// that cycle (this is what keeps the cycle and active engines' draw
+  /// sequences identical). Called with nondecreasing t per endpoint — the
+  /// pattern may advance internal per-endpoint state, and must tolerate
+  /// gaps in t (the active engine never queries cycles it fast-forwards,
+  /// and plans batches of future cycles ahead of time).
+  virtual double rate_multiplier(int src_endpoint, std::int64_t t) {
+    (void)src_endpoint;
+    (void)t;
+    return 1.0;
+  }
+
+  /// True when the pattern is self-clocked (dependency replay): sends come
+  /// from per-endpoint message lists gated by delivery of their `after:`
+  /// dependency, not from Bernoulli load coins. Self-clocked patterns ignore
+  /// the configured load entirely — the workload itself is the clock.
+  virtual bool self_clocked() const { return false; }
+  /// Self-clocked only: if endpoint e's head message is eligible at `cycle`
+  /// (FIFO-ready and its dependency delivered), pops it and returns its
+  /// destination; returns -1 when blocked or exhausted. `dep_stall` (may be
+  /// null) receives the cycles the send spent waiting on its dependency
+  /// beyond FIFO readiness — the engine feeds it into windowed stats.
+  virtual int next_send(int src_endpoint, std::int64_t cycle,
+                        std::int64_t* dep_stall) {
+    (void)src_endpoint;
+    (void)cycle;
+    (void)dep_stall;
+    return -1;
+  }
+  /// Self-clocked only: endpoint e has an eligible head right now. Keeps
+  /// e's router in the active engine's busy set.
+  virtual bool pending_eligible(int src_endpoint) const {
+    (void)src_endpoint;
+    return false;
+  }
+  /// Self-clocked only: called serially between cycles when the packet
+  /// carrying message `seq` of endpoint `src` is ejected at `cycle`.
+  /// Appends every endpoint whose blocked head just became eligible to
+  /// `unlocked` (the active engine wakes their routers). Never allocates
+  /// beyond `unlocked`'s reserved capacity of completion_fanout().
+  virtual void on_delivered(int src, std::int64_t seq, std::int64_t cycle,
+                            std::vector<int>& unlocked) {
+    (void)src;
+    (void)seq;
+    (void)cycle;
+    (void)unlocked;
+  }
+  /// Upper bound on entries a single on_delivered call can append — the
+  /// engine reserves its unlock scratch to this before stepping starts.
+  virtual std::size_t completion_fanout() const { return 0; }
 };
 
 /// Every endpoint sends to a uniformly random other endpoint.
@@ -61,26 +132,78 @@ std::unique_ptr<TrafficPattern> make_stencil3d(int num_endpoints);
 /// Trace replay: a fixed list of (src, dst) flows; each generation event at
 /// src picks the next dst from src's flow list round-robin. Lets users
 /// replay application communication matrices. Sources without flows idle.
+/// Duplicate (src, dst) entries are deliberately kept: listing a flow k
+/// times gives it k slots in src's round-robin, i.e. k× the weight — this
+/// is how a communication matrix with unequal flow volumes is expressed.
 std::unique_ptr<TrafficPattern> make_trace(
     int num_endpoints, const std::vector<std::pair<int, int>>& flows);
 
+/// ON/OFF burst modulation over `base` (tenants with duty cycles): each
+/// endpoint alternates ON segments (rate = load × mult) and OFF segments
+/// (rate 0) whose lengths are uniform integers in [1, 2·mean−1] drawn from
+/// the endpoint's own burst stream (rng_stream(seed, tag, endpoint)), so
+/// endpoints desynchronize and results stay bit-identical across the
+/// thread/engine matrix. Mean offered load = load × mult × on/(on+off).
+std::unique_ptr<TrafficPattern> make_burst(std::unique_ptr<TrafficPattern> base,
+                                           int num_endpoints,
+                                           std::int64_t on_mean,
+                                           std::int64_t off_mean, double mult,
+                                           std::uint64_t seed);
+
+/// Hotspot skew over `base`: H = max(1, round(frac·N)) endpoints (chosen by
+/// a seeded Fisher–Yates shuffle) each receive `heat`× the uniform share of
+/// traffic; the rest of the load follows `base`. Redirect probability
+/// q = H(heat−1)/(N−H) must be ≤ 1 (throws otherwise, naming the bound).
+std::unique_ptr<TrafficPattern> make_hotspot(
+    std::unique_ptr<TrafficPattern> base, int num_endpoints, double frac,
+    double heat, std::uint64_t seed);
+
 // ---- string-keyed traffic registry -----------------------------------------
-// Names match TrafficPattern::name(): "uniform", "shuffle", "bitrev",
+// Bare names match TrafficPattern::name(): "uniform", "shuffle", "bitrev",
 // "bitcomp", "shift", "stencil3d", "worst-sf", "worst-df", "worst-ft" —
 // plus "worstcase", which picks the adversarial pattern matching the
 // topology's type (worst-df on Dragonfly, worst-ft on FatTree3, worst-sf
 // otherwise).
+//
+// Parameterized workload specs follow the routing-spec grammar
+// "name:key=value,key=value" (docs/SPEC_GRAMMAR.md):
+//   burst:on=<cycles>,off=<cycles>,mult=<x>[,seed=<s>][,base=<spec>]
+//   hotspot:frac=<f>,heat=<x>[,seed=<s>][,base=<spec>]
+//   allreduce:ranks=<r>[,algo=ring|tree]
+//   trace:file=<path/to/trace.json>
+// A nested base=<spec> spells its own commas as ';'
+// (e.g. "hotspot:frac=0.05,heat=8,base=burst:on=50;off=450;mult=10").
 
-/// Builds a fresh pattern instance for `topo`. Throws std::invalid_argument
-/// on unknown names or topology-specific patterns on the wrong topology.
-std::unique_ptr<TrafficPattern> make_traffic(const std::string& name,
+/// A parsed traffic spec: bare name plus key=value parameters.
+struct TrafficSpec {
+  std::string name;
+  std::map<std::string, std::string> params;
+};
+
+/// Splits "name[:k=v,...]" into name and parameters. Grammar errors throw
+/// invalid_argument naming the spec; parameter values are not interpreted.
+TrafficSpec parse_traffic_spec(const std::string& spec);
+
+/// Full topology-independent validation: grammar, known name, required /
+/// unknown keys, value ranges, nested base specs. Never touches the
+/// filesystem (trace files are opened by make_traffic). Throws
+/// invalid_argument with a named error.
+void validate_traffic_spec(const std::string& spec);
+
+/// Builds a fresh pattern instance for `topo` from a bare name or a
+/// parameterized spec. Throws std::invalid_argument on unknown names,
+/// invalid parameters, or topology-specific patterns on the wrong topology.
+std::unique_ptr<TrafficPattern> make_traffic(const std::string& spec,
                                              const Topology& topo);
 
-/// All registered traffic names, sorted.
+/// All registered bare traffic names, sorted. Parameterized patterns
+/// (burst/hotspot/allreduce/trace) are not listed here — they require
+/// parameters and are documented in docs/SPEC_GRAMMAR.md.
 std::vector<std::string> traffic_names();
 
 /// Topology-registry family this traffic is restricted to ("dragonfly" for
 /// worst-df, "fattree" for worst-ft), or "" when it runs on any topology.
-std::string traffic_requirement(const std::string& name);
+/// Spec-aware: burst/hotspot inherit the requirement of their base pattern.
+std::string traffic_requirement(const std::string& spec);
 
 }  // namespace slimfly::sim

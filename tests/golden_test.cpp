@@ -125,7 +125,7 @@ TEST(GoldenTrajectory, DiffAgainstCheckedInBenchPasses) {
               "BENCH_golden_mini.json:\n"
            << os.str();
   }
-  EXPECT_EQ(report.compared, 16u);  // 8 series x 2 loads, no truncation
+  EXPECT_EQ(report.compared, 20u);  // 10 series x 2 loads, no truncation
 }
 
 TEST(GoldenTrajectory, PerturbedTrajectoryIsCaught) {

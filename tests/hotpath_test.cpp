@@ -98,6 +98,48 @@ TEST(HotPathAllocationGuard, ActiveEngineLowLoadIsAllocationFree) {
                                       StepEngine::Active);
 }
 
+// Workload-layer variant of the guard: a traffic spec string instead of a
+// RoutingKind, so the modulated injection path (burst) and self-clocked
+// replay (allreduce) run under the counting allocator. Windowed stats are
+// enabled too — the rows are preallocated at construction.
+void expect_workload_allocation_free(const std::string& traffic_spec,
+                                     double load, StepEngine engine) {
+  sf::SlimFlyMMS topo(5);
+  auto routing = make_routing(RoutingKind::Minimal, topo);
+  auto traffic = make_traffic(traffic_spec, topo);
+  SimConfig cfg = guard_config();
+  cfg.engine = engine;
+  cfg.stats_window = 50;
+  Network net(topo, *routing.algorithm, *traffic, cfg, load);
+  net.reserve_measurement_stats();
+  for (int i = 0; i < 300; ++i) net.step();
+  const long long before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 200; ++i) net.step();
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0)
+      << traffic_spec << " engine=" << to_string(engine)
+      << ": steady-state stepping must not allocate";
+}
+
+TEST(HotPathAllocationGuard, BurstModulationIsAllocationFree) {
+  // ON/OFF modulation exercises per-endpoint segment state in the cycle
+  // engine and the modulated batch planner in the active engine.
+  expect_workload_allocation_free("burst:on=50,off=150,mult=4,base=uniform",
+                                  0.3, StepEngine::Cycle);
+  expect_workload_allocation_free("burst:on=50,off=150,mult=4,base=uniform",
+                                  0.3, StepEngine::Active);
+}
+
+TEST(HotPathAllocationGuard, DependencyReplayIsAllocationFree) {
+  // Self-clocked replay: completion outboxes, the unlock scratch and the
+  // wake heap budget must all run out of their construction-time reserves.
+  // 128 ring ranks give 2*127*128 = 32512 messages — the replay spans the
+  // whole 500-step guard window.
+  expect_workload_allocation_free("allreduce:ranks=128,algo=ring", 0.3,
+                                  StepEngine::Cycle);
+  expect_workload_allocation_free("allreduce:ranks=128,algo=ring", 0.3,
+                                  StepEngine::Active);
+}
+
 TEST(HotPathAllocationGuard, FatTreeGatherPathIsAllocationFree) {
   // FT-ANCA takes the non-cacheable allocator path (per-iteration
   // re-derivation), which must be just as allocation-free.

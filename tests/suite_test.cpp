@@ -48,7 +48,7 @@ void expect_parse_error(const std::string& text,
 TEST(SuiteFiles, EveryCheckedInSuiteParsesAndExpands) {
   for (const char* name :
        {"fig06a", "fig06b", "fig06c", "fig06d", "fig08a_buffers", "fig08be",
-        "abl_ugal", "abl_valiant", "golden_mini"}) {
+        "abl_ugal", "abl_valiant", "golden_mini", "workloads"}) {
     const std::string path =
         source_path("examples/suites/" + std::string(name) + ".json");
     exp::Suite suite = exp::load_suite_file(path);
@@ -183,7 +183,7 @@ TEST(SuiteParser, UnknownNamesAreNamedErrorsNeverDefaults) {
   expect_parse_error(with("slimfly:q=5", "UGAL", "uniform"),
                      {"unknown routing \"UGAL\"", "UGAL-L", "FT-ANCA"});
   expect_parse_error(with("slimfly:q=5", "MIN", "unifrom"),
-                     {"unknown traffic \"unifrom\""});
+                     {"unknown traffic pattern \"unifrom\"", "SPEC_GRAMMAR"});
   // Bad routing parameters.
   expect_parse_error(with("slimfly:q=5", "UGAL-L:c=0", "uniform"),
                      {"UGAL-L:c=0", "1..64"});

@@ -76,6 +76,22 @@ TEST(Trace, RoundRobinOverFlows) {
   EXPECT_EQ(t->destination(0, rng), 1);  // wraps
 }
 
+TEST(Trace, DuplicateFlowsWeightTheRoundRobin) {
+  // Listing a flow k times gives it k slots in the source's round-robin —
+  // the documented way to express unequal flow volumes in a communication
+  // matrix (see make_trace in sim/traffic.hpp). This pins the contract so
+  // the duplicates are never "deduplicated" as a cleanup.
+  auto t = make_trace(8, {{0, 1}, {0, 2}, {0, 1}});
+  Rng rng(1);
+  EXPECT_EQ(t->destination(0, rng), 1);
+  EXPECT_EQ(t->destination(0, rng), 2);
+  EXPECT_EQ(t->destination(0, rng), 1);
+  EXPECT_EQ(t->destination(0, rng), 1);  // wraps: 1 has 2 of 3 slots
+  int ones = 0;
+  for (int i = 0; i < 300; ++i) ones += t->destination(0, rng) == 1;
+  EXPECT_EQ(ones, 200);
+}
+
 TEST(Trace, SourcesWithoutFlowsIdle) {
   auto t = make_trace(4, {{0, 1}});
   Rng rng(1);
