@@ -3,7 +3,7 @@
 // required.
 //
 //   sweep --topo torus:dims=8x8x8 --traffic stencil3d
-//   sweep --topo slimfly:q=7 --topo hypercube:n=9 \
+//   sweep --topo slimfly:q=7 --topo hypercube:n=9
 //         --routing MIN --routing UGAL-L:c=8 --traffic uniform --loads 0.2,0.5
 //   sweep --config examples/suites/fig06a.json --scale small
 //   sweep --name t --topo slimfly:q=5 --emit-config t.json   # export, no run
@@ -123,7 +123,9 @@ int usage(const char* argv0, int exit_code) {
          "  SF_INTRA_THREADS (as --intra), SF_ENGINE (as --engine),\n"
          "  SF_ORACLE (as --oracle), SF_BENCH_SCALE (small|paper).\n"
          "Spec-string grammar and suite schema: docs/SPEC_GRAMMAR.md;\n"
-         "paper->code map and engine internals: docs/ARCHITECTURE.md.\n";
+         "paper->code map and engine internals: docs/ARCHITECTURE.md;\n"
+         "sanitizer presets, linter, determinism tooling: "
+         "docs/CORRECTNESS.md.\n";
   return exit_code;
 }
 

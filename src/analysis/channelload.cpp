@@ -86,10 +86,17 @@ ChannelLoadStats measured_channel_load(const Topology& topo) {
   ChannelLoadStats stats;
   double total = 0.0;
   double maximum = 0.0;
-  for (const auto& [k, v] : load) {
-    (void)k;
-    total += v;
-    maximum = std::max(maximum, v);
+  // Accumulate in fixed (u, then adjacency) order, never unordered_map
+  // order: double summation is order-sensitive, and hash-table iteration
+  // order is an implementation detail — the sf_lint `unordered-iter` rule
+  // bans it anywhere results feed output.
+  for (int u = 0; u < n; ++u) {
+    for (int v : g.neighbors(u)) {
+      auto it = load.find(key(u, v));
+      if (it == load.end()) continue;
+      total += it->second;
+      maximum = std::max(maximum, it->second);
+    }
   }
   // Average over all directed channels (2 per undirected link), including
   // channels that carry no flow.

@@ -77,7 +77,7 @@ double average_endpoint_distance(const Topology& topo) {
       total += static_cast<double>(p) * p * dist[static_cast<std::size_t>(s)];
     }
   }
-  double ordered_pairs = static_cast<double>(n) * (n - 1);
+  double ordered_pairs = static_cast<double>(n) * static_cast<double>(n - 1);
   return total / ordered_pairs;
 }
 

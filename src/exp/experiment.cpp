@@ -27,8 +27,8 @@ namespace slimfly::exp {
 namespace {
 
 std::uint64_t fnv1a(const std::string& s, std::uint64_t h) {
-  for (unsigned char c : s) {
-    h ^= c;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
     h *= 1099511628211ULL;
   }
   return h;

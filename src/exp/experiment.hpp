@@ -83,7 +83,7 @@ struct SeriesSpec {
   /// SimConfig deviations for this series only (see apply_config_overrides);
   /// empty for the common case. Feeds the per-point seed so two series
   /// differing only in config draw different streams.
-  ConfigOverrides config_overrides;
+  ConfigOverrides config_overrides = {};
   std::string display_label() const;
 };
 

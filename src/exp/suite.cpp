@@ -185,9 +185,9 @@ void serialize_loads(std::ostream& os, const std::vector<double>& loads) {
 
 std::vector<std::string> Suite::scale_names() const {
   std::vector<std::string> names;
-  for (const auto& [name, scale] : scales) {
+  for (const auto& [scale_name, scale] : scales) {
     (void)scale;
-    names.push_back(name);
+    names.push_back(scale_name);
   }
   return names;
 }

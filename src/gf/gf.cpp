@@ -16,27 +16,31 @@ Field::Field(int q) : q_(q) {
   m_ = pp->m;
   modulus_ = find_irreducible(p_, m_);
 
-  add_table_.resize(static_cast<std::size_t>(q_) * q_);
-  mul_table_.resize(static_cast<std::size_t>(q_) * q_);
-  neg_.resize(q_);
-  inv_.assign(q_, -1);
+  const std::size_t qz = static_cast<std::size_t>(q_);
+  add_table_.resize(qz * qz);
+  mul_table_.resize(qz * qz);
+  neg_.resize(qz);
+  inv_.assign(qz, -1);
 
   for (int a = 0; a < q_; ++a) {
     Poly pa = decode(a);
     for (int b = 0; b < q_; ++b) {
       Poly pb = decode(b);
-      add_table_[static_cast<std::size_t>(a) * q_ + b] = encode(gf::add(pa, pb, p_));
-      mul_table_[static_cast<std::size_t>(a) * q_ + b] =
+      add_table_[static_cast<std::size_t>(a) * qz +
+                 static_cast<std::size_t>(b)] = encode(gf::add(pa, pb, p_));
+      mul_table_[static_cast<std::size_t>(a) * qz +
+                 static_cast<std::size_t>(b)] =
           encode(gf::mod(gf::mul(pa, pb, p_), modulus_, p_));
     }
   }
   for (int a = 0; a < q_; ++a) {
-    neg_[a] = encode(gf::sub(Poly{}, decode(a), p_));
+    neg_[static_cast<std::size_t>(a)] = encode(gf::sub(Poly{}, decode(a), p_));
   }
   for (int a = 1; a < q_; ++a) {
     for (int b = 1; b < q_; ++b) {
-      if (mul_table_[static_cast<std::size_t>(a) * q_ + b] == 1) {
-        inv_[a] = b;
+      if (mul_table_[static_cast<std::size_t>(a) * qz +
+                     static_cast<std::size_t>(b)] == 1) {
+        inv_[static_cast<std::size_t>(a)] = b;
         break;
       }
     }
@@ -63,7 +67,7 @@ int Field::check(int a) const {
 int Field::inv(int a) const {
   check(a);
   if (a == 0) throw std::domain_error("Field::inv: zero");
-  return inv_[a];
+  return inv_[static_cast<std::size_t>(a)];
 }
 
 int Field::pow(int a, std::int64_t e) const {

@@ -27,8 +27,10 @@ class Field {
   int degree() const { return m_; }   ///< extension degree m (q = p^m)
 
   int add(int a, int b) const { return add_table_[idx(a, b)]; }
-  int sub(int a, int b) const { return add_table_[idx(a, neg_[b])]; }
-  int neg(int a) const { return neg_[check(a)]; }
+  int sub(int a, int b) const { return add_table_[idx(a, neg(b))]; }
+  int neg(int a) const {
+    return neg_[static_cast<std::size_t>(check(a))];
+  }
   int mul(int a, int b) const { return mul_table_[idx(a, b)]; }
 
   /// Multiplicative inverse; throws std::domain_error for 0.
@@ -50,7 +52,10 @@ class Field {
   const Poly& modulus() const { return modulus_; }
 
  private:
-  int idx(int a, int b) const { return check(a) * q_ + check(b); }
+  std::size_t idx(int a, int b) const {
+    return static_cast<std::size_t>(check(a)) * static_cast<std::size_t>(q_) +
+           static_cast<std::size_t>(check(b));
+  }
   int check(int a) const;
   int encode(const Poly& poly) const;
   Poly decode(int value) const;

@@ -55,8 +55,12 @@ Poly mod(const Poly& a, const Poly& d, int p) {
     int shift = r.degree() - dd;
     int factor = r.coeffs.back();
     for (int i = 0; i <= dd; ++i) {
-      int idx = shift + i;
-      r.coeffs[idx] = ((r.coeffs[idx] - factor * d.coeffs[i]) % p + p) % p;
+      const std::size_t idx = static_cast<std::size_t>(shift + i);
+      r.coeffs[idx] = ((r.coeffs[idx] -
+                        factor * d.coeffs[static_cast<std::size_t>(i)]) %
+                           p +
+                       p) %
+                      p;
     }
     r = normalize(std::move(r));
   }

@@ -42,9 +42,10 @@ Graph polarity_graph(int u) {
   Graph g(n);
   for (int i = 0; i < n; ++i) {
     for (int j = i + 1; j < n; ++j) {
-      int dot = f.add(f.add(f.mul(points[i][0], points[j][0]),
-                            f.mul(points[i][1], points[j][1])),
-                      f.mul(points[i][2], points[j][2]));
+      const auto& pi = points[static_cast<std::size_t>(i)];
+      const auto& pj = points[static_cast<std::size_t>(j)];
+      int dot = f.add(f.add(f.mul(pi[0], pj[0]), f.mul(pi[1], pj[1])),
+                      f.mul(pi[2], pj[2]));
       if (dot == 0) g.add_edge(i, j);
     }
   }
@@ -151,7 +152,8 @@ Graph random_regular(int n, int degree, Rng& rng) {
 
 std::optional<PStarGraph> find_pstar_graph(int n, int degree, int max_tries) {
   if (n < 2 || degree < 1 || degree >= n) return std::nullopt;
-  Rng rng(0xbdfULL * static_cast<std::uint64_t>(n) + static_cast<std::uint64_t>(degree));
+  Rng rng(std::uint64_t{0xbdf} * static_cast<std::uint64_t>(n) +
+          static_cast<std::uint64_t>(degree));
 
   // Candidate involutions: the antipodal map v -> v + n/2 (n even), the
   // reflection v -> n-1-v, and random fixed-point-free involutions.
@@ -283,7 +285,7 @@ Graph SlimFlyBDF::build(int u) {
   Graph g = star_product(p_u, pstar->graph, arcs);
   if (graph_diameter(g) <= 3) return g;
 
-  Rng rng(0xabc0ULL + static_cast<std::uint64_t>(u));
+  Rng rng(std::uint64_t{0xabc0} + static_cast<std::uint64_t>(u));
   std::vector<int> identity(static_cast<std::size_t>(n2));
   for (int i = 0; i < n2; ++i) identity[static_cast<std::size_t>(i)] = i;
   for (int attempt = 0; attempt < 64; ++attempt) {

@@ -122,7 +122,7 @@ GeneratorSets search_generators(const gf::Field& field) {
   int delta = delta_of_q(q);
   std::size_t target = static_cast<std::size_t>((q - delta) / 2);
   auto blocks = symmetric_blocks(field);
-  Rng rng(0x5f1f5f1fULL + static_cast<std::uint64_t>(q));
+  Rng rng(std::uint64_t{0x5f1f5f1f} + static_cast<std::uint64_t>(q));
 
   for (int attempt = 0; attempt < 200000; ++attempt) {
     std::shuffle(blocks.begin(), blocks.end(), rng);

@@ -26,25 +26,25 @@ class VcBuffer {
 
   /// Throws std::logic_error if the buffer is full (a credit violation —
   /// upstream must never send without a credit).
-  void push(const Packet& packet) {
+  /* SF_HOT */ void push(const Packet& packet) {
     if (full()) {
       throw std::logic_error("VcBuffer: overflow (credit protocol violation)");
     }
     ring_.push_back(packet);
   }
 
-  const Packet& front() const {
+  /* SF_HOT */ const Packet& front() const {
     if (ring_.empty()) throw std::logic_error("VcBuffer: front on empty buffer");
     return ring_.front();
   }
 
-  Packet pop() {
+  /* SF_HOT */ Packet pop() {
     if (ring_.empty()) throw std::logic_error("VcBuffer: pop on empty buffer");
     return ring_.pop_front();
   }
 
   /// Copy-free pop: discards the head (front() gives access first).
-  void drop_front() {
+  /* SF_HOT */ void drop_front() {
     if (ring_.empty()) throw std::logic_error("VcBuffer: pop on empty buffer");
     ring_.drop_front();
   }

@@ -44,14 +44,14 @@ class DelayLine {
     head_ready_ = kEmpty;
   }
 
-  void push(std::int64_t ready_cycle, T item) {
+  /* SF_HOT */ void push(std::int64_t ready_cycle, T item) {
     push_slot(ready_cycle) = std::move(item);
   }
 
   /// Claims the next slot for in-place assignment (zero-copy push): the
   /// caller writes the payload through the returned reference. Ready
   /// cycles must be non-decreasing per line (see the header contract).
-  T& push_slot(std::int64_t ready_cycle) {
+  /* SF_HOT */ T& push_slot(std::int64_t ready_cycle) {
 #ifndef NDEBUG
     assert(items_.empty() || ready_cycle >= last_push_ready_);
     last_push_ready_ = ready_cycle;
@@ -63,7 +63,7 @@ class DelayLine {
   }
 
   /// Pops the front item if it is ready at `cycle`.
-  std::optional<T> pop_ready(std::int64_t cycle) {
+  /* SF_HOT */ std::optional<T> pop_ready(std::int64_t cycle) {
     if (head_ready_ > cycle) return std::nullopt;
     T item = std::move(items_.pop_front().item);
     head_ready_ = items_.empty() ? kEmpty : items_.front().ready;
@@ -72,12 +72,12 @@ class DelayLine {
 
   /// Copy-free variant of pop_ready: a pointer to the front payload when
   /// it is ready at `cycle` (consume with drop_front()), else nullptr.
-  const T* front_ready(std::int64_t cycle) const {
+  /* SF_HOT */ const T* front_ready(std::int64_t cycle) const {
     if (head_ready_ > cycle) return nullptr;
     return &items_.front().item;
   }
 
-  void drop_front() {
+  /* SF_HOT */ void drop_front() {
     items_.drop_front();
     head_ready_ = items_.empty() ? kEmpty : items_.front().ready;
   }

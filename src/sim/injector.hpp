@@ -42,8 +42,8 @@ class Injector {
   /// the endpoint id — independent of thread schedule by construction.
   void init(int num_endpoints, int initial_credits, std::uint64_t seed);
 
-  EndpointState& endpoint(int e) { return endpoints_[static_cast<std::size_t>(e)]; }
-  const EndpointState& endpoint(int e) const {
+  /* SF_HOT */ EndpointState& endpoint(int e) { return endpoints_[static_cast<std::size_t>(e)]; }
+  /* SF_HOT */ const EndpointState& endpoint(int e) const {
     return endpoints_[static_cast<std::size_t>(e)];
   }
   int num_endpoints() const { return static_cast<int>(endpoints_.size()); }

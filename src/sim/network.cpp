@@ -270,7 +270,7 @@ void Network::wire() {
   }
 }
 
-RouteDecision Network::head_decision(const RouterState& router, int r,
+/* SF_HOT */ RouteDecision Network::head_decision(const RouterState& router, int r,
                                      const Packet& pkt) const {
   int next;
   int vc_link;
@@ -310,14 +310,14 @@ void Network::throw_not_adjacent(int router, int neighbor) const {
                               std::to_string(neighbor) + ")");
 }
 
-int Network::port_of_neighbor_sparse(int router, int neighbor) const {
+/* SF_HOT */ int Network::port_of_neighbor_sparse(int router, int neighbor) const {
   const auto& nbrs = topo_.graph().neighbors(router);
   auto it = std::lower_bound(nbrs.begin(), nbrs.end(), neighbor);
   if (it == nbrs.end() || *it != neighbor) throw_not_adjacent(router, neighbor);
   return static_cast<int>(it - nbrs.begin());
 }
 
-void Network::arrivals_router(std::size_t shard, int r) {
+/* SF_HOT */ void Network::arrivals_router(std::size_t shard, int r) {
   RouterState& router = routers_[static_cast<std::size_t>(r)];
   // Credits coming back from downstream consumption of my outputs.
   // Network ports only: nothing ever returns credits to an ejection port
@@ -356,12 +356,12 @@ void Network::arrivals_router(std::size_t shard, int r) {
   }
 }
 
-void Network::phase_arrivals(std::size_t shard) {
+/* SF_HOT */ void Network::phase_arrivals(std::size_t shard) {
   auto [lo, hi] = shard_ranges_[shard];
   for (int r = lo; r < hi; ++r) arrivals_router(shard, r);
 }
 
-void Network::generate_packet(std::size_t shard, int e, int dst,
+/* SF_HOT */ void Network::generate_packet(std::size_t shard, int e, int dst,
                               bool in_measurement, std::int64_t dep_stall) {
   auto& ep = injector_.endpoint(e);
   Packet pkt;
@@ -374,7 +374,7 @@ void Network::generate_packet(std::size_t shard, int e, int dst,
   pkt.t_generated = static_cast<std::int32_t>(cycle_);
   pkt.measured = in_measurement;
   if (pkt.measured) ++shard_totals_[shard].measured_generated;
-  ep.source_queue.push_back(pkt);
+  ep.source_queue.push_back(pkt);  // sf-lint: allow(hot-alloc) GrowRing: amortized doubling is the one sanctioned hot-queue growth (hotpath_test budgets it)
   if (stats_window_ > 0) {
     auto& windows = shard_totals_[shard].windows;
     WindowStats& w = windows[window_index(cycle_, windows.size())];
@@ -386,7 +386,7 @@ void Network::generate_packet(std::size_t shard, int e, int dst,
   }
 }
 
-void Network::injection_router(std::size_t shard, int r, bool in_measurement) {
+/* SF_HOT */ void Network::injection_router(std::size_t shard, int r, bool in_measurement) {
   for (int j = 0; j < topo_.endpoints_at(r); ++j) {
     int e = topo_.first_endpoint(r) + j;
     auto& ep = injector_.endpoint(e);
@@ -428,14 +428,14 @@ void Network::injection_router(std::size_t shard, int r, bool in_measurement) {
   }
 }
 
-void Network::phase_injection(std::size_t shard) {
+/* SF_HOT */ void Network::phase_injection(std::size_t shard) {
   bool in_measurement = cycle_ >= config_.warmup_cycles &&
                         cycle_ < config_.warmup_cycles + config_.measure_cycles;
   auto [lo, hi] = shard_ranges_[shard];
   for (int r = lo; r < hi; ++r) injection_router(shard, r, in_measurement);
 }
 
-void Network::phase_allocation(std::size_t shard) {
+/* SF_HOT */ void Network::phase_allocation(std::size_t shard) {
   auto [lo, hi] = shard_ranges_[shard];
   // Both internal-speedup iterations run back-to-back per router: routers
   // exchange nothing during allocation (credits pushed upstream carry
@@ -452,7 +452,7 @@ void Network::phase_allocation(std::size_t shard) {
 // per router instead of once per waiting cycle; per-hop adaptive routings
 // (FT-ANCA) re-derive it every iteration because their decision reads live
 // queue state.
-void Network::allocate_router(std::size_t shard, int r) {
+/* SF_HOT */ void Network::allocate_router(std::size_t shard, int r) {
   RouterState& router = routers_[static_cast<std::size_t>(r)];
   AllocScratch& scratch = alloc_scratch_[shard];
   const int num_inputs = static_cast<int>(router.inputs.size());
@@ -600,13 +600,13 @@ void Network::allocate_router(std::size_t shard, int r) {
   }
 }
 
-void Network::transmission_router(std::size_t shard, int r) {
+/* SF_HOT */ void Network::transmission_router(std::size_t shard, int r) {
   const std::int64_t ready =
       cycle_ + config_.channel_latency + config_.router_pipeline;
   RouterState& router = routers_[static_cast<std::size_t>(r)];
   int num_words = static_cast<int>(router.staging_nonempty.size());
   for (int w = 0; w < num_words; ++w) {
-    std::uint64_t mask = router.staging_nonempty[w];
+    std::uint64_t mask = router.staging_nonempty[static_cast<std::size_t>(w)];
     while (mask) {
       const int op = w * 64 + ctz64(mask);
       mask &= mask - 1;
@@ -632,12 +632,12 @@ void Network::transmission_router(std::size_t shard, int r) {
   }
 }
 
-void Network::phase_transmission(std::size_t shard) {
+/* SF_HOT */ void Network::phase_transmission(std::size_t shard) {
   auto [lo, hi] = shard_ranges_[shard];
   for (int r = lo; r < hi; ++r) transmission_router(shard, r);
 }
 
-void Network::deliver(std::size_t shard, const Packet& pkt) {
+/* SF_HOT */ void Network::deliver(std::size_t shard, const Packet& pkt) {
   ShardTotals& totals = shard_totals_[shard];
   totals.stats.record_delivery(cycle_ - pkt.t_generated, cycle_ - pkt.t_injected,
                                pkt.measured);
@@ -654,7 +654,7 @@ void Network::deliver(std::size_t shard, const Packet& pkt) {
     // Record the completion for the serial between-cycles pass. The message
     // sequence number is recovered from the packet id (seq * N + src), so
     // no Packet field is spent on it.
-    completion_outbox_[shard].push_back(
+    completion_outbox_[shard].push_back(  // sf-lint: allow(hot-alloc) capacity reserved in wire(); steady state never reallocates
         (static_cast<std::int64_t>(pkt.src_endpoint) << 32) |
         (pkt.id / topo_.num_endpoints()));
   }
@@ -666,7 +666,7 @@ void Network::deliver(std::size_t shard, const Packet& pkt) {
 // could have applied completions inline — gives every (shards, engine)
 // configuration the same uniform one-cycle eligibility deferral, which is
 // what makes replay schedules bit-identical across the whole matrix.
-void Network::apply_completions() {
+/* SF_HOT */ void Network::apply_completions() {
   for (std::size_t s = 0; s < shards_; ++s) {
     for (std::int64_t packed : completion_outbox_[s]) {
       const int src = static_cast<int>(packed >> 32);
@@ -691,7 +691,7 @@ void Network::sync() {
   if (barrier_) barrier_->arrive_and_wait();
 }
 
-void Network::step_shard(std::size_t shard) {
+/* SF_HOT */ void Network::step_shard(std::size_t shard) {
   // A phase that throws poisons only its shard; the shard keeps arriving at
   // the remaining barriers so its peers never hang, and step() rethrows.
   auto guarded = [&](void (Network::*phase)(std::size_t)) {
@@ -721,7 +721,7 @@ void Network::step_shard(std::size_t shard) {
   }
 }
 
-void Network::step() {
+/* SF_HOT */ void Network::step() {
   std::fill(shard_errors_.begin(), shard_errors_.end(), nullptr);
   if (shards_ == 1) {
     step_shard(0);
@@ -730,8 +730,8 @@ void Network::step() {
       // Dedicated team: shards_ - 1 pool workers plus the calling thread.
       // Dedicated, because the region's barriers require every worker to be
       // scheduled (util/threadpool.hpp).
-      pool_ = std::make_unique<ThreadPool>(shards_ - 1);
-      barrier_ = std::make_unique<Barrier>(shards_);
+      pool_ = std::make_unique<ThreadPool>(shards_ - 1);  // sf-lint: allow(hot-alloc) one-time lazy init on the first step, not steady state
+      barrier_ = std::make_unique<Barrier>(shards_);  // sf-lint: allow(hot-alloc) one-time lazy init on the first step, not steady state
     }
     run_region(*pool_, shards_, [this](std::size_t w) { step_shard(w); });
   }
@@ -816,32 +816,32 @@ void Network::init_active() {
   }
 }
 
-void Network::schedule_wake(std::size_t shard, int router, std::int64_t at) {
+/* SF_HOT */ void Network::schedule_wake(std::size_t shard, int router, std::int64_t at) {
   const std::int64_t event =
       (at << 16) | static_cast<std::int64_t>(router & 0xffff);
   const std::size_t owner = shard_of_router_[static_cast<std::size_t>(router)];
   if (owner == shard) {
     auto& heap = wake_heaps_[owner];
-    heap.push_back(event);
+    heap.push_back(event);  // sf-lint: allow(hot-alloc) capacity reserved in init_active(); steady state never reallocates
     std::push_heap(heap.begin(), heap.end(), std::greater<std::int64_t>{});
   } else {
-    wake_outbox_[shard].push_back(event);
+    wake_outbox_[shard].push_back(event);  // sf-lint: allow(hot-alloc) capacity reserved in init_active(); steady state never reallocates
   }
 }
 
-void Network::drain_wake_outboxes() {
+/* SF_HOT */ void Network::drain_wake_outboxes() {
   for (auto& box : wake_outbox_) {
     for (std::int64_t event : box) {
       auto& heap = wake_heaps_[shard_of_router_[static_cast<std::size_t>(
           event & 0xffff)]];
-      heap.push_back(event);
+      heap.push_back(event);  // sf-lint: allow(hot-alloc) capacity reserved in init_active(); steady state never reallocates
       std::push_heap(heap.begin(), heap.end(), std::greater<std::int64_t>{});
     }
     box.clear();
   }
 }
 
-void Network::build_active_list(std::size_t shard) {
+/* SF_HOT */ void Network::build_active_list(std::size_t shard) {
   auto [lo, hi] = shard_ranges_[shard];
   auto& woken = woken_[shard];
   std::fill(woken.begin(), woken.end(), 0);
@@ -865,12 +865,12 @@ void Network::build_active_list(std::size_t shard) {
     while (mask) {
       const int local = static_cast<int>(w) * 64 + ctz64(mask);
       mask &= mask - 1;
-      list.push_back(lo + local);  // ascending: same order as a full scan
+      list.push_back(lo + local);  // ascending: same order as a full scan  // sf-lint: allow(hot-alloc) capacity reserved in init_active()
     }
   }
 }
 
-bool Network::router_is_busy(int r) const {
+/* SF_HOT */ bool Network::router_is_busy(int r) const {
   const RouterState& router = routers_[static_cast<std::size_t>(r)];
   for (std::uint64_t w : router.staging_nonempty) {
     if (w) return true;
@@ -889,7 +889,7 @@ bool Network::router_is_busy(int r) const {
   return false;
 }
 
-void Network::update_busy(std::size_t shard) {
+/* SF_HOT */ void Network::update_busy(std::size_t shard) {
   const int lo = shard_ranges_[shard].first;
   auto& busy = busy_[shard];
   for (int r : active_list_[shard]) {
@@ -903,12 +903,12 @@ void Network::update_busy(std::size_t shard) {
   }
 }
 
-void Network::active_phase_arrivals(std::size_t shard) {
+/* SF_HOT */ void Network::active_phase_arrivals(std::size_t shard) {
   build_active_list(shard);
   for (int r : active_list_[shard]) arrivals_router(shard, r);
 }
 
-void Network::active_phase_injection(std::size_t shard) {
+/* SF_HOT */ void Network::active_phase_injection(std::size_t shard) {
   bool in_measurement = cycle_ >= config_.warmup_cycles &&
                         cycle_ < config_.warmup_cycles + config_.measure_cycles;
   for (int r : active_list_[shard]) {
@@ -916,18 +916,18 @@ void Network::active_phase_injection(std::size_t shard) {
   }
 }
 
-void Network::active_phase_allocation(std::size_t shard) {
+/* SF_HOT */ void Network::active_phase_allocation(std::size_t shard) {
   for (int r : active_list_[shard]) allocate_router(shard, r);
 }
 
-void Network::active_phase_transmission(std::size_t shard) {
+/* SF_HOT */ void Network::active_phase_transmission(std::size_t shard) {
   for (int r : active_list_[shard]) transmission_router(shard, r);
   // Shard-local busy refresh: reads only state this shard's phases wrote
   // (VC masks, staging counters, endpoint queues), so it needs no barrier.
   update_busy(shard);
 }
 
-void Network::plan_arrival_from(std::size_t shard, int r, int e,
+/* SF_HOT */ void Network::plan_arrival_from(std::size_t shard, int r, int e,
                                 std::int64_t from) {
   auto& ep = injector_.endpoint(e);
   if (load_ <= 0.0) {
@@ -958,7 +958,7 @@ void Network::plan_arrival_from(std::size_t shard, int r, int e,
   schedule_wake(shard, r, t);
 }
 
-void Network::active_injection_router(std::size_t shard, int r,
+/* SF_HOT */ void Network::active_injection_router(std::size_t shard, int r,
                                       bool in_measurement) {
   for (int j = 0; j < topo_.endpoints_at(r); ++j) {
     int e = topo_.first_endpoint(r) + j;
@@ -1013,7 +1013,7 @@ void Network::active_injection_router(std::size_t shard, int r,
   }
 }
 
-void Network::fast_forward(std::int64_t bound) {
+/* SF_HOT */ void Network::fast_forward(std::int64_t bound) {
   if (!engine_active_) return;
   for (const auto& words : busy_) {
     for (std::uint64_t w : words) {

@@ -173,7 +173,7 @@ class Network {
   /// costing used to pay; O(log degree) beyond. Out-of-range ids throw
   /// the same named error as a non-adjacent pair (never an out-of-bounds
   /// read).
-  int port_of_neighbor(int router, int neighbor) const {
+  /* SF_HOT */ int port_of_neighbor(int router, int neighbor) const {
     if (static_cast<unsigned>(router) >= static_cast<unsigned>(num_routers_) ||
         static_cast<unsigned>(neighbor) >= static_cast<unsigned>(num_routers_)) {
       throw_not_adjacent(router, neighbor);
@@ -189,7 +189,7 @@ class Network {
   }
   /// Congestion estimate for an output port: staging occupancy plus
   /// credits consumed downstream.
-  int queue_estimate(int router, int port) const {
+  /* SF_HOT */ int queue_estimate(int router, int port) const {
     return routers_[static_cast<std::size_t>(router)].queue_estimate(port);
   }
 
@@ -201,8 +201,8 @@ class Network {
   // no draw ever depends on thread schedule or shard count. Contract: a
   // stream may only be drawn from by the shard owning its endpoint/router,
   // and only in the phase named above.
-  Rng& endpoint_rng(int e) { return injector_.endpoint(e).rng; }
-  Rng& router_rng(int r) { return router_rngs_[static_cast<std::size_t>(r)]; }
+  /* SF_HOT */ Rng& endpoint_rng(int e) { return injector_.endpoint(e).rng; }
+  /* SF_HOT */ Rng& router_rng(int r) { return router_rngs_[static_cast<std::size_t>(r)]; }
 
   /// Resolved intra-point worker count (>= 1, capped by router count).
   std::size_t intra_threads() const { return shards_; }
@@ -255,14 +255,14 @@ class Network {
   /// (multiplier query + at most one Bernoulli draw; zero multiplier draws
   /// nothing). Shared verbatim by the cycle loop, the active backlog draw,
   /// and plan_arrival_from's batched draws.
-  bool modulated_hit(int e, std::int64_t t, Rng& rng) {
+  /* SF_HOT */ bool modulated_hit(int e, std::int64_t t, Rng& rng) {
     const double m = traffic_.rate_multiplier(e, t);
     return m > 0.0 && rng.bernoulli(std::min(1.0, load_ * m));
   }
   /// Drains the per-shard completion outboxes into the traffic pattern
   /// (serially, between cycles) and wakes unlocked endpoints' routers.
   void apply_completions();
-  std::size_t window_index(std::int64_t cycle, std::size_t count) const {
+  /* SF_HOT */ std::size_t window_index(std::int64_t cycle, std::size_t count) const {
     const auto idx = static_cast<std::size_t>(cycle / stats_window_);
     return idx < count ? idx : count - 1;
   }

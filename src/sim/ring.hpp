@@ -45,12 +45,12 @@ class FixedRing {
   bool empty() const { return size_ == 0; }
   bool full() const { return size_ >= slots_.size(); }
 
-  void push_back(const T& value) { push_slot() = value; }
+  /* SF_HOT */ void push_back(const T& value) { push_slot() = value; }
 
   /// Claims the next tail slot and returns it for in-place assignment —
   /// the zero-copy variant of push_back (the hot path writes a packet
   /// straight from one ring into the next without intermediate copies).
-  T& push_slot() {
+  /* SF_HOT */ T& push_slot() {
     if (full()) {
       throw std::logic_error(
           "FixedRing: overflow at capacity " + std::to_string(slots_.size()) +
@@ -62,21 +62,21 @@ class FixedRing {
     return slots_[tail];
   }
 
-  const T& front() const {
+  /* SF_HOT */ const T& front() const {
     if (empty()) throw std::logic_error("FixedRing: front on empty ring");
     return slots_[head_];
   }
 
   /// Discards the front element without returning it (pairs with front()
   /// for copy-free consumption).
-  void drop_front() {
+  /* SF_HOT */ void drop_front() {
     if (empty()) throw std::logic_error("FixedRing: pop on empty ring");
     ++head_;
     if (head_ >= slots_.size()) head_ = 0;
     --size_;
   }
 
-  T pop_front() {
+  /* SF_HOT */ T pop_front() {
     if (empty()) throw std::logic_error("FixedRing: pop on empty ring");
     T value = std::move(slots_[head_]);
     ++head_;
@@ -101,7 +101,9 @@ class GrowRing {
   bool empty() const { return size_ == 0; }
   std::size_t capacity() const { return slots_.size(); }
 
-  void push_back(T value) {
+  // grow() below is the sanctioned amortized cold path, so push_back
+  // itself must stay allocation-free.
+  /* SF_HOT */ void push_back(T value) {
     if (size_ >= slots_.size()) grow();
     std::size_t tail = head_ + size_;
     if (tail >= slots_.size()) tail -= slots_.size();
@@ -109,12 +111,12 @@ class GrowRing {
     ++size_;
   }
 
-  const T& front() const {
+  /* SF_HOT */ const T& front() const {
     if (empty()) throw std::logic_error("GrowRing: front on empty ring");
     return slots_[head_];
   }
 
-  T pop_front() {
+  /* SF_HOT */ T pop_front() {
     if (empty()) throw std::logic_error("GrowRing: pop on empty ring");
     T value = std::move(slots_[head_]);
     ++head_;

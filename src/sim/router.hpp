@@ -78,7 +78,7 @@ struct InputPort {
   /// injection ports.
   int src_router = -1;
   int src_port = -1;
-  int occupancy() const {
+  /* SF_HOT */ int occupancy() const {
     int total = 0;
     for (const auto& b : vcs) total += b.size();
     return total;
@@ -128,7 +128,7 @@ struct RouterState {
 
   /// Congestion estimate for UGAL: staging occupancy plus credits consumed
   /// downstream (an upper bound on the downstream queue for this port).
-  int queue_estimate(int port) const {
+  /* SF_HOT */ int queue_estimate(int port) const {
     const OutputPort& out = outputs[static_cast<std::size_t>(port)];
     return out.staged + out.consumed_credits();
   }

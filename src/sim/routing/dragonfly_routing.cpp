@@ -6,7 +6,8 @@ UgalRouting::CandidateSampler dragonfly_group_sampler(const Dragonfly& topo,
                                                       const DistanceOracle& dist) {
   const Dragonfly* df = &topo;
   const DistanceOracle* dt = &dist;
-  return [df, dt](int src, int dst, Rng& rng, InlinePath& path) {
+  // The sampler runs once per injected packet under UGAL-L.
+  return /* SF_HOT */ [df, dt](int src, int dst, Rng& rng, InlinePath& path) {
     path.clear();
     path.push_back(src);
     if (src == dst) return;

@@ -13,7 +13,7 @@ void FatTreeAncaRouting::route_at_injection(Network& net, Packet& pkt, Rng& rng)
   pkt.path.clear();  // per-hop routed
 }
 
-int FatTreeAncaRouting::adaptive_up(const Network& net, const Packet& pkt,
+/* SF_HOT */ int FatTreeAncaRouting::adaptive_up(const Network& net, const Packet& pkt,
                                     int router, int level) const {
   // All upward neighbours reach every destination; pick the least-loaded
   // output port (ANCA's adaptivity). The scan starts at a packet-dependent
@@ -47,7 +47,7 @@ int FatTreeAncaRouting::adaptive_up(const Network& net, const Packet& pkt,
   return best;
 }
 
-int FatTreeAncaRouting::next_router(const Network& net, const Packet& pkt,
+/* SF_HOT */ int FatTreeAncaRouting::next_router(const Network& net, const Packet& pkt,
                                     int current_router) const {
   int dst = pkt.dst_router;  // always an edge switch
   if (current_router == dst) return -1;

@@ -2,7 +2,7 @@
 
 namespace slimfly::sim {
 
-void MinimalRouting::route_at_injection(Network& net, Packet& pkt, Rng& rng) {
+/* SF_HOT */ void MinimalRouting::route_at_injection(Network& net, Packet& pkt, Rng& rng) {
   (void)net;
   const int src = topo_.endpoint_router(pkt.src_endpoint);
   pkt.path.clear();

@@ -25,7 +25,7 @@ SlimFlyOracle::SlimFlyOracle(const sf::SlimFlyMMS& topo)
   for (int e : topo.generators().xprime) in_xprime_[static_cast<std::size_t>(e)] = 1;
 }
 
-int SlimFlyOracle::dist(int u, int v) const {
+/* SF_HOT */ int SlimFlyOracle::dist(int u, int v) const {
   if (u == v) return 0;
   const int qq = q_ * q_;
   const int s1 = u / qq, s2 = v / qq;
@@ -53,7 +53,7 @@ int SlimFlyOracle::dist(int u, int v) const {
 TorusOracle::TorusOracle(const Torus& topo)
     : dims_(topo.dims()), diameter_(topo.diameter()) {}
 
-int TorusOracle::dist(int u, int v) const {
+/* SF_HOT */ int TorusOracle::dist(int u, int v) const {
   int d = 0;
   for (int extent : dims_) {
     const int a = u % extent, b = v % extent;
@@ -69,7 +69,7 @@ int TorusOracle::dist(int u, int v) const {
 
 HypercubeOracle::HypercubeOracle(const Hypercube& topo) : n_dims_(topo.n_dims()) {}
 
-int HypercubeOracle::dist(int u, int v) const {
+/* SF_HOT */ int HypercubeOracle::dist(int u, int v) const {
   unsigned x = static_cast<unsigned>(u) ^ static_cast<unsigned>(v);
   int d = 0;
   while (x != 0) {
@@ -84,7 +84,7 @@ int HypercubeOracle::dist(int u, int v) const {
 FlatButterflyOracle::FlatButterflyOracle(const FlattenedButterfly& topo)
     : n_dims_(topo.n_dims()), extent_(topo.extent()) {}
 
-int FlatButterflyOracle::dist(int u, int v) const {
+/* SF_HOT */ int FlatButterflyOracle::dist(int u, int v) const {
   int d = 0;
   for (int i = 0; i < n_dims_; ++i) {
     if (u % extent_ != v % extent_) ++d;
@@ -99,7 +99,7 @@ int FlatButterflyOracle::dist(int u, int v) const {
 FatTreeOracle::FatTreeOracle(const FatTree3& topo)
     : p_(topo.p()), pods_(topo.pods()) {}
 
-int FatTreeOracle::dist(int u, int v) const {
+/* SF_HOT */ int FatTreeOracle::dist(int u, int v) const {
   if (u == v) return 0;
   const int agg_base = pods_ * p_;
   const int core_base = 2 * pods_ * p_;
@@ -178,7 +178,7 @@ bool DragonflyOracle::two_path_exists(int u, int v) const {
   return false;
 }
 
-int DragonflyOracle::dist(int u, int v) const {
+/* SF_HOT */ int DragonflyOracle::dist(int u, int v) const {
   if (u == v) return 0;
   if (u / a_ == v / a_) return 1;  // intra-group clique
   const auto& gu = globals(u);
@@ -228,7 +228,7 @@ std::unique_ptr<Diameter2Oracle> Diameter2Oracle::try_build(const Graph& g) {
   return std::unique_ptr<Diameter2Oracle>(new Diameter2Oracle(g, 2));
 }
 
-int Diameter2Oracle::dist(int u, int v) const {
+/* SF_HOT */ int Diameter2Oracle::dist(int u, int v) const {
   if (u == v) return 0;
   return g_->has_edge(u, v) ? 1 : 2;
 }
@@ -272,7 +272,7 @@ CompressedBfsOracle::CompressedBfsOracle(const Graph& g)
   }
 }
 
-int CompressedBfsOracle::dist(int u, int v) const {
+/* SF_HOT */ int CompressedBfsOracle::dist(int u, int v) const {
   // Neighbours of a vertex at distance d from v sit at d-1, d, or d+1 —
   // pairwise distinct mod 3 — so a greedy walk toward the residue one step
   // closer recovers the exact distance.
@@ -294,7 +294,7 @@ int CompressedBfsOracle::dist(int u, int v) const {
   return steps;
 }
 
-void CompressedBfsOracle::sample_minimal_path(const Graph& g, int u, int v, Rng& rng,
+/* SF_HOT */ void CompressedBfsOracle::sample_minimal_path(const Graph& g, int u, int v, Rng& rng,
                                               InlinePath& out) const {
   // Same walk as DistanceTable::sample_minimal_path with the same candidate
   // sets in the same (sorted adjacency) order — bit-identical RNG

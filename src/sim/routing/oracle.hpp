@@ -146,7 +146,9 @@ class DragonflyOracle : public DistanceOracle {
 
  private:
   bool two_path_exists(int u, int v) const;
-  const std::vector<int>& globals(int r) const { return globals_[r]; }
+  const std::vector<int>& globals(int r) const {
+    return globals_[static_cast<std::size_t>(r)];
+  }
 
   int a_;
   int diameter_;

@@ -5,7 +5,7 @@
 
 namespace slimfly::sim {
 
-void DistanceOracle::sample_minimal_path(const Graph& g, int u, int v, Rng& rng,
+/* SF_HOT */ void DistanceOracle::sample_minimal_path(const Graph& g, int u, int v, Rng& rng,
                                          InlinePath& out) const {
   // Mirror of DistanceTable::sample_minimal_path below over virtual dist()
   // — identical candidate sets scanned in identical (sorted adjacency)
@@ -63,7 +63,7 @@ DistanceTable::DistanceTable(const Graph& g) : n_(g.num_vertices()) {
   }
 }
 
-void DistanceTable::sample_minimal_path(const Graph& g, int u, int v, Rng& rng,
+/* SF_HOT */ void DistanceTable::sample_minimal_path(const Graph& g, int u, int v, Rng& rng,
                                         InlinePath& out) const {
   // Graphs are undirected (topo/graph.hpp), so dist(x, v) == dist(v, x):
   // scanning row v keeps every lookup of this walk inside one contiguous,
@@ -97,7 +97,7 @@ void DistanceTable::sample_minimal_path(const Graph& g, int u, int v, Rng& rng,
   }
 }
 
-int RoutingAlgorithm::next_router(const Network& net, const Packet& pkt,
+/* SF_HOT */ int RoutingAlgorithm::next_router(const Network& net, const Packet& pkt,
                                   int current_router) const {
   (void)net;
   std::size_t hop = static_cast<std::size_t>(pkt.hop);

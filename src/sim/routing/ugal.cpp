@@ -15,7 +15,7 @@ UgalRouting::UgalRouting(const Topology& topo, const DistanceOracle& dist,
       valiant_(topo, dist),
       sampler_(std::move(sampler)) {}
 
-double UgalRouting::path_cost(const Network& net, const InlinePath& path) const {
+/* SF_HOT */ double UgalRouting::path_cost(const Network& net, const InlinePath& path) const {
   double hops = static_cast<double>(path.size()) - 1.0;
   if (hops <= 0.0) return 0.0;
   if (mode_ == UgalMode::Local) {
@@ -34,7 +34,7 @@ double UgalRouting::path_cost(const Network& net, const InlinePath& path) const 
   return cost;
 }
 
-void UgalRouting::route_at_injection(Network& net, Packet& pkt, Rng& rng) {
+/* SF_HOT */ void UgalRouting::route_at_injection(Network& net, Packet& pkt, Rng& rng) {
   const int src = topo_.endpoint_router(pkt.src_endpoint);
   const int dst = pkt.dst_router;
   // Minimal candidate. Both candidate buffers live on the stack (InlinePath

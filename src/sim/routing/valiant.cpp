@@ -2,7 +2,7 @@
 
 namespace slimfly::sim {
 
-void ValiantRouting::build_path(int src_router, int dst_router, Rng& rng,
+/* SF_HOT */ void ValiantRouting::build_path(int src_router, int dst_router, Rng& rng,
                                 InlinePath& path) const {
   int nr = topo_.num_routers();
   for (int attempt = 0; attempt < 64; ++attempt) {
@@ -34,7 +34,7 @@ void ValiantRouting::build_path(int src_router, int dst_router, Rng& rng,
   dist_.sample_minimal_path(topo_.graph(), src_router, dst_router, rng, path);
 }
 
-void ValiantRouting::route_at_injection(Network& net, Packet& pkt, Rng& rng) {
+/* SF_HOT */ void ValiantRouting::route_at_injection(Network& net, Packet& pkt, Rng& rng) {
   (void)net;
   build_path(topo_.endpoint_router(pkt.src_endpoint), pkt.dst_router, rng,
              pkt.path);

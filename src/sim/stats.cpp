@@ -5,13 +5,13 @@
 
 namespace slimfly::sim {
 
-void Stats::record_delivery(std::int64_t latency, std::int64_t network_latency,
+/* SF_HOT */ void Stats::record_delivery(std::int64_t latency, std::int64_t network_latency,
                             bool measured) {
   ++total_delivered_;
   if (measured) {
     ++measured_delivered_;
-    latencies_.push_back(latency);
-    network_latencies_.push_back(network_latency);
+    latencies_.push_back(latency);  // sf-lint: allow(hot-alloc) amortized pool growth; reserve_measurement_stats() opt-in makes the guarded path allocation-free
+    network_latencies_.push_back(network_latency);  // sf-lint: allow(hot-alloc) amortized pool growth; reserve_measurement_stats() opt-in makes the guarded path allocation-free
   }
 }
 

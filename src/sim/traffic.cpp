@@ -17,7 +17,7 @@ class UniformTraffic final : public TrafficPattern {
  public:
   explicit UniformTraffic(int n) : n_(n) {}
   std::string name() const override { return "uniform"; }
-  int destination(int src, Rng& rng) override {
+  /* SF_HOT */ int destination(int src, Rng& rng) override {
     int dst = rng.next_int(0, n_ - 2);
     return dst >= src ? dst + 1 : dst;  // uniform over all others
   }
@@ -35,7 +35,7 @@ class BitPermutation : public TrafficPattern {
     while ((2 << bits_) <= n) ++bits_;  // largest 2^bits_ <= n
     active_ = 1 << bits_;
   }
-  int destination(int src, Rng& rng) override {
+  /* SF_HOT */ int destination(int src, Rng& rng) override {
     (void)rng;
     if (src >= active_) return -1;
     int dst = permute(src);
@@ -91,7 +91,7 @@ class ShiftTraffic final : public TrafficPattern {
  public:
   explicit ShiftTraffic(int n) : n_(n) {}
   std::string name() const override { return "shift"; }
-  int destination(int src, Rng& rng) override {
+  /* SF_HOT */ int destination(int src, Rng& rng) override {
     int half = n_ / 2;
     int base = src % half;
     int dst = rng.bernoulli(0.5) ? base + half : base;
@@ -172,7 +172,7 @@ class WorstCaseSfTraffic final : public TrafficPattern {
   }
 
   std::string name() const override { return "worst-sf"; }
-  int destination(int src, Rng& rng) override {
+  /* SF_HOT */ int destination(int src, Rng& rng) override {
     (void)rng;
     return dst_[static_cast<std::size_t>(src)];
   }
@@ -188,7 +188,7 @@ class WorstCaseDfTraffic final : public TrafficPattern {
  public:
   explicit WorstCaseDfTraffic(const Dragonfly& topo) : topo_(topo) {}
   std::string name() const override { return "worst-df"; }
-  int destination(int src, Rng& rng) override {
+  /* SF_HOT */ int destination(int src, Rng& rng) override {
     int p = topo_.concentration();
     int group = topo_.group_of(src / p);
     int next_group = (group + 1) % topo_.groups();
@@ -205,7 +205,7 @@ class WorstCaseFtTraffic final : public TrafficPattern {
  public:
   explicit WorstCaseFtTraffic(const FatTree3& topo) : topo_(topo) {}
   std::string name() const override { return "worst-ft"; }
-  int destination(int src, Rng& rng) override {
+  /* SF_HOT */ int destination(int src, Rng& rng) override {
     (void)rng;
     // Shift by one pod: every route must climb to a core switch.
     int pod_endpoints = topo_.p() * topo_.p();
@@ -226,7 +226,7 @@ class Stencil3dTraffic final : public TrafficPattern {
     next_face_.assign(static_cast<std::size_t>(active_), 0);
   }
   std::string name() const override { return "stencil3d"; }
-  int destination(int src, Rng& rng) override {
+  /* SF_HOT */ int destination(int src, Rng& rng) override {
     (void)rng;
     if (src >= active_ || side_ < 2) return -1;
     int face = next_face_[static_cast<std::size_t>(src)];
@@ -263,7 +263,7 @@ class TraceTraffic final : public TrafficPattern {
     }
   }
   std::string name() const override { return "trace"; }
-  int destination(int src, Rng& rng) override {
+  /* SF_HOT */ int destination(int src, Rng& rng) override {
     (void)rng;
     const auto& list = flows_[static_cast<std::size_t>(src)];
     if (list.empty()) return -1;
@@ -317,13 +317,13 @@ class BurstTraffic final : public TrafficPattern {
   }
 
   std::string name() const override { return "burst(" + base_->name() + ")"; }
-  int destination(int src, Rng& rng) override {
+  /* SF_HOT */ int destination(int src, Rng& rng) override {
     return base_->destination(src, rng);
   }
   bool is_active(int src) const override { return base_->is_active(src); }
 
   bool modulates_rate() const override { return true; }
-  double rate_multiplier(int src, std::int64_t t) override {
+  /* SF_HOT */ double rate_multiplier(int src, std::int64_t t) override {
     State& s = states_[static_cast<std::size_t>(src)];
     while (t >= s.segment_end) {
       s.on = !s.on;
@@ -385,7 +385,7 @@ class HotspotTraffic final : public TrafficPattern {
   std::string name() const override {
     return "hotspot(" + base_->name() + ")";
   }
-  int destination(int src, Rng& rng) override {
+  /* SF_HOT */ int destination(int src, Rng& rng) override {
     if (q_ > 0.0 && rng.bernoulli(q_)) {
       const int pick = hot_[static_cast<std::size_t>(
           rng.next_below(static_cast<std::uint32_t>(hot_.size())))];
@@ -397,7 +397,7 @@ class HotspotTraffic final : public TrafficPattern {
   bool is_active(int src) const override { return base_->is_active(src); }
 
   bool modulates_rate() const override { return base_->modulates_rate(); }
-  double rate_multiplier(int src, std::int64_t t) override {
+  /* SF_HOT */ double rate_multiplier(int src, std::int64_t t) override {
     return base_->rate_multiplier(src, t);
   }
 

@@ -165,7 +165,7 @@ class DependencyReplay final : public TrafficPattern {
   }
 
   std::string name() const override { return name_; }
-  int destination(int src, Rng& rng) override {
+  /* SF_HOT */ int destination(int src, Rng& rng) override {
     // Self-clocked patterns generate through next_send; the Bernoulli
     // destination hook is never consulted by the engine.
     (void)src;
@@ -185,7 +185,7 @@ class DependencyReplay final : public TrafficPattern {
     return dep_satisfied(msgs_[e][c]);
   }
 
-  int next_send(int src, std::int64_t cycle,
+  /* SF_HOT */ int next_send(int src, std::int64_t cycle,
                 std::int64_t* dep_stall) override {
     const auto e = static_cast<std::size_t>(src);
     const auto c = static_cast<std::size_t>(cursor_[e]);
@@ -205,7 +205,7 @@ class DependencyReplay final : public TrafficPattern {
     return m.dst;
   }
 
-  void on_delivered(int src, std::int64_t seq, std::int64_t cycle,
+  /* SF_HOT */ void on_delivered(int src, std::int64_t seq, std::int64_t cycle,
                     std::vector<int>& unlocked) override {
     const auto e = static_cast<std::size_t>(src);
     if (e >= msgs_.size() || seq < 0 ||
@@ -219,7 +219,7 @@ class DependencyReplay final : public TrafficPattern {
       if (c >= msgs_[d].size()) continue;
       const TraceMessage& head = msgs_[d][c];
       if (head.dep_src == src && head.dep_idx == seq) {
-        unlocked.push_back(dep);  // head was blocked on exactly this message
+        unlocked.push_back(dep);  // head was blocked on exactly this message  // sf-lint: allow(hot-alloc) caller's scratch, reserved to completion_fanout() in wire()
       }
     }
   }

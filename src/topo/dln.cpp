@@ -23,7 +23,7 @@ Graph Dln::build(int n, int k_net, std::uint64_t seed) {
     Graph g(n);
     for (int v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
 
-    std::vector<std::vector<int>> extra(n);
+    std::vector<std::vector<int>> extra(static_cast<std::size_t>(n));
     std::vector<int> stubs;
     for (int v = 0; v < n; ++v) {
       for (int s = 0; s < k_net - 2; ++s) stubs.push_back(v);
@@ -33,7 +33,8 @@ Graph Dln::build(int n, int k_net, std::uint64_t seed) {
     auto is_adjacent = [&](int u, int v) {
       if (u == v) return true;
       if ((u + 1) % n == v || (v + 1) % n == u) return true;
-      return std::find(extra[u].begin(), extra[u].end(), v) != extra[u].end();
+      const auto& eu = extra[static_cast<std::size_t>(u)];
+      return std::find(eu.begin(), eu.end(), v) != eu.end();
     };
 
     // Greedy pairing with local retry: take the first stub, scan for a
@@ -47,8 +48,8 @@ Graph Dln::build(int n, int k_net, std::uint64_t seed) {
         int v = stubs[i];
         if (!is_adjacent(u, v)) {
           stubs.erase(stubs.begin() + static_cast<std::ptrdiff_t>(i));
-          extra[u].push_back(v);
-          extra[v].push_back(u);
+          extra[static_cast<std::size_t>(u)].push_back(v);
+          extra[static_cast<std::size_t>(v)].push_back(u);
           paired = true;
           break;
         }
@@ -58,7 +59,7 @@ Graph Dln::build(int n, int k_net, std::uint64_t seed) {
     if (failures > static_cast<std::size_t>(n) / 20 + 2) continue;  // too ragged, retry
 
     for (int v = 0; v < n; ++v) {
-      for (int u : extra[v]) {
+      for (int u : extra[static_cast<std::size_t>(v)]) {
         if (v < u) g.add_edge(v, u);
       }
     }

@@ -28,16 +28,18 @@ Graph Dragonfly::build(int a, int h, int g) {
   int ports = a * h;
   int base = ports / (g - 1);
   int rem = ports - base * (g - 1);
-  std::vector<int> next_port(g, 0);
+  std::vector<int> next_port(static_cast<std::size_t>(g), 0);
   // `offset` rotates the router chosen within each group per round: a full
   // round advances every group's counter by a multiple of a when a | g-1,
   // which would otherwise reuse identical router pairs (and the simple
   // graph would silently drop the duplicates).
   auto add_global = [&](int gi, int gj, int offset) {
-    int ri = gi * a + ((next_port[gi] + offset) % a);
-    int rj = gj * a + ((next_port[gj] + offset) % a);
-    ++next_port[gi];
-    ++next_port[gj];
+    int& pi = next_port[static_cast<std::size_t>(gi)];
+    int& pj = next_port[static_cast<std::size_t>(gj)];
+    int ri = gi * a + ((pi + offset) % a);
+    int rj = gj * a + ((pj + offset) % a);
+    ++pi;
+    ++pj;
     graph.add_edge(ri, rj);
   };
   // Rotation is only sound when a full round advances every group's

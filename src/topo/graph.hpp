@@ -28,8 +28,12 @@ class Graph {
   /// Number of undirected edges (valid after finalize()).
   std::int64_t num_edges() const { return num_edges_; }
 
-  int degree(int v) const { return static_cast<int>(adjacency_[check(v)].size()); }
-  const std::vector<int>& neighbors(int v) const { return adjacency_[check(v)]; }
+  int degree(int v) const {
+    return static_cast<int>(adjacency_[static_cast<std::size_t>(check(v))].size());
+  }
+  const std::vector<int>& neighbors(int v) const {
+    return adjacency_[static_cast<std::size_t>(check(v))];
+  }
 
   /// O(log degree(u)); requires finalize().
   bool has_edge(int u, int v) const;

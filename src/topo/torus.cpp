@@ -79,7 +79,9 @@ std::unique_ptr<Torus> Torus::make_cubic(int n_dims, int min_routers,
     return n;
   };
   while (count(extent) < min_routers) ++extent;
-  return std::make_unique<Torus>(std::vector<int>(n_dims, extent), concentration);
+  return std::make_unique<Torus>(
+      std::vector<int>(static_cast<std::size_t>(n_dims), extent),
+      concentration);
 }
 
 }  // namespace slimfly

@@ -9,6 +9,29 @@
 
 #include <cstdint>
 
+// Compiler-level backstop for the scripts/sf_lint.py `rng` rule (see
+// docs/CORRECTNESS.md): with SF_FORBID_GLOBAL_RNG defined (the slimfly
+// CMake target defines it PUBLIC, so every in-repo TU gets it), any use of
+// the global C RNG entry points is a hard compile error. GCC's poison
+// pragma does not exempt system headers, so the headers that *mention*
+// these identifiers (declarations in <cstdlib>/<stdlib.h>, std::rand inside
+// <algorithm>'s random_shuffle) are included first — their guards make any
+// later include a no-op, leaving only in-repo uses to trip the poison.
+#if defined(SF_FORBID_GLOBAL_RNG) && defined(__GNUC__)
+#include <algorithm>
+#include <cstdlib>
+#include <stdlib.h>
+namespace slimfly {
+/// static_assert-backed witness that the global-RNG ban is active in this
+/// translation unit; referenced by tests to prove the macro reaches every
+/// dependent target.
+inline constexpr bool kGlobalRngForbidden = true;
+static_assert(kGlobalRngForbidden,
+              "SF_FORBID_GLOBAL_RNG is defined but the guard is inactive");
+}  // namespace slimfly
+#pragma GCC poison rand srand rand_r drand48 srand48 lrand48 mrand48
+#endif
+
 namespace slimfly {
 
 class Rng {

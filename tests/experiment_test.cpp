@@ -115,10 +115,12 @@ TEST(ExperimentSpec, CrossFiltersIncompatibleCombos) {
   // DF-UGAL-L appears exactly once per Dragonfly traffic combo, never on
   // the other topologies.
   for (const auto& s : spec.series) {
-    if (s.routing == "DF-UGAL-L") EXPECT_EQ("dragonfly",
-                                            topo::parse_spec(s.topology).family);
-    if (s.routing == "FT-ANCA") EXPECT_EQ("fattree",
-                                          topo::parse_spec(s.topology).family);
+    if (s.routing == "DF-UGAL-L") {
+      EXPECT_EQ("dragonfly", topo::parse_spec(s.topology).family);
+    }
+    if (s.routing == "FT-ANCA") {
+      EXPECT_EQ("fattree", topo::parse_spec(s.topology).family);
+    }
   }
 }
 
@@ -418,7 +420,9 @@ TEST(TrafficRegistry, RoundTripEveryName) {
     // concrete worst-* entry; every other name round-trips exactly).
     auto again = sim::make_traffic(pattern->name(), topo);
     EXPECT_EQ(again->name(), pattern->name()) << name;
-    if (name != "worstcase") EXPECT_EQ(pattern->name(), name);
+    if (name != "worstcase") {
+      EXPECT_EQ(pattern->name(), name);
+    }
   }
   EXPECT_THROW(sim::make_traffic("nosuch", sf), std::invalid_argument);
   EXPECT_THROW(sim::make_traffic("worst-df", sf), std::invalid_argument);

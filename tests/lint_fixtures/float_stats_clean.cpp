@@ -1,0 +1,10 @@
+// Clean twin of float_stats_violation.cpp: accumulate in double (exact for
+// integer-valued latencies up to 2^53) — identifiers merely containing the
+// letters "float" must not fire.
+int floating_point_mode = 0;  // substring of the keyword: not a finding
+
+double running_mean(const double* samples, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += samples[i];
+  return n > 0 ? acc / n : 0.0;
+}

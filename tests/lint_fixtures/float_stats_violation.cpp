@@ -1,0 +1,10 @@
+// Fixture: the `float-stats` rule must fire on any `float` in src/ —
+// a float latency accumulator quantizes after ~2^24 flits, silently skewing
+// means long before a golden test could notice. Never compiled — scanned by
+// scripts/sf_lint.py --self-test.
+
+float running_mean(const float* samples, int n) {  // float-stats (x3)
+  float acc = 0.0f;                                // float-stats
+  for (int i = 0; i < n; ++i) acc += samples[i];
+  return n > 0 ? acc / static_cast<float>(n) : 0.0f;  // float-stats
+}

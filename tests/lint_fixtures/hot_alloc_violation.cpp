@@ -1,0 +1,21 @@
+// Fixture: the `hot-alloc` rule must fire on allocating constructs inside a
+// /* SF_HOT */ annotated function. Never compiled — scanned by
+// scripts/sf_lint.py --self-test.
+#include <vector>
+
+struct Queue {
+  std::vector<int> items;  // declaration outside SF_HOT: not a finding
+
+  /* SF_HOT */ void enqueue(int v) {
+    items.push_back(v);                // hot-alloc: allocating container call
+    int* scratch = new int[4];         // hot-alloc: operator new
+    delete[] scratch;
+  }
+};
+
+/* SF_HOT */ int hot_sum(const Queue& q) {
+  std::vector<int> copy(q.items);      // hot-alloc: vector construction
+  int s = 0;
+  for (int v : copy) s += v;
+  return s;
+}

@@ -1,0 +1,17 @@
+// Clean twin of rng_violation.cpp: the same job done through the repo's
+// deterministic RNG streams. "rand" inside identifiers (operand, branding)
+// and inside comments or strings must NOT fire: rand() is banned, substrings
+// are not.
+#include <cstdint>
+
+namespace slimfly {
+std::uint64_t splitmix64(std::uint64_t x);
+}
+
+int draw_with_stream(std::uint64_t seed) {
+  // Deterministic per-id stream derivation, the util/rng.hpp way.
+  std::uint64_t operand = slimfly::splitmix64(seed ^ 0x72616e64ULL);
+  const char* branding = "rand() is spelled out here only in a string";
+  (void)branding;
+  return static_cast<int>(operand % 10);
+}

@@ -1,0 +1,21 @@
+// Fixture: the `rng` rule must fire on every global/platform randomness
+// source used outside util/rng.hpp. Never compiled — scanned by
+// scripts/sf_lint.py --self-test.
+#include <random>
+
+int draw_with_global_rng() {
+  std::random_device rd;                    // rng: nondeterministic seed
+  std::mt19937 gen(rd());                   // rng: std <random> engine
+  std::uniform_int_distribution<int> d(0, 9);  // rng: std distribution
+  return d(gen);
+}
+
+long stamp_with_wall_clock() {
+  return std::time(nullptr);                // rng: wall clock
+}
+
+double elapsed_via_alias() {
+  using clock = std::chrono::steady_clock;
+  auto t0 = clock::now();                   // rng: aliased clock read
+  return std::chrono::duration<double>(clock::now() - t0).count();
+}

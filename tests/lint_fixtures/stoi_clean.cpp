@@ -1,0 +1,16 @@
+// Clean twin of stoi_violation.cpp: strict digit-by-digit parsing that
+// rejects signs, whitespace, empty input, and trailing garbage — the shape
+// of the vetted registry helpers.
+#include <string>
+
+bool parse_strict_int(const std::string& s, int* out) {
+  if (s.empty()) return false;
+  long value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+    if (value > 2147483647L) return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}

@@ -1,0 +1,15 @@
+// Fixture: the `stoi` rule must fire on the stoi/atoi parsing family.
+// std::stoi accepts leading whitespace, signs, and partial parses ("12abc"
+// yields 12); atoi returns 0 on garbage. Config parsing must go through the
+// vetted strict helpers instead. Never compiled — scanned by
+// scripts/sf_lint.py --self-test.
+#include <cstdlib>
+#include <string>
+
+int parse_radix(const std::string& s) {
+  return std::stoi(s);                     // stoi: partial-parse hazard
+}
+
+int parse_env(const char* v) {
+  return atoi(v);                          // stoi: returns 0 on garbage
+}

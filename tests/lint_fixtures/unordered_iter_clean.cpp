@@ -1,0 +1,18 @@
+// Clean twin of unordered_iter_violation.cpp: unordered containers used as
+// pure lookup structures (find/count/operator[]) with any traversal done in
+// a deterministic external order — the pattern required of code feeding
+// point_seed, stats, or trajectory output.
+#include <unordered_map>
+#include <vector>
+
+double total_load(const std::vector<long>& keys,
+                  const std::unordered_map<long, double>& load) {
+  // Traverse in the caller-supplied (deterministic) key order; the hash
+  // table only answers point queries.
+  double total = 0.0;
+  for (long k : keys) {
+    auto it = load.find(k);
+    if (it != load.end()) total += it->second;
+  }
+  return total;
+}

@@ -1,0 +1,26 @@
+// Fixture: the `unordered-iter` rule must fire on iteration over
+// std::unordered_map/std::unordered_set — hash-table iteration order is an
+// implementation detail, and accumulating doubles in that order is
+// platform-dependent (the exact bug fixed in src/analysis/channelload.cpp).
+// Never compiled — scanned by scripts/sf_lint.py --self-test.
+#include <unordered_map>
+#include <unordered_set>
+
+double total_load(const std::unordered_map<long, double>& input) {
+  std::unordered_map<long, double> load(input);
+  double total = 0.0;
+  for (const auto& kv : load) {     // unordered-iter: range-for over map
+    total += kv.second;
+  }
+  return total;
+}
+
+int count_members(const std::unordered_set<int>& input) {
+  std::unordered_set<int> members(input);
+  int n = 0;
+  for (auto it = members.begin(); it != members.end(); ++it) {
+    // unordered-iter: explicit begin() iteration
+    ++n;
+  }
+  return n;
+}

@@ -1,0 +1,7 @@
+// Fixture: an inline waiver with a justification must suppress its finding.
+// Scanned by scripts/sf_lint.py --self-test; never compiled.
+
+float interop_sample(  // sf-lint: allow(float-stats) fixture: external ABI requires float here
+    const float* p) {  // sf-lint: allow(float-stats) fixture: external ABI requires float here
+  return p[0];
+}

@@ -1,0 +1,7 @@
+// Fixture: an inline waiver WITHOUT a justification must be rejected as an
+// error — waivers are cheap, but each one has to say why.
+// Scanned by scripts/sf_lint.py --self-test; never compiled.
+
+float bare_waiver() {  // sf-lint: allow(float-stats)
+  return 0.0f;         // sf-lint: allow(float-stats)
+}

@@ -182,7 +182,9 @@ TEST(DragonflySampler, PathsStayValid) {
     InlinePath path;
     sampler(src, dst, rng, path);
     EXPECT_EQ(path.front(), src);
-    if (src != dst) EXPECT_EQ(path.back(), dst);
+    if (src != dst) {
+      EXPECT_EQ(path.back(), dst);
+    }
     EXPECT_TRUE(is_walk(df->graph(), path));
     EXPECT_LE(path.size(), 7u);  // <= 6 links for group-Valiant
   }

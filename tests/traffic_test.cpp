@@ -129,7 +129,9 @@ TEST(WorstCaseSf, SendersUseTwoHopPaths) {
   };
   for (int e = 0; e < topo.num_endpoints(); e += 5) {
     int d = t->destination(e, rng);
-    if (d >= 0) EXPECT_TRUE(dist_ok(e, d));
+    if (d >= 0) {
+      EXPECT_TRUE(dist_ok(e, d));
+    }
   }
 }
 
