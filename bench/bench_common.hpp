@@ -16,8 +16,10 @@
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exp/experiment.hpp"
@@ -112,13 +114,36 @@ inline void print_table(const std::string& tag, const std::string& title,
   std::cout.flush();
 }
 
+/// One-line host shape + resolved worker split, printed at bench startup so
+/// every BENCH log records how the machine was actually used (the numbers
+/// are execution-only — results never depend on them).
+inline void print_host_shape(const exp::ExperimentEngine& engine,
+                             std::size_t n_points, int requested_intra) {
+  const auto sched = engine.schedule(n_points, requested_intra);
+  std::cout << "[host] hardware_concurrency="
+            << std::thread::hardware_concurrency() << " engine_threads="
+            << engine.threads() << " scheduler="
+            << exp::to_string(engine.scheduler()) << " across=" << sched.first
+            << " intra=" << sched.second
+            << (engine.scheduler() == exp::SchedulerMode::Stealing
+                    ? " (stealing: intra grows as points drain)"
+                    : "")
+            << "\n"
+            << std::flush;
+}
+
 /// Runs a spec on the engine, prints the table + CSV, writes
 /// BENCH_<spec.name>.json, and reports points/threads/wall time.
-/// `threads` 0 defers to SF_THREADS / hardware (the engine's own policy).
-inline void run_experiment(const exp::ExperimentSpec& spec,
-                           const std::string& title,
-                           std::size_t threads = 0) {
+/// `threads` 0 defers to SF_THREADS / hardware (the engine's own policy);
+/// `scheduler` unset defers to SF_SCHEDULER (static when that is unset).
+inline void run_experiment(
+    const exp::ExperimentSpec& spec, const std::string& title,
+    std::size_t threads = 0,
+    std::optional<exp::SchedulerMode> scheduler = std::nullopt) {
   exp::ExperimentEngine engine(threads);
+  if (scheduler) engine.set_scheduler(*scheduler);
+  print_host_shape(engine, spec.series.size() * spec.loads.size(),
+                   spec.config.intra_threads);
   Timer timer;
   // Progress heartbeat: paper-scale runs take hours, so echo each finished
   // point (matches the old per-series "done" lines, at finer grain).

@@ -24,11 +24,13 @@
 #include <cstring>
 #include <fstream>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "exp/json.hpp"
 #include "sim/network.hpp"
+#include "util/rss.hpp"
 
 namespace {
 
@@ -68,14 +70,20 @@ struct CellResult {
   EngineRun cycle;
   EngineRun active;
   double speedup = 0.0;  ///< active Mcycles/s over cycle Mcycles/s
+  /// Process peak RSS after this cell's runs — monotone over the process,
+  /// so the first (largest-network) cell is the meaningful reading; the CI
+  /// soft-compare reports its delta PR-over-PR, never gates it.
+  std::uint64_t peak_rss = 0;
 };
 
-EngineRun run_cell(const Cell& cell, sim::StepEngine engine) {
+EngineRun run_cell(const Cell& cell, sim::StepEngine engine,
+                   int intra_override = -1) {
   auto topo = topo::make(cell.topo);
   auto bundle = sim::make_routing_spec(cell.routing, *topo);
   auto traffic = sim::make_traffic(cell.traffic, *topo);
   sim::SimConfig cfg = bench::make_sim_config();
   cfg.engine = engine;
+  if (intra_override >= 0) cfg.intra_threads = intra_override;
   if (cfg.num_vcs < bundle.algorithm->max_hops()) {
     cfg.num_vcs = bundle.algorithm->max_hops();
   }
@@ -161,6 +169,14 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Host shape, so every BENCH log records how the machine was used —
+    // the numbers are execution-only, results never depend on them.
+    std::cout << "[host] hardware_concurrency="
+              << std::thread::hardware_concurrency()
+              << " intra_threads=" << exp::intra_threads_from_env()
+              << " (SF_INTRA_THREADS; 0 = all cores per point)\n"
+              << std::flush;
+
     std::vector<Cell> cells;
     if (single) {
       cells.push_back(custom);
@@ -192,11 +208,39 @@ int main(int argc, char** argv) {
       r.cycle = run_cell(cell, sim::StepEngine::Cycle);
       r.active = run_cell(cell, sim::StepEngine::Active);
       r.speedup = r.cycle.mcyc > 0.0 ? r.active.mcyc / r.cycle.mcyc : 0.0;
+      r.peak_rss = peak_rss_bytes();
       print_engine_line("engine cycle ", r.cycle);
       print_engine_line("engine active", r.active);
       std::cout << "  active/cycle speedup: "
                 << exp::json::number(r.speedup) << "x\n";
       results.push_back(std::move(r));
+    }
+
+    // Intra-point scaling curve: the reference cell re-run under the cycle
+    // engine with fixed stepping teams of 1/2/4 (+ all hardware threads
+    // when the host has more). Recorded in the BENCH trajectory so the
+    // multi-core speedup (or, on small hosts, the barrier overhead of
+    // oversubscribed teams) is a tracked number, not folklore. Results are
+    // bit-identical for every team size; only the wall time moves.
+    struct ScalePoint {
+      int workers;
+      double wall;
+      double mcyc;
+    };
+    std::vector<ScalePoint> scaling;
+    if (!single) {
+      std::vector<int> teams = {1, 2, 4};
+      const int hw = static_cast<int>(std::thread::hardware_concurrency());
+      if (hw > 4) teams.push_back(hw);
+      std::cout << "hotpath[scaling]: " << cells.front().topo
+                << " | cycle engine | intra team sweep\n";
+      for (int w : teams) {
+        EngineRun r = run_cell(cells.front(), sim::StepEngine::Cycle, w);
+        scaling.push_back({w, r.wall, r.mcyc});
+        std::cout << "  intra=" << w << ": " << exp::json::number(r.mcyc)
+                  << " Mcycles/s, wall " << exp::json::number(r.wall)
+                  << " s\n";
+      }
     }
 
     std::ofstream os(out_path);
@@ -214,6 +258,7 @@ int main(int argc, char** argv) {
          << "      \"load\": " << exp::json::number(r.cell.load) << ",\n"
          << "      \"active_speedup\": " << exp::json::number(r.speedup)
          << ",\n"
+         << "      \"peak_rss_bytes\": " << r.peak_rss << ",\n"
          << "      \"engines\": {\n        \"cycle\": {\n";
       write_engine_json(os, r.cycle);
       os << "        },\n        \"active\": {\n";
@@ -224,8 +269,18 @@ int main(int argc, char** argv) {
     // The first cell's cycle-engine numbers also land at the top level,
     // keeping older BENCH_hotpath.json consumers working.
     const CellResult& head = results.front();
-    os << "  ],\n"
-       << "  \"topology\": " << exp::json::quote(head.cell.topo) << ",\n"
+    os << "  ],\n";
+    if (!scaling.empty()) {
+      os << "  \"intra_scaling\": [\n";
+      for (std::size_t i = 0; i < scaling.size(); ++i) {
+        os << "    {\"workers\": " << scaling[i].workers
+           << ", \"wall_seconds\": " << exp::json::number(scaling[i].wall)
+           << ", \"mcycles_per_sec\": " << exp::json::number(scaling[i].mcyc)
+           << "}" << (i + 1 < scaling.size() ? "," : "") << "\n";
+      }
+      os << "  ],\n";
+    }
+    os << "  \"topology\": " << exp::json::quote(head.cell.topo) << ",\n"
        << "  \"routing\": " << exp::json::quote(head.cell.routing) << ",\n"
        << "  \"traffic\": " << exp::json::quote(head.cell.traffic) << ",\n"
        << "  \"load\": " << exp::json::number(head.cell.load) << ",\n"

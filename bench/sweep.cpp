@@ -86,12 +86,12 @@ int usage(const char* argv0, int exit_code) {
       << "usage: " << argv0
       << " [--name TAG] [--topo SPEC]... [--routing SPEC]...\n"
          "       [--traffic NAME]... [--loads L1,L2,...] [--seed N]\n"
-         "       [--intra N] [--engine NAME] [--oracle NAME] [--no-truncate]\n"
-         "       [--list] [--help]\n"
+         "       [--intra N] [--engine NAME] [--oracle NAME]\n"
+         "       [--scheduler NAME] [--no-truncate] [--list] [--help]\n"
          "   or: " << argv0
       << " --config SUITE.json [--scale NAME] [--name TAG]\n"
          "       [--seed N] [--intra N] [--engine NAME] [--oracle NAME]\n"
-         "       [--no-truncate]\n"
+         "       [--scheduler NAME] [--no-truncate]\n"
          "   or: " << argv0
       << " ... --emit-config PATH   (write the suite JSON, run nothing;\n"
          "       PATH \"-\" = stdout)\n"
@@ -119,9 +119,14 @@ int usage(const char* argv0, int exit_code) {
          "  SF_ORACLE or auto). Bit-identical results either way; family\n"
          "  answers from per-topology structure instead of the O(N^2) BFS\n"
          "  table, auto picks table below 4096 routers and family above.\n"
+         "--scheduler NAME: point scheduler, static or stealing (default\n"
+         "  SF_SCHEDULER or static). Bit-identical results either way;\n"
+         "  stealing lets big points absorb workers freed by finished\n"
+         "  points instead of stepping single-file at the tail of a grid.\n"
          "env: SF_THREADS (across-point workers, 0/unset = all cores),\n"
          "  SF_INTRA_THREADS (as --intra), SF_ENGINE (as --engine),\n"
-         "  SF_ORACLE (as --oracle), SF_BENCH_SCALE (small|paper).\n"
+         "  SF_ORACLE (as --oracle), SF_SCHEDULER (as --scheduler),\n"
+         "  SF_BENCH_SCALE (small|paper).\n"
          "Spec-string grammar and suite schema: docs/SPEC_GRAMMAR.md;\n"
          "paper->code map and engine internals: docs/ARCHITECTURE.md;\n"
          "sanitizer presets, linter, determinism tooling: "
@@ -250,6 +255,7 @@ int main(int argc, char** argv) {
   std::optional<int> intra;
   std::optional<sim::StepEngine> engine;
   std::optional<sim::OracleMode> oracle;
+  std::optional<exp::SchedulerMode> scheduler;
   bool truncate = true, truncate_flag = false;
 
   auto next_arg = [&](int& i) -> const char* {
@@ -302,6 +308,8 @@ int main(int argc, char** argv) {
         engine = exp::step_engine_from_string(next_arg(i), "--engine");
       } else if (!std::strcmp(argv[i], "--oracle")) {
         oracle = exp::oracle_from_string(next_arg(i), "--oracle");
+      } else if (!std::strcmp(argv[i], "--scheduler")) {
+        scheduler = exp::scheduler_from_string(next_arg(i), "--scheduler");
       } else if (!std::strcmp(argv[i], "--no-truncate")) {
         truncate = false;
         truncate_flag = true;
@@ -347,6 +355,14 @@ int main(int argc, char** argv) {
       if (!oracle && !exp::suite_sets_config_key(suite, scale, "oracle")) {
         spec.config.oracle = exp::oracle_from_env();
       }
+      // Scheduler precedence: --scheduler flag, then the suite's own hint,
+      // then SF_SCHEDULER (the ExperimentEngine ctor default), then static.
+      // A suite-level key like `threads`, not a config key — byte-identical
+      // results either way.
+      if (!scheduler && !suite.scheduler.empty()) {
+        scheduler = exp::scheduler_from_string(suite.scheduler,
+                                               "suite \"scheduler\"");
+      }
     } else {
       if (!scale.empty()) {
         throw std::invalid_argument("--scale requires --config");
@@ -370,8 +386,9 @@ int main(int argc, char** argv) {
     }
 
     if (!emit_path.empty()) {
-      const std::string text =
-          exp::serialize_suite(exp::suite_from_spec(spec, threads_hint));
+      const std::string text = exp::serialize_suite(exp::suite_from_spec(
+          spec, threads_hint,
+          scheduler ? exp::to_string(*scheduler) : std::string()));
       if (emit_path == "-") {
         std::cout << text;
       } else {
@@ -390,7 +407,7 @@ int main(int argc, char** argv) {
     // hint, then all hardware threads (the engine's own fallback).
     std::size_t threads = exp::threads_from_env();
     if (threads == 0) threads = threads_hint;
-    bench::run_experiment(spec, "command-line sweep", threads);
+    bench::run_experiment(spec, "command-line sweep", threads, scheduler);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -297,12 +297,19 @@ def lint_file(path, rel, all_rules=False):
         # FixedRing<...> in this file, plus the conventional `path`
         # member/local (Packet::path is an InlinePath). push_back on these
         # writes a preallocated slot — overflow throws, never allocates.
+        # LazyRing<...> receivers are exempt too: their logical capacity is
+        # fixed at wire() (overflow throws, like FixedRing) and physical
+        # growth is the sanctioned pool-backed settling path — it draws
+        # slabs from the preloaded SlabPool and stops at the high-water
+        # mark, with the dynamic zero-steady-state-allocation guarantee
+        # enforced by tests/hotpath_test.cpp.
         # GrowRing is deliberately NOT exempt: its amortized growth is
         # allowed at exactly one audited site (the endpoint source queue),
         # which carries an explicit waiver.
         fixed_cap = set(re.findall(r"\bInlinePath\b[&\s]*(\w+)", stripped))
         fixed_cap.update(
-            re.findall(r"\bFixedRing\s*<[^;{}>]*>\s*&?\s*(\w+)", stripped))
+            re.findall(r"\b(?:Fixed|Lazy)Ring\s*<[^;{}>]*>\s*&?\s*(\w+)",
+                       stripped))
         fixed_cap.add("path")
 
         def in_throw(offset):

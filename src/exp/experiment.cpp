@@ -256,17 +256,38 @@ sim::OracleMode oracle_from_env() {
   return sim::OracleMode::Auto;  // unset/junk: the tolerant env fallback
 }
 
+SchedulerMode scheduler_from_string(const std::string& name,
+                                    const std::string& context) {
+  if (name == "static") return SchedulerMode::Static;
+  if (name == "stealing") return SchedulerMode::Stealing;
+  throw std::invalid_argument(context + ": unknown scheduler \"" + name +
+                              "\" (known: static, stealing)");
+}
+
+SchedulerMode scheduler_from_env() {
+  const char* env = std::getenv("SF_SCHEDULER");
+  if (!env) return SchedulerMode::Static;
+  const std::string name(env);
+  if (name == "stealing") return SchedulerMode::Stealing;
+  return SchedulerMode::Static;  // unset/junk: the tolerant env fallback
+}
+
 ExperimentEngine::ExperimentEngine(std::size_t threads) {
   if (threads == 0) threads = threads_from_env();
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   threads_ = threads;
+  scheduler_ = scheduler_from_env();
 }
 
 ExperimentEngine::~ExperimentEngine() = default;
 
 std::size_t ExperimentEngine::threads() const { return threads_; }
+
+SchedulerMode ExperimentEngine::scheduler() const { return scheduler_; }
+
+void ExperimentEngine::set_scheduler(SchedulerMode mode) { scheduler_ = mode; }
 
 void ExperimentEngine::for_indices(
     std::size_t n, std::size_t width,
@@ -434,14 +455,19 @@ std::vector<RunResult> ExperimentEngine::run_prepared(
   const std::size_t across = sched.first;
   const int intra = sched.second;
   std::mutex progress_mutex;
-  auto run_point = [&](std::size_t s, std::size_t l) {
+  auto run_point = [&](std::size_t s, std::size_t l, int point_intra,
+                       const std::function<int()>& team_provider) {
     const PreparedSeries& series = prepared.series[s];
     sim::SimConfig cfg = prepared.config;
     if (!series.config_overrides.empty()) {
       cfg = apply_config_overrides(cfg, series.config_overrides, false,
                                    "series \"" + series.label + "\"");
     }
-    cfg.intra_threads = intra;  // resolved by schedule(), never 0 here
+    // Execution-only fields, applied after the overrides on purpose: the
+    // schedule (or the stealing runner) owns how a point uses the machine,
+    // and neither field enters point_seed, so results are unchanged.
+    cfg.intra_threads = point_intra;  // never 0 here
+    cfg.team_provider = team_provider;
     if (prepared.seed_fn) cfg.seed = prepared.seed_fn(s, l);
     auto routing = series.make_routing();
     auto traffic = series.make_traffic();
@@ -461,12 +487,95 @@ std::vector<RunResult> ExperimentEngine::run_prepared(
     return out;
   };
 
-  std::vector<RunResult> out;
-  if (across == 1 && prepared.truncate_at_saturation) {
-    // Sequential early stop: never simulate past a series' saturation point.
+  // Per-series lowest load index already observed saturated: truncation
+  // drops everything past it, so such points can be skipped outright
+  // without changing the kept output (they're the slowest points, too —
+  // saturated networks churn maximum traffic until the drain cap).
+  std::vector<std::atomic<std::size_t>> first_saturated(prepared.series.size());
+  for (auto& f : first_saturated) f.store(n_loads, std::memory_order_relaxed);
+  auto note_saturated = [&](std::size_t s, std::size_t l) {
+    std::size_t seen = first_saturated[s].load(std::memory_order_relaxed);
+    while (l < seen && !first_saturated[s].compare_exchange_weak(
+                           seen, l, std::memory_order_relaxed)) {
+    }
+  };
+  // Post-filter shared by every parallel path: keep each series' prefix up
+  // to and including its first saturated point — exactly what the
+  // sequential early-stop path produces, so all schedules return identical
+  // points.
+  auto filter_truncated = [&](std::vector<RunResult>&& all) {
+    std::vector<RunResult> kept;
     for (std::size_t s = 0; s < prepared.series.size(); ++s) {
       for (std::size_t l = 0; l < n_loads; ++l) {
-        out.push_back(run_point(s, l));
+        kept.push_back(std::move(all[s * n_loads + l]));
+        if (prepared.truncate_at_saturation && kept.back().result.saturated) {
+          break;
+        }
+      }
+    }
+    return kept;
+  };
+
+  if (scheduler_ == SchedulerMode::Stealing && threads_ > 1 && n_points > 0) {
+    // Work stealing: every engine worker is a runner claiming whole points
+    // from a shared counter. A runner that finds the grid drained retires
+    // its worker into `spares`; the points still running poll the spare
+    // pool once per simulated cycle (via SimConfig::team_provider) and
+    // widen their intra-shard stepping teams to absorb the freed workers —
+    // so the tail of a grid (a few big points) still fills the machine.
+    // `spares` counts permissions, not threads: the claiming point's own
+    // Network supplies the extra stepping workers, and the retired runner
+    // thread simply exits its loop. Per-point seeds, truncation, and
+    // result bytes are identical to the static schedule.
+    std::vector<RunResult> all(n_points);
+    std::atomic<std::size_t> next{0};
+    std::atomic<int> spares{0};
+    const int max_team = static_cast<int>(threads_);
+    for_indices(threads_, threads_, [&](std::size_t) {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n_points) break;
+        const std::size_t s = i / n_loads;
+        const std::size_t l = i % n_loads;
+        if (prepared.truncate_at_saturation &&
+            l > first_saturated[s].load(std::memory_order_relaxed)) {
+          continue;  // guaranteed to be truncated; leave the slot empty
+        }
+        // Claims are point-local: the team starts as just this runner and
+        // grows monotonically while the point runs (claimed spares are only
+        // returned when the point finishes, below).
+        std::atomic<int> claimed{0};
+        auto provider = [&spares, &claimed, max_team]() {
+          int team = 1 + claimed.load(std::memory_order_relaxed);
+          while (team < max_team) {
+            int avail = spares.load(std::memory_order_relaxed);
+            if (avail <= 0) break;
+            if (spares.compare_exchange_weak(avail, avail - 1,
+                                             std::memory_order_relaxed)) {
+              team = 2 + claimed.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+          return team;
+        };
+        // intra_threads = the full worker budget so the Network shards at
+        // the finest granularity a grown team could use (sharding is
+        // results-invariant; the live team size is what the provider says).
+        all[i] = run_point(s, l, max_team, provider);
+        spares.fetch_add(claimed.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        if (all[i].result.saturated) note_saturated(s, l);
+      }
+      spares.fetch_add(1, std::memory_order_relaxed);
+    });
+    return filter_truncated(std::move(all));
+  }
+
+  if (across == 1 && prepared.truncate_at_saturation) {
+    // Sequential early stop: never simulate past a series' saturation point.
+    std::vector<RunResult> out;
+    for (std::size_t s = 0; s < prepared.series.size(); ++s) {
+      for (std::size_t l = 0; l < n_loads; ++l) {
+        out.push_back(run_point(s, l, intra, {}));
         if (out.back().result.saturated) break;
       }
     }
@@ -474,12 +583,6 @@ std::vector<RunResult> ExperimentEngine::run_prepared(
   }
 
   std::vector<RunResult> all(n_points);
-  // Per-series lowest load index already observed saturated: truncation
-  // drops everything past it, so such points can be skipped outright
-  // without changing the kept output (they're the slowest points, too —
-  // saturated networks churn maximum traffic until the drain cap).
-  std::vector<std::atomic<std::size_t>> first_saturated(prepared.series.size());
-  for (auto& f : first_saturated) f.store(n_loads, std::memory_order_relaxed);
   for_indices(n_points, across, [&](std::size_t i) {
     const std::size_t s = i / n_loads;
     const std::size_t l = i % n_loads;
@@ -487,21 +590,10 @@ std::vector<RunResult> ExperimentEngine::run_prepared(
         l > first_saturated[s].load(std::memory_order_relaxed)) {
       return;  // guaranteed to be truncated; leave the slot empty
     }
-    all[i] = run_point(s, l);
-    if (all[i].result.saturated) {
-      std::size_t seen = first_saturated[s].load(std::memory_order_relaxed);
-      while (l < seen && !first_saturated[s].compare_exchange_weak(
-                             seen, l, std::memory_order_relaxed)) {
-      }
-    }
+    all[i] = run_point(s, l, intra, {});
+    if (all[i].result.saturated) note_saturated(s, l);
   });
-  for (std::size_t s = 0; s < prepared.series.size(); ++s) {
-    for (std::size_t l = 0; l < n_loads; ++l) {
-      out.push_back(all[s * n_loads + l]);
-      if (prepared.truncate_at_saturation && out.back().result.saturated) break;
-    }
-  }
-  return out;
+  return filter_truncated(std::move(all));
 }
 
 Table to_table(const ExperimentSpec& spec,

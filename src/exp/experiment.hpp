@@ -161,6 +161,38 @@ sim::OracleMode oracle_from_string(const std::string& name,
 /// oracle cannot change results, so junk safely falls back).
 sim::OracleMode oracle_from_env();
 
+/// Point-scheduling policy for run_prepared. Execution-only, like
+/// SF_THREADS: both modes produce byte-identical results (same points, same
+/// per-point seeds, same truncation), so the knob is a suite-level hint and
+/// never enters point_seed hashing.
+///
+///   Static   — the fixed across/intra split schedule() computes up front;
+///              every point steps with the same intra team for its whole
+///              life. A grid whose points finish at very different times
+///              strands workers: a runner that drains its share idles while
+///              the big point next door steps single-file.
+///   Stealing — every engine worker is a runner claiming points from a
+///              shared counter; a runner that finds the grid empty retires
+///              its worker into a spare pool, and the still-running points'
+///              team providers (SimConfig::team_provider) claim those
+///              spares to widen their intra-shard teams mid-flight. Big
+///              points absorb the machine as small points drain.
+enum class SchedulerMode : std::uint8_t { Static = 0, Stealing = 1 };
+
+inline const char* to_string(SchedulerMode mode) {
+  return mode == SchedulerMode::Stealing ? "stealing" : "static";
+}
+
+/// Parses a scheduler name ("static" | "stealing"); anything else throws
+/// std::invalid_argument naming `context`.
+SchedulerMode scheduler_from_string(const std::string& name,
+                                    const std::string& context);
+
+/// Scheduler policy: SF_SCHEDULER env var when set to a known name; unset
+/// or unparsable means SchedulerMode::Static (the scheduler cannot change
+/// results, so junk safely falls back).
+SchedulerMode scheduler_from_env();
+
 // ---- prepared (non-registry) form ------------------------------------------
 // The compatibility path for callers that already hold topology / routing /
 // traffic objects (sim::load_sweep). The registry path lowers onto this.
@@ -195,6 +227,11 @@ class ExperimentEngine {
   ~ExperimentEngine();
 
   std::size_t threads() const;
+
+  /// Point-scheduling policy (defaults to scheduler_from_env()). Execution
+  /// only: run/run_prepared return byte-identical results either way.
+  SchedulerMode scheduler() const;
+  void set_scheduler(SchedulerMode mode);
 
   /// Completion hook for long runs: called once per finished point, from
   /// worker threads but never concurrently (the engine serializes calls).
@@ -232,6 +269,7 @@ class ExperimentEngine {
                    const std::function<void(std::size_t)>& body);
 
   std::size_t threads_ = 1;
+  SchedulerMode scheduler_ = SchedulerMode::Static;
   std::size_t pool_width_ = 0;
   std::unique_ptr<ThreadPool> pool_;
 };

@@ -1,9 +1,12 @@
 #pragma once
 // Per-(input port, VC) flit buffer with a hard capacity, the unit of
-// credit-based flow control — a fixed ring sized once from buffer_per_vc,
-// so steady-state push/pop never allocates. Header-only: push/front/pop
-// run millions of times per simulated second and must inline into the
-// phase loops. (The head-of-line routing-decision cache lives in
+// credit-based flow control — a LazyRing whose logical capacity is sized
+// once from buffer_per_vc (so the credit contract is unchanged: push past
+// it throws) and whose physical slab grows from the shared SlabPool only
+// as flits actually queue, so an idle VC at fleet scale costs a ring
+// header instead of a worst-case slab. Header-only: push/front/pop run
+// millions of times per simulated second and must inline into the phase
+// loops. (The head-of-line routing-decision cache lives in
 // RouterState::route_cache, a flat per-router array, so the allocation
 // gather never has to touch a buffer whose decision is already cached.)
 
@@ -11,13 +14,23 @@
 
 #include "sim/packet.hpp"
 #include "sim/ring.hpp"
+#include "sim/slab.hpp"
 
 namespace slimfly::sim {
 
 class VcBuffer {
  public:
-  explicit VcBuffer(int capacity = 0)
-      : ring_(static_cast<std::size_t>(capacity < 0 ? 0 : capacity)) {}
+  explicit VcBuffer(int capacity = 0) {
+    ring_.reset(static_cast<std::size_t>(capacity < 0 ? 0 : capacity));
+  }
+
+  /// Sets the logical capacity and the slab pool lazy growth draws from.
+  void init(int capacity, SlabPool* pool) {
+    ring_.reset(static_cast<std::size_t>(capacity < 0 ? 0 : capacity), pool);
+  }
+
+  /// Backs the first slab eagerly (see LazyRing::prewarm).
+  void prewarm() { ring_.prewarm(); }
 
   bool full() const { return ring_.full(); }
   bool empty() const { return ring_.empty(); }
@@ -50,7 +63,7 @@ class VcBuffer {
   }
 
  private:
-  FixedRing<Packet> ring_;
+  LazyRing<Packet> ring_;
 };
 
 }  // namespace slimfly::sim

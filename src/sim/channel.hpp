@@ -10,12 +10,20 @@
 // incoming-line pushes because per output `cycle + staged` is strictly
 // increasing (see phase_allocation).
 //
-// Storage is a fixed ring sized once via init() (Network::wire() derives
-// the capacity from the flow-control config, which bounds every line's
-// occupancy: a flit channel holds at most latency+1 in-flight flits, a
-// credit line at most alloc_iterations credits per cycle of credit delay).
-// Pushing past that capacity throws — it means the occupancy argument was
-// violated, not that the line needs to grow.
+// Storage is a LazyRing whose *logical* capacity is set once via init()
+// (Network::wire() derives it from the flow-control config, which bounds
+// every line's occupancy: a flit channel holds at most latency+1 in-flight
+// flits, a credit line at most alloc_iterations credits per cycle of
+// credit delay) and whose physical slab grows lazily from the shared
+// SlabPool as real traffic arrives — an idle line at fleet scale costs its
+// header, not its worst case. Pushing past the logical capacity throws —
+// it means the occupancy argument was violated, not that the line needs to
+// grow.
+//
+// ReadyT is the stored width of the ready cycle: int64 by default, int32
+// for the high-multiplicity credit/ejection event lines — the Network
+// constructor already bounds the cycle horizon below 2^31 (the PR 5
+// field-width precedent), so the narrow form halves a Timed<int> slot.
 //
 // The head's ready cycle is mirrored in the header (head_ready_): the
 // arrivals phase polls every line every cycle, and the mirror keeps a
@@ -29,18 +37,20 @@
 #include <utility>
 
 #include "sim/ring.hpp"
+#include "sim/slab.hpp"
 
 namespace slimfly::sim {
 
-template <typename T>
+template <typename T, typename ReadyT = std::int64_t>
 class DelayLine {
  public:
   DelayLine() = default;
   explicit DelayLine(std::size_t capacity) { init(capacity); }
 
-  /// Sizes the line's ring storage; must be called before the first push.
-  void init(std::size_t capacity) {
-    items_.reset(capacity);
+  /// Sets the line's logical capacity (and the slab pool lazy growth draws
+  /// from); must be called before the first push.
+  void init(std::size_t capacity, SlabPool* pool = nullptr) {
+    items_.reset(capacity, pool);
     head_ready_ = kEmpty;
   }
 
@@ -58,7 +68,7 @@ class DelayLine {
 #endif
     if (items_.empty()) head_ready_ = ready_cycle;
     Timed& slot = items_.push_slot();
-    slot.ready = ready_cycle;
+    slot.ready = static_cast<ReadyT>(ready_cycle);
     return slot.item;
   }
 
@@ -82,19 +92,24 @@ class DelayLine {
     head_ready_ = items_.empty() ? kEmpty : items_.front().ready;
   }
 
+  /// Backs the first slab eagerly (see LazyRing::prewarm).
+  void prewarm() { items_.prewarm(); }
+
   bool empty() const { return items_.empty(); }
   std::size_t size() const { return items_.size(); }
   std::size_t capacity() const { return items_.capacity(); }
+  /// Slots physically backed right now (<= capacity(); RSS diagnostics).
+  std::size_t physical_capacity() const { return items_.physical_capacity(); }
 
  private:
   static constexpr std::int64_t kEmpty =
       std::numeric_limits<std::int64_t>::max();
 
   struct Timed {
-    std::int64_t ready = 0;
+    ReadyT ready = 0;
     T item{};
   };
-  FixedRing<Timed> items_;
+  LazyRing<Timed> items_;
   std::int64_t head_ready_ = kEmpty;
 #ifndef NDEBUG
   std::int64_t last_push_ready_ = 0;

@@ -6,6 +6,7 @@
 // allocation / crossbar stages.
 
 #include <cstdint>
+#include <functional>
 
 namespace slimfly::sim {
 
@@ -87,6 +88,16 @@ struct SimConfig {
   /// oracle — it is excluded from exp::point_seed hashing and allowed
   /// per-series in suites.
   std::int64_t stats_window = 0;
+
+  /// Execution-only hook the Network polls once per step(): lets an
+  /// external scheduler (the work-stealing experiment engine — see
+  /// exp/experiment.hpp) grow or shrink the intra-point worker team while
+  /// the point runs. The returned count is clamped to [1, intra_threads];
+  /// null (the default) keeps a fixed team. Like intra_threads itself this
+  /// never changes results — workers cover contiguous shard ranges between
+  /// the same global phase barriers for every team size — so it is
+  /// excluded from exp::point_seed hashing.
+  std::function<int()> team_provider;
 
   /// Flit slots available to each VC.
   int buffer_per_vc() const { return buffer_per_port / num_vcs; }

@@ -62,11 +62,19 @@ Network::Network(const Topology& topo, RoutingAlgorithm& routing,
         "Network: num_vcs above 64 is unsupported (the per-input VC "
         "occupancy bitmask is 64 bits wide)");
   }
+  // Margin: credit/ejection event lines store READY cycles (cycle + delay)
+  // in 32-bit slots (sim/router.hpp CreditLine), so the horizon must leave
+  // headroom for the largest delay any push adds to cycle_.
+  const std::int64_t horizon_margin =
+      static_cast<std::int64_t>(config_.channel_latency) +
+      config_.router_pipeline + config_.output_staging + config_.credit_delay +
+      2;
   if (config_.warmup_cycles + config_.measure_cycles + config_.drain_cycles >
-      static_cast<std::int64_t>(std::numeric_limits<std::int32_t>::max())) {
+      static_cast<std::int64_t>(std::numeric_limits<std::int32_t>::max()) -
+          horizon_margin) {
     throw std::invalid_argument(
         "Network: warmup+measure+drain cycles exceed 2^31-1 (packet "
-        "timestamps are 32-bit cycle counts)");
+        "timestamps and event-line ready cycles are 32-bit cycle counts)");
   }
   if (topo_.num_routers() > 0x10000) {
     throw std::invalid_argument(
@@ -77,6 +85,8 @@ Network::Network(const Topology& topo, RoutingAlgorithm& routing,
     throw std::invalid_argument("Network: buffer_per_port too small for num_vcs");
   }
   shards_ = resolve_intra_threads(config_.intra_threads, topo_.num_routers());
+  team_ = shards_;
+  if (config_.team_provider) team_provider_ = config_.team_provider;
   wire();
   for (int e = 0; e < topo_.num_endpoints(); ++e) {
     if (traffic_.is_active(e)) ++active_endpoints_;
@@ -163,54 +173,105 @@ void Network::wire() {
     }
   }
 
+  // ---- SoA arenas (docs/ARCHITECTURE.md, "hot-path memory layout") -------
+  // Counting pass first: every variable-length per-router family gets one
+  // capacity-exact arena for the whole fleet, then the per-router Spans are
+  // carved out of it in router order. Ring payload slabs stay lazy (the
+  // shared SlabPool), so the arenas hold exactly the always-resident state.
+  const std::size_t nvc = static_cast<std::size_t>(config_.num_vcs);
+  std::size_t total_ports = 0, total_vcs = 0, total_cache = 0, total_words = 0;
+  for (int r = 0; r < nr; ++r) {
+    const std::size_t deg = static_cast<std::size_t>(g.degree(r));
+    const std::size_t eps = static_cast<std::size_t>(topo_.endpoints_at(r));
+    const std::size_t ports = deg + eps;
+    if (ports > 0x7fff) {
+      throw std::invalid_argument(
+          "Network: more than 32767 ports on one router is unsupported "
+          "(port indices are 16-bit)");
+    }
+    total_ports += ports;
+    // Injection inputs only ever buffer on VC 0 (both engines), so they
+    // carry single-VC spans instead of num_vcs worst-case buffers.
+    total_vcs += deg * nvc + eps;
+    total_cache += ports * nvc;
+    total_words += ports + (ports + 63) / 64;  // vc_occupied + staging_nonempty
+  }
+  input_arena_.clear();
+  input_arena_.resize(total_ports);
+  output_arena_.clear();
+  output_arena_.resize(total_ports);
+  vc_arena_.clear();
+  vc_arena_.resize(total_vcs);
+  credit_arena_.assign(total_ports * nvc, 0);
+  mask_arena_.assign(total_words, 0);
+  route_arena_.assign(total_cache, RouteDecision{});
+  // Charge the pool's reserve float so a straggler ring growing late (in
+  // the zero-allocation guard window) pops a shelf instead of allocating.
+  slab_pool_.preload();
+
+  std::size_t port_base = 0, vc_base = 0, credit_base = 0, word_base = 0,
+              cache_base = 0;
   for (int r = 0; r < nr; ++r) {
     RouterState& router = routers_[static_cast<std::size_t>(r)];
     int deg = g.degree(r);
     int eps = topo_.endpoints_at(r);
+    const std::size_t ports = static_cast<std::size_t>(deg + eps);
     router.network_ports = deg;
-    router.inputs.resize(static_cast<std::size_t>(deg + eps));
-    router.outputs.resize(static_cast<std::size_t>(deg + eps));
-    router.vc_occupied.assign(static_cast<std::size_t>(deg + eps), 0);
-    router.staging_nonempty.assign(
-        (static_cast<std::size_t>(deg + eps) + 63) / 64, 0);
-    router.route_cache.assign(static_cast<std::size_t>(deg + eps) *
-                                  static_cast<std::size_t>(config_.num_vcs),
-                              RouteDecision{});
-    for (auto& in : router.inputs) {
-      in.vcs.assign(static_cast<std::size_t>(config_.num_vcs), VcBuffer(buf_vc));
-    }
+    router.inputs = Span<InputPort>(input_arena_.data() + port_base, ports);
+    router.outputs = Span<OutputPort>(output_arena_.data() + port_base, ports);
+    router.vc_occupied =
+        Span<std::uint64_t>(mask_arena_.data() + word_base, ports);
+    word_base += ports;
+    router.staging_nonempty =
+        Span<std::uint64_t>(mask_arena_.data() + word_base, (ports + 63) / 64);
+    word_base += (ports + 63) / 64;
+    router.route_cache =
+        Span<RouteDecision>(route_arena_.data() + cache_base, ports * nvc);
+    cache_base += ports * nvc;
     const auto& nbrs = g.neighbors(r);
-    for (int i = 0; i < deg; ++i) {
+    for (std::size_t i = 0; i < ports; ++i) {
+      InputPort& in = router.inputs[i];
+      const bool network_input = i < static_cast<std::size_t>(deg);
+      const std::size_t nv = network_input ? nvc : 1;
+      in.vcs = Span<VcBuffer>(vc_arena_.data() + vc_base, nv);
+      vc_base += nv;
+      for (auto& b : in.vcs) b.init(buf_vc, &slab_pool_);
       // Network inputs receive their link's flit line locally (see
       // sim/router.hpp): the upstream allocation phase fills it.
-      router.inputs[static_cast<std::size_t>(i)].incoming.init(incoming_cap);
+      in.incoming.init(network_input ? incoming_cap : 0, &slab_pool_);
     }
     // Aggregated per-router event lines: ejection flits (one push per
     // ejection port per cycle, mature after chan_cap-ish latency) and
     // endpoint uplink credits (<= alloc_iterations per endpoint per cycle,
     // credit_delay deep).
-    router.ejection.init(static_cast<std::size_t>(eps) * chan_cap);
-    router.ep_credits.init(static_cast<std::size_t>(eps) * credit_cap);
+    router.ejection.init(static_cast<std::size_t>(eps) * chan_cap,
+                         &slab_pool_);
+    router.ep_credits.init(static_cast<std::size_t>(eps) * credit_cap,
+                           &slab_pool_);
     for (int i = 0; i < deg + eps; ++i) {
       OutputPort& out = router.outputs[static_cast<std::size_t>(i)];
       // Network ports model staging as a counter (the packet itself is
       // written straight to the downstream incoming line at grant time);
       // only ejection ports store staged packets.
-      out.staging.reset(i < deg ? 0
-                                : static_cast<std::size_t>(config_.output_staging));
-      out.credit_return.init(i < deg ? credit_cap : 0);
+      out.staging.reset(
+          i < deg ? 0 : static_cast<std::size_t>(config_.output_staging),
+          &slab_pool_);
+      out.credit_return.init(i < deg ? credit_cap : 0, &slab_pool_);
+      out.credits = Span<int>(credit_arena_.data() + credit_base, nvc);
+      credit_base += nvc;
       if (i < deg) {
         out.dest_router = nbrs[static_cast<std::size_t>(i)];
         out.initial_credit = buf_vc;
-        out.credits.assign(static_cast<std::size_t>(config_.num_vcs), buf_vc);
+        for (int& c : out.credits) c = buf_vc;
       } else {
         out.dest_router = -1;
         out.dest_endpoint = topo_.first_endpoint(r) + (i - deg);
         // Endpoints always consume: model as unbounded credit.
         out.initial_credit = 1 << 28;
-        out.credits.assign(static_cast<std::size_t>(config_.num_vcs), 1 << 28);
+        for (int& c : out.credits) c = 1 << 28;
       }
     }
+    port_base += ports;
   }
   // Reverse port wiring: input port i of r receives from neighbour i. Both
   // directions are recorded so arrivals can pull (input -> feeding output)
@@ -221,11 +282,11 @@ void Network::wire() {
       int u = nbrs[static_cast<std::size_t>(i)];
       int uport = port_of_neighbor(u, r);
       routers_[static_cast<std::size_t>(r)].outputs[static_cast<std::size_t>(i)]
-          .dest_port = uport;
+          .dest_port = static_cast<std::int16_t>(uport);
       InputPort& in =
           routers_[static_cast<std::size_t>(r)].inputs[static_cast<std::size_t>(i)];
       in.src_router = u;
-      in.src_port = uport;
+      in.src_port = static_cast<std::int16_t>(uport);
     }
   }
   injector_.init(topo_.num_endpoints(), buf_vc, config_.seed);
@@ -352,7 +413,7 @@ void Network::throw_not_adjacent(int router, int neighbor) const {
   // Uplink credits for my endpoints, as events on the per-router line.
   int first_ep = topo_.first_endpoint(r);
   while (auto j = router.ep_credits.pop_ready(cycle_)) {
-    ++injector_.endpoint(first_ep + *j).credits;
+    ++injector_.credits(first_ep + *j);
   }
 }
 
@@ -363,7 +424,7 @@ void Network::throw_not_adjacent(int router, int neighbor) const {
 
 /* SF_HOT */ void Network::generate_packet(std::size_t shard, int e, int dst,
                               bool in_measurement, std::int64_t dep_stall) {
-  auto& ep = injector_.endpoint(e);
+  auto ep = injector_.endpoint(e);  // reference bundle over the SoA columns
   Packet pkt;
   // Unique and schedule-independent: the endpoint's sequence number
   // strided by endpoint count.
@@ -389,7 +450,7 @@ void Network::throw_not_adjacent(int router, int neighbor) const {
 /* SF_HOT */ void Network::injection_router(std::size_t shard, int r, bool in_measurement) {
   for (int j = 0; j < topo_.endpoints_at(r); ++j) {
     int e = topo_.first_endpoint(r) + j;
-    auto& ep = injector_.endpoint(e);
+    auto ep = injector_.endpoint(e);  // reference bundle over the SoA columns
     if (traffic_self_clocked_) {
       // Self-clocked replay: the pattern decides when the next message is
       // eligible (FIFO order plus `after:` dependency delivery); no load
@@ -691,15 +752,39 @@ void Network::sync() {
   if (barrier_) barrier_->arrive_and_wait();
 }
 
-/* SF_HOT */ void Network::step_shard(std::size_t shard) {
-  // A phase that throws poisons only its shard; the shard keeps arriving at
-  // the remaining barriers so its peers never hang, and step() rethrows.
+void Network::resize_team(int want) {
+  std::size_t w = want < 1 ? 1 : static_cast<std::size_t>(want);
+  if (w > shards_) w = shards_;
+  if (w == team_) return;
+  team_ = w;
+  // Torn down here, recreated lazily by the next parallel step at the new
+  // party count — team changes are rare by design (the stealing scheduler
+  // only grows a point's team as sibling points finish).
+  pool_.reset();
+  barrier_.reset();
+}
+
+// A worker steps its contiguous shard sub-range through the four phases,
+// finishing each phase over ALL its shards before the global barrier:
+// allocation writes remote incoming/credit lines that other shards' later
+// phases read, so the phases must stay globally aligned no matter how the
+// shards are distributed over workers. Within a phase the per-shard order
+// is immaterial (each shard only writes state it owns plus single-producer
+// remote lines nobody reads during that phase), which is exactly why the
+// trajectory is bit-identical for every team size. With team_ == shards_
+// each worker owns one shard and this is the classic one-shard body.
+/* SF_HOT */ void Network::step_worker(std::size_t worker) {
+  const std::pair<std::size_t, std::size_t> range = worker_shards(worker);
+  // A phase that throws poisons only its shard; the worker keeps arriving
+  // at the remaining barriers so its peers never hang, and step() rethrows.
   auto guarded = [&](void (Network::*phase)(std::size_t)) {
-    if (shard_errors_[shard]) return;
-    try {
-      (this->*phase)(shard);
-    } catch (...) {
-      shard_errors_[shard] = std::current_exception();
+    for (std::size_t shard = range.first; shard < range.second; ++shard) {
+      if (shard_errors_[shard]) continue;
+      try {
+        (this->*phase)(shard);
+      } catch (...) {
+        shard_errors_[shard] = std::current_exception();
+      }
     }
   };
   if (engine_active_) {
@@ -722,18 +807,21 @@ void Network::sync() {
 }
 
 /* SF_HOT */ void Network::step() {
+  // Execution-only: the provider can change how many workers step the fixed
+  // shard set, never which shard owns what (see set_team_provider).
+  if (team_provider_) resize_team(team_provider_());
   std::fill(shard_errors_.begin(), shard_errors_.end(), nullptr);
-  if (shards_ == 1) {
-    step_shard(0);
+  if (team_ == 1) {
+    step_worker(0);
   } else {
     if (!pool_) {
-      // Dedicated team: shards_ - 1 pool workers plus the calling thread.
+      // Dedicated team: team_ - 1 pool workers plus the calling thread.
       // Dedicated, because the region's barriers require every worker to be
       // scheduled (util/threadpool.hpp).
-      pool_ = std::make_unique<ThreadPool>(shards_ - 1);  // sf-lint: allow(hot-alloc) one-time lazy init on the first step, not steady state
-      barrier_ = std::make_unique<Barrier>(shards_);  // sf-lint: allow(hot-alloc) one-time lazy init on the first step, not steady state
+      pool_ = std::make_unique<ThreadPool>(team_ - 1);  // sf-lint: allow(hot-alloc) one-time lazy init after a team change, not steady state
+      barrier_ = std::make_unique<Barrier>(team_);  // sf-lint: allow(hot-alloc) one-time lazy init after a team change, not steady state
     }
-    run_region(*pool_, shards_, [this](std::size_t w) { step_shard(w); });
+    run_region(*pool_, team_, [this](std::size_t w) { step_worker(w); });
   }
   for (auto& err : shard_errors_) {
     if (err) std::rethrow_exception(err);
@@ -880,7 +968,7 @@ void Network::init_active() {
   }
   for (int j = 0; j < topo_.endpoints_at(r); ++j) {
     const int e = topo_.first_endpoint(r) + j;
-    if (!injector_.endpoint(e).source_queue.empty()) return true;
+    if (!injector_.source_queue(e).empty()) return true;
     // Self-clocked replay: an eligible pending send is work — the router
     // must step so injection can pop it (the FIFO gate allows at most one
     // pop per endpoint per cycle, so eligibility can outlive the queues).
@@ -929,7 +1017,7 @@ void Network::init_active() {
 
 /* SF_HOT */ void Network::plan_arrival_from(std::size_t shard, int r, int e,
                                 std::int64_t from) {
-  auto& ep = injector_.endpoint(e);
+  auto ep = injector_.endpoint(e);  // reference bundle over the SoA columns
   if (load_ <= 0.0) {
     ep.next_arrival = kNeverArrives;
     return;
@@ -962,7 +1050,7 @@ void Network::init_active() {
                                       bool in_measurement) {
   for (int j = 0; j < topo_.endpoints_at(r); ++j) {
     int e = topo_.first_endpoint(r) + j;
-    auto& ep = injector_.endpoint(e);
+    auto ep = injector_.endpoint(e);  // reference bundle over the SoA columns
     if (traffic_self_clocked_) {
       // Replay consumes no load coins, so there is nothing to plan: pop
       // the next eligible message exactly as the cycle engine would.
@@ -1084,6 +1172,31 @@ void Network::reserve_measurement_stats() {
     for (int r = lo; r < hi; ++r) endpoints += topo_.endpoints_at(r);
     shard_totals_[s].stats.reserve(
         static_cast<std::size_t>(endpoints * config_.measure_cycles));
+  }
+  // Charge the pool's full-depth float: at high stable load, hundreds of
+  // rings cross new high-water marks long after any settle phase, and the
+  // construction-time ~1 MiB float (64 slabs/class) is exhausted by the
+  // first wave. kShelfDepth slabs per class up to the default byte ceiling
+  // is ~16 MiB — noise next to the arenas, and only charged on this
+  // opt-in measurement path, never at fleet-scale construction.
+  slab_pool_.preload(SlabPool::kDefaultPreloadMaxBytes, SlabPool::kShelfDepth);
+  // Back every lazy ring's FIRST slab eagerly: a ring whose first traffic
+  // lands after the guard/bench settle phase then grows privately instead
+  // of hitting the pool (whose preload float a low-load settle phase can
+  // exhaust). Same opt-in trade as the stats reservation above — wasteful
+  // as a default at fleet scale, where untouched rings costing nothing is
+  // the whole point of the lazy tier.
+  for (auto& router : routers_) {
+    for (auto& in : router.inputs) {
+      for (auto& b : in.vcs) b.prewarm();
+      in.incoming.prewarm();
+    }
+    for (auto& out : router.outputs) {
+      out.staging.prewarm();
+      out.credit_return.prewarm();
+    }
+    router.ejection.prewarm();
+    router.ep_credits.prewarm();
   }
 }
 

@@ -123,6 +123,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -130,6 +131,8 @@
 #include "sim/config.hpp"
 #include "sim/injector.hpp"
 #include "sim/router.hpp"
+#include "sim/slab.hpp"
+#include "sim/span.hpp"
 #include "sim/routing/routing.hpp"
 #include "sim/stats.hpp"
 #include "sim/traffic.hpp"
@@ -201,11 +204,27 @@ class Network {
   // no draw ever depends on thread schedule or shard count. Contract: a
   // stream may only be drawn from by the shard owning its endpoint/router,
   // and only in the phase named above.
-  /* SF_HOT */ Rng& endpoint_rng(int e) { return injector_.endpoint(e).rng; }
+  /* SF_HOT */ Rng& endpoint_rng(int e) { return injector_.rng(e); }
   /* SF_HOT */ Rng& router_rng(int r) { return router_rngs_[static_cast<std::size_t>(r)]; }
 
   /// Resolved intra-point worker count (>= 1, capped by router count).
+  /// This is the SHARD count — the unit of state ownership, fixed at
+  /// wire() so results never depend on how many workers execute them.
   std::size_t intra_threads() const { return shards_; }
+
+  /// Workers currently executing the shards (team size, <= shards_).
+  std::size_t team() const { return team_; }
+
+  /// Execution-only scheduling hook for the work-stealing experiment
+  /// scheduler: polled once per step (serial, between cycles); the return
+  /// value is clamped to [1, intra_threads()] and sets how many workers
+  /// step the fixed shard set this cycle. Workers always cover contiguous
+  /// shard ranges phase-by-phase between the same global barriers, so the
+  /// trajectory is bit-identical for every team size — the provider can
+  /// never affect results, only wall-clock.
+  void set_team_provider(std::function<int()> provider) {
+    team_provider_ = std::move(provider);
+  }
 
   /// Total flits currently buffered in the network (test/debug hook).
   std::int64_t flits_in_flight() const;
@@ -228,7 +247,20 @@ class Network {
   /// Binary search over the sorted adjacency list (networks too large for
   /// the dense table).
   int port_of_neighbor_sparse(int router, int neighbor) const;
-  void step_shard(std::size_t shard);
+  /// One worker's slice of a cycle: its contiguous shard sub-range through
+  /// all four phases, with the global barrier between phases (a worker
+  /// finishes phase k for ALL its shards before any worker enters k+1 —
+  /// required because allocation writes remote lines that later phases
+  /// read). With team_ == shards_ this is exactly the old one-shard body.
+  void step_worker(std::size_t worker);
+  /// Shard sub-range [first, second) owned by `worker` this cycle.
+  std::pair<std::size_t, std::size_t> worker_shards(std::size_t worker) const {
+    return {worker * shards_ / team_, (worker + 1) * shards_ / team_};
+  }
+  /// Applies the team provider's verdict (clamped to [1, shards_]); tears
+  /// down the pool/barrier on change so step() recreates them at the new
+  /// party count. Rare by design: the stealing scheduler only grows teams.
+  void resize_team(int want);
   void sync();  ///< barrier between phases; no-op when sequential
   void phase_arrivals(std::size_t shard);
   void phase_injection(std::size_t shard);
@@ -300,6 +332,21 @@ class Network {
   SimConfig config_;
   double load_;
 
+  // Declared before every ring-holding member: LazyRing slabs release into
+  // the pool at destruction, so the pool must be destroyed last.
+  SlabPool slab_pool_;
+
+  // ---- SoA arenas (docs/ARCHITECTURE.md, "hot-path memory layout") ------
+  // One capacity-exact allocation per state family for the whole fleet,
+  // sized by a counting pass in wire(); every Span member of RouterState /
+  // InputPort / OutputPort points into these. Never resized after wire().
+  std::vector<InputPort> input_arena_;
+  std::vector<OutputPort> output_arena_;
+  std::vector<VcBuffer> vc_arena_;        ///< num_vcs per network input, 1 per injection input
+  std::vector<int> credit_arena_;         ///< num_vcs per output port
+  std::vector<std::uint64_t> mask_arena_; ///< vc_occupied + staging_nonempty words
+  std::vector<RouteDecision> route_arena_;
+
   std::vector<RouterState> routers_;
   Injector injector_;
   std::vector<Rng> router_rngs_;
@@ -332,11 +379,16 @@ class Network {
     std::vector<WindowStats> windows;
   };
   std::size_t shards_ = 1;
+  /// Workers executing the shards this cycle (team size). Shards are the
+  /// ownership unit and never change after wire(); the team is pure
+  /// execution and may change between cycles (work-stealing scheduler).
+  std::size_t team_ = 1;
+  std::function<int()> team_provider_;  ///< see set_team_provider()
   std::vector<std::pair<int, int>> shard_ranges_;
   std::vector<ShardTotals> shard_totals_;
   std::vector<std::exception_ptr> shard_errors_;
-  std::unique_ptr<ThreadPool> pool_;   ///< shards_-1 dedicated workers
-  std::unique_ptr<Barrier> barrier_;   ///< shards_ parties, one per phase gap
+  std::unique_ptr<ThreadPool> pool_;   ///< team_-1 dedicated workers
+  std::unique_ptr<Barrier> barrier_;   ///< team_ parties, one per phase gap
   mutable Stats merged_stats_;
   mutable bool stats_dirty_ = true;
 

@@ -13,15 +13,30 @@
 //    unbounded queue (the endpoint source queue, which must absorb offered
 //    load past saturation). Below saturation it reaches a small stable
 //    capacity and never allocates again.
+//  * LazyRing<T>   — the fleet-scale hybrid: the *logical* capacity is
+//    fixed at wire() exactly like FixedRing (overflow still throws — the
+//    flow-control bound is still the contract), but the *physical* slab
+//    starts empty and doubles toward it as occupancy demands, drawing
+//    slabs from a shared SlabPool (sim/slab.hpp). RSS then tracks what the
+//    simulated traffic actually queues instead of the worst case the
+//    credit loop admits — the difference between a 0.05-load point paying
+//    for its occupancy and paying for its capacity. Growth settles at the
+//    high-water mark (same amortized argument as GrowRing), so the
+//    steady-state loop stops touching the pool, and the pool's reserve
+//    float keeps even a late straggler's growth allocation-free.
 //
-// Both keep elements contiguous-in-ring with head/size indices and
+// All keep elements contiguous-in-ring with head/size indices and
 // conditional (branch, not modulo) wrap-around.
 
 #include <cstddef>
+#include <cstring>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "sim/slab.hpp"
 
 namespace slimfly::sim {
 
@@ -141,6 +156,172 @@ class GrowRing {
   static constexpr std::size_t kInitialCapacity = 8;
 
   std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Fixed *logical* capacity, lazy *physical* backing (see the header
+/// comment). API-compatible with FixedRing; reset() additionally takes the
+/// SlabPool growth draws from (nullptr = private heap slabs, for tests and
+/// standalone use). Restricted to trivially-copyable payloads so slabs can
+/// be raw pool memory and growth a flat copy.
+template <typename T>
+class LazyRing {
+  static_assert(std::is_trivially_copyable<T>::value,
+                "LazyRing slabs are raw pool memory");
+  static_assert(std::is_trivially_destructible<T>::value,
+                "LazyRing never runs element destructors");
+
+ public:
+  LazyRing() = default;
+  explicit LazyRing(std::size_t capacity) { reset(capacity); }
+
+  LazyRing(const LazyRing&) = delete;
+  LazyRing& operator=(const LazyRing&) = delete;
+
+  LazyRing(LazyRing&& other) noexcept { steal(other); }
+  LazyRing& operator=(LazyRing&& other) noexcept {
+    if (this != &other) {
+      free_slab();
+      steal(other);
+    }
+    return *this;
+  }
+
+  ~LazyRing() { free_slab(); }
+
+  /// Sets the logical capacity and clears the ring; the physical slab (if
+  /// any) goes back to the pool. The only point where the pool binding can
+  /// change.
+  void reset(std::size_t logical_capacity, SlabPool* pool = nullptr) {
+    free_slab();
+    pool_ = pool;
+    logical_ = logical_capacity;
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// The wire()-time occupancy bound (what FixedRing::capacity() was).
+  std::size_t capacity() const { return logical_; }
+  /// Slots physically backed right now (<= capacity(); RSS diagnostics).
+  std::size_t physical_capacity() const { return physical_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ >= logical_; }
+
+  /// Materializes the first physical slab now (no-op once backed). Opt-in
+  /// warm-up for allocation-guard/bench runs (via Network::
+  /// reserve_measurement_stats): a ring whose first traffic lands after
+  /// the settle phase then grows from its own slab instead of touching the
+  /// pool, making the zero-allocation window airtight. Deliberately NOT
+  /// the default — the lazy tier's whole point is that untouched rings
+  /// cost nothing at fleet scale.
+  void prewarm() {
+    if (physical_ == 0 && logical_ > 0) grow();
+  }
+
+  /* SF_HOT */ void push_back(const T& value) { push_slot() = value; }
+
+  /// Claims the next tail slot for in-place assignment. grow() below is
+  /// the sanctioned settling-phase cold path (pool-backed, doubles toward
+  /// the fixed logical capacity), so push_slot itself stays
+  /// allocation-free, mirroring GrowRing::push_back.
+  /* SF_HOT */ T& push_slot() {
+    if (size_ >= physical_) grow();
+    std::size_t tail = head_ + size_;
+    if (tail >= physical_) tail -= physical_;
+    ++size_;
+    return slots_[tail];
+  }
+
+  /* SF_HOT */ const T& front() const {
+    if (empty()) throw std::logic_error("LazyRing: front on empty ring");
+    return slots_[head_];
+  }
+
+  /* SF_HOT */ void drop_front() {
+    if (empty()) throw std::logic_error("LazyRing: pop on empty ring");
+    ++head_;
+    if (head_ >= physical_) head_ = 0;
+    --size_;
+  }
+
+  /* SF_HOT */ T pop_front() {
+    if (empty()) throw std::logic_error("LazyRing: pop on empty ring");
+    T value = slots_[head_];
+    ++head_;
+    if (head_ >= physical_) head_ = 0;
+    --size_;
+    return value;
+  }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 4;
+
+  // Cold path: called only when occupancy crosses the current physical
+  // high-water mark, at most log2(capacity) times over a ring's lifetime.
+  void grow() {
+    if (size_ >= logical_) {
+      throw std::logic_error(
+          "LazyRing: overflow at capacity " + std::to_string(logical_) +
+          " (the wire()-time occupancy bound was violated)");
+    }
+    std::size_t want = physical_ == 0 ? kInitialSlots : physical_ * 2;
+    if (want > logical_) want = logical_;
+    std::size_t got_bytes = SlabPool::class_bytes(want * sizeof(T));
+    void* raw = pool_ ? pool_->acquire(want * sizeof(T), got_bytes)
+                      : ::operator new(got_bytes);
+    // Slabs are handed out round-robin, so zero them: a slot's first read
+    // after a partial write must see deterministic bytes, exactly as the
+    // FixedRing value-initialization guaranteed.
+    std::memset(raw, 0, got_bytes);
+    T* bigger = static_cast<T*>(raw);
+    for (std::size_t i = 0; i < size_; ++i) {
+      std::size_t at = head_ + i;
+      if (at >= physical_) at -= physical_;
+      bigger[i] = slots_[at];
+    }
+    free_slab();
+    slots_ = bigger;
+    slab_bytes_ = got_bytes;
+    // Use everything the size class gave us, up to the logical bound.
+    physical_ = got_bytes / sizeof(T);
+    if (physical_ > logical_) physical_ = logical_;
+    head_ = 0;
+  }
+
+  void free_slab() {
+    if (!slots_) return;
+    if (pool_) {
+      pool_->release(slots_, slab_bytes_);
+    } else {
+      ::operator delete(slots_);
+    }
+    slots_ = nullptr;
+    physical_ = 0;
+    slab_bytes_ = 0;
+  }
+
+  void steal(LazyRing& other) {
+    slots_ = other.slots_;
+    pool_ = other.pool_;
+    slab_bytes_ = other.slab_bytes_;
+    logical_ = other.logical_;
+    physical_ = other.physical_;
+    head_ = other.head_;
+    size_ = other.size_;
+    other.slots_ = nullptr;
+    other.physical_ = 0;
+    other.slab_bytes_ = 0;
+    other.head_ = 0;
+    other.size_ = 0;
+  }
+
+  T* slots_ = nullptr;
+  SlabPool* pool_ = nullptr;
+  std::size_t slab_bytes_ = 0;
+  std::size_t logical_ = 0;
+  std::size_t physical_ = 0;
   std::size_t head_ = 0;
   std::size_t size_ = 0;
 };

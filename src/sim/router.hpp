@@ -21,9 +21,14 @@
 // That single-producer/single-consumer structure is what makes
 // router-sharded stepping race-free without any locking.
 //
-// All queues are fixed rings sized once at Network::wire() (see
-// docs/ARCHITECTURE.md, "hot-path memory layout"): steady-state stepping
-// performs zero heap allocations.
+// Layout (docs/ARCHITECTURE.md, "hot-path memory layout"): the variable-
+// length families — input ports, output ports, per-VC buffers, per-VC
+// credit counters, route cache, occupancy bitmasks — are Spans into
+// Network-owned SoA arenas sized capacity-exact at wire(), one allocation
+// per family for the whole fleet instead of one std::vector per port.
+// Queue capacities are fixed at wire() too, but their slabs are LazyRing-
+// backed: steady-state stepping performs zero heap allocations, while RSS
+// tracks occupancy instead of worst-case capacity.
 
 #include <cstdint>
 #include <vector>
@@ -33,15 +38,21 @@
 #include "sim/config.hpp"
 #include "sim/packet.hpp"
 #include "sim/ring.hpp"
+#include "sim/span.hpp"
 
 namespace slimfly::sim {
+
+/// Credit and endpoint-credit event lines store their ready cycle in 32
+/// bits — the Network constructor bounds the cycle horizon below 2^31, so
+/// the narrow slot halves the dominant fleet-scale event-line footprint.
+using CreditLine = DelayLine<int, std::int32_t>;
 
 struct OutputPort {
   // Hot members first: the arrivals credit poll and the allocation grant
   // path touch credit_return / credits / consumed / staging every cycle;
   // wiring metadata trails behind.
-  DelayLine<int> credit_return;    ///< VCs credited back to this port
-  std::vector<int> credits;        ///< per-VC slots free downstream
+  CreditLine credit_return;        ///< VCs credited back to this port
+  Span<int> credits;               ///< per-VC slots free downstream
   /// Credits consumed downstream across all VCs, maintained incrementally
   /// (+1 on every grant that spends a credit, -1 on every credit return) so
   /// UGAL's queue_estimate is O(1) instead of a per-call VC scan.
@@ -55,18 +66,24 @@ struct OutputPort {
   /// stores packets. Ejection ports keep a real ring (below) because the
   /// per-router ejection line needs time-ordered pushes across ports.
   int staged = 0;
-  FixedRing<Packet> staging;       ///< ejection ports only (see `staged`)
+  LazyRing<Packet> staging;        ///< ejection ports only (see `staged`)
 
   int dest_router = -1;  ///< -1 => ejection port to an endpoint
-  int dest_port = -1;    ///< input port index at dest_router
   int dest_endpoint = -1;///< endpoint id for ejection ports
+  /// Input port index at dest_router (16-bit: the constructor bounds the
+  /// per-router port count far below 2^15).
+  std::int16_t dest_port = -1;
   int initial_credit = 0;
 
   int consumed_credits() const { return consumed; }
 };
 
 struct InputPort {
-  std::vector<VcBuffer> vcs;
+  /// Per-VC buffers — a full num_vcs span for network inputs, a single-VC
+  /// span for injection inputs (endpoint uplinks only ever enter on VC 0,
+  /// in both engines; paying num_vcs worst-case slabs per endpoint was
+  /// pure capacity slack).
+  Span<VcBuffer> vcs;
   /// Flits on (or staged for) the network link ending here. Filled by the
   /// upstream router's allocation phase (its sole producer) at grant time
   /// with the packet's final ready cycle, drained by this router's
@@ -77,7 +94,7 @@ struct InputPort {
   /// Upstream (router, output port) feeding this input, or (-1, -1) for
   /// injection ports.
   int src_router = -1;
-  int src_port = -1;
+  std::int16_t src_port = -1;
   /* SF_HOT */ int occupancy() const {
     int total = 0;
     for (const auto& b : vcs) total += b.size();
@@ -96,24 +113,24 @@ struct RouteDecision {
 };
 
 struct RouterState {
-  std::vector<InputPort> inputs;    ///< [0,deg) network + [deg, deg+p) injection
-  std::vector<OutputPort> outputs;  ///< [0,deg) network + [deg, deg+p) ejection
-  int network_ports = 0;            ///< router degree in the graph
+  Span<InputPort> inputs;    ///< [0,deg) network + [deg, deg+p) injection
+  Span<OutputPort> outputs;  ///< [0,deg) network + [deg, deg+p) ejection
+  int network_ports = 0;     ///< router degree in the graph
 
   /// vc_occupied[ip] bit vc set <=> inputs[ip].vcs[vc] is non-empty
   /// (bounds SimConfig::num_vcs to 64). Lets the allocation gather visit
   /// only occupied buffers.
-  std::vector<std::uint64_t> vc_occupied;
+  Span<std::uint64_t> vc_occupied;
   /// route_cache[ip * num_vcs + vc]: cached decision of that buffer's head
   /// (see RouteDecision). Invalidated on pop; only written for routings
   /// with cacheable_decisions().
-  std::vector<RouteDecision> route_cache;
+  Span<RouteDecision> route_cache;
 
   /// staging_nonempty[op / 64] bit (op % 64) set <=> outputs[op].staging
   /// is non-empty: transmission walks set bits instead of touching every
   /// OutputPort every cycle. Set on grant (allocation), cleared when the
   /// staging ring drains (transmission) — both phases of the owning router.
-  std::vector<std::uint64_t> staging_nonempty;
+  Span<std::uint64_t> staging_nonempty;
 
   /// Flits in flight to this router's endpoints, aggregated across its
   /// ejection ports (transmission pushes in port order; arrivals drains
@@ -124,7 +141,7 @@ struct RouterState {
   /// endpoint-local index j, pushed by this router's own allocation when
   /// it drains an injection buffer, drained by its own arrivals. Replaces
   /// a per-endpoint delay line that had to be polled every cycle.
-  DelayLine<int> ep_credits;
+  CreditLine ep_credits;
 
   /// Congestion estimate for UGAL: staging occupancy plus credits consumed
   /// downstream (an upper bound on the downstream queue for this port).
@@ -135,7 +152,8 @@ struct RouterState {
 };
 
 /// Builds the router state array for a topology graph; wiring of
-/// dest_router/dest_port/ejection ports is done by Network.
+/// dest_router/dest_port/ejection ports (and the arena spans every Span
+/// member points into) is done by Network.
 std::vector<RouterState> make_routers(int num_routers);
 
 }  // namespace slimfly::sim

@@ -1,0 +1,42 @@
+#pragma once
+// Minimal contiguous view used by the SoA router arenas (sim/router.hpp):
+// a (pointer, length) pair into Network-owned backing storage. The router
+// structs keep their field names and indexing syntax, but the elements of
+// every router live consecutively in one capacity-exact arena sized at
+// Network::wire() instead of in millions of per-object std::vectors — one
+// allocation per state family instead of one per port, and no per-vector
+// malloc headers or capacity slack at fleet scale.
+//
+// Deliberately not std::span (C++20) and deliberately tiny: fixed after
+// wire(), no ownership, 32-bit length (the arena sizes are bounded by
+// ports x VCs, far under 2^32).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace slimfly::sim {
+
+template <typename T>
+class Span {
+ public:
+  Span() = default;
+  Span(T* data, std::size_t size)
+      : data_(data), size_(static_cast<std::uint32_t>(size)) {}
+
+  /* SF_HOT */ T& operator[](std::size_t i) { return data_[i]; }
+  /* SF_HOT */ const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  T* data_ = nullptr;
+  std::uint32_t size_ = 0;
+};
+
+}  // namespace slimfly::sim

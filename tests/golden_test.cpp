@@ -19,9 +19,14 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "analysis/metrics.hpp"
+#include "cost/costmodel.hpp"
 #include "exp/diff.hpp"
+#include "exp/json.hpp"
 #include "exp/suite.hpp"
+#include "topo/registry.hpp"
 
 namespace slimfly {
 namespace {
@@ -111,6 +116,28 @@ TEST(GoldenTrajectory, BitIdenticalAcrossThreadAndEngineMatrix) {
   }
 }
 
+TEST(GoldenTrajectory, SchedulerAxisIsByteIdentical) {
+  exp::ExperimentSpec spec = golden_spec();
+  const std::string want = read_file(source_path(kTrajectoryPath));
+  // The point scheduler (static split vs work stealing) is execution-only:
+  // whichever runner claims a point, the point's seed comes from
+  // exp::point_seed and its stepping team only changes how many workers
+  // cover the fixed shard set between the same barriers. Every cell must
+  // reproduce the pinned trajectory byte-for-byte — including stealing
+  // teams that grow mid-point as sibling points drain (threads > points
+  // makes spares available immediately).
+  for (std::size_t threads : {std::size_t{2}, std::size_t{32}}) {
+    for (exp::SchedulerMode mode :
+         {exp::SchedulerMode::Static, exp::SchedulerMode::Stealing}) {
+      exp::ExperimentEngine engine(threads);
+      engine.set_scheduler(mode);
+      const std::string got = exp::golden_trajectory(spec, engine.run(spec));
+      EXPECT_EQ(want, got) << "SF_THREADS=" << threads
+                           << " SF_SCHEDULER=" << exp::to_string(mode);
+    }
+  }
+}
+
 TEST(GoldenTrajectory, DiffAgainstCheckedInBenchPasses) {
   exp::ExperimentSpec spec = golden_spec();
   exp::ExperimentEngine engine(2);
@@ -126,6 +153,66 @@ TEST(GoldenTrajectory, DiffAgainstCheckedInBenchPasses) {
            << os.str();
   }
   EXPECT_EQ(report.compared, 20u);  // 10 series x 2 loads, no truncation
+}
+
+// The analysis/cost layers' outputs for every distinct golden_mini
+// topology, as one deterministic text block — the static-analysis
+// counterpart of the simulation trajectory. Every number goes through
+// exp::json::number (shortest round-trip form), so the comparison is exact.
+std::string metrics_and_cost_block(const exp::ExperimentSpec& spec) {
+  std::vector<std::string> specs;
+  for (const auto& s : spec.series) {
+    bool seen = false;
+    for (const auto& t : specs) seen = seen || t == s.topology;
+    if (!seen) specs.push_back(s.topology);
+  }
+  std::ostringstream os;
+  for (const auto& t : specs) {
+    auto topo = topo::make(t);
+    const Graph& g = topo->graph();
+    const cost::NetworkCost c = cost::evaluate_cost(*topo, cost::cable_fdr10());
+    os << t << "\n"
+       << "  routers=" << topo->num_routers()
+       << " endpoints=" << topo->num_endpoints()
+       << " radix=" << topo->network_radix() << "\n"
+       << "  diameter=" << analysis::diameter(g)
+       << " avg_distance=" << exp::json::number(analysis::average_distance(g))
+       << " avg_endpoint_distance="
+       << exp::json::number(analysis::average_endpoint_distance(*topo))
+       << " connected=" << (analysis::is_connected(g) ? "yes" : "no") << "\n"
+       << "  cost[fdr10]: electric=" << c.electric_cables
+       << " fiber=" << c.fiber_cables
+       << " routers=" << exp::json::number(c.router_cost)
+       << " cables=" << exp::json::number(c.cable_cost)
+       << " total=" << exp::json::number(c.total_cost)
+       << " per_endpoint=" << exp::json::number(c.cost_per_endpoint) << "\n"
+       << "  power: total_w=" << exp::json::number(c.watts_total)
+       << " per_endpoint_w=" << exp::json::number(c.watts_per_endpoint)
+       << "\n";
+  }
+  return os.str();
+}
+
+const std::string kMetricsPath = "tests/golden/golden_mini.metrics";
+
+TEST(GoldenMetrics, AnalysisAndCostMatchCheckedInGolden) {
+  // Pins src/analysis (BFS metrics) and src/cost (cable/router/power
+  // models) for the same topology set the trajectory pins the simulator
+  // for: a drive-by change to either layer fails here, not in a figure
+  // reviewed by eye. Regenerate with SF_UPDATE_GOLDEN=1 (see
+  // tests/golden/README.md) — and say so in the PR, it is a results change.
+  const std::string got = metrics_and_cost_block(golden_spec());
+  if (std::getenv("SF_UPDATE_GOLDEN")) {
+    std::ofstream os(source_path(kMetricsPath));
+    ASSERT_TRUE(os.good());
+    os << got;
+    std::cout << "updated " << kMetricsPath << "\n";
+    return;
+  }
+  const std::string want = read_file(source_path(kMetricsPath));
+  EXPECT_EQ(want, got)
+      << "analysis/cost golden drifted; if the change is intentional, "
+         "regenerate with SF_UPDATE_GOLDEN=1 (see tests/golden/README.md)";
 }
 
 TEST(GoldenTrajectory, PerturbedTrajectoryIsCaught) {

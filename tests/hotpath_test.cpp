@@ -19,7 +19,9 @@
 #include "exp/diff.hpp"
 #include "exp/experiment.hpp"
 #include "sf/mms.hpp"
+#include "sim/ring.hpp"
 #include "sim/simulation.hpp"
+#include "sim/slab.hpp"
 
 namespace {
 std::atomic<long long> g_allocations{0};
@@ -88,6 +90,42 @@ TEST(HotPathAllocationGuard, UgalSteadyStateIsAllocationFree) {
                                       StepEngine::Cycle);
   expect_allocation_free_steady_state(RoutingKind::UgalL, 0.3,
                                       StepEngine::Active);
+}
+
+TEST(HotPathAllocationGuard, DeepQueueHighLoadIsAllocationFree) {
+  // 0.7 offered load — the highest load q=5 UGAL-L sustains (accepted
+  // tracks offered; 0.8+ backlogs the injectors, and an unbounded source
+  // backlog legitimately grows forever) — drives the lazily-backed VC
+  // rings, staging rings and event lines deep into their slabs, so the
+  // guard window churns the deepest queues the flow control admits at a
+  // stable operating point. Growth past the settle phase must come from
+  // the SlabPool's preloaded float, never the allocator.
+  expect_allocation_free_steady_state(RoutingKind::UgalL, 0.7,
+                                      StepEngine::Cycle);
+  expect_allocation_free_steady_state(RoutingKind::UgalL, 0.7,
+                                      StepEngine::Active);
+}
+
+TEST(HotPathAllocationGuard, LazyRingGrowthIsPoolServed) {
+  // The pooled-storage invariant in isolation: after the reserve float is
+  // charged, a LazyRing doubling all the way to its logical capacity — the
+  // late-straggler case the Network-level guards can only sample — never
+  // touches the allocator, and steady churn at the high-water mark is free.
+  SlabPool pool;
+  pool.preload();
+  LazyRing<int> ring;
+  ring.reset(2048, &pool);  // full growth = 8 KiB, the preload ceiling
+  for (int i = 0; i < 8; ++i) ring.push_back(i);  // settle: first slab
+  const long long before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 8; i < 2048; ++i) ring.push_back(i);  // doubles to capacity
+  while (!ring.empty()) ring.drop_front();
+  for (int i = 0; i < 5000; ++i) {  // steady churn at high water
+    ring.push_back(i);
+    ring.drop_front();
+  }
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0)
+      << "LazyRing growth must be pool-served after preload";
+  EXPECT_EQ(ring.physical_capacity(), 2048u);
 }
 
 TEST(HotPathAllocationGuard, ActiveEngineLowLoadIsAllocationFree) {

@@ -43,3 +43,16 @@ struct InlinePath {
   out.push_back(1);
   (void)scratch;
 }
+
+// LazyRing receivers are exempt like FixedRing: the logical capacity is
+// fixed at wire() and growth is the sanctioned pool-backed settling path
+// (see scripts/sf_lint.py; hotpath_test enforces the dynamic guarantee).
+template <typename T>
+struct LazyRing {
+  void push_back(const T&) {}
+};
+
+struct Line {
+  LazyRing<int> ring;
+  /* SF_HOT */ void push(int v) { ring.push_back(v); }
+};
